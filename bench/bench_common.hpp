@@ -1,0 +1,84 @@
+/// \file bench_common.hpp
+/// \brief Shared plumbing for the figure-reproduction bench binaries.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "report/figures.hpp"
+#include "util/table.hpp"
+
+namespace bsld::benchtool {
+
+/// Runs the §5.1 grid (Figs. 3-5) and renders one value per (workload,
+/// BSLDthreshold, WQthreshold) cell via `cell`. Layout mirrors the paper's
+/// bar groups: one row per (workload, BSLDthreshold), one column per WQ
+/// threshold.
+inline void print_original_size_figure(
+    const std::string& title, const std::string& value_name,
+    const std::function<std::string(const report::RunResult& run,
+                                    const report::RunResult& baseline)>& cell) {
+  std::cout << title << "\n\n";
+  const report::OriginalSizeGrid grid = report::original_size_grid();
+  const report::GridResults results =
+      report::run_grid(grid.dvfs_specs, grid.baseline_specs);
+
+  util::Table table({"Workload", "BSLDthr", value_name + " WQ=0",
+                     value_name + " WQ=4", value_name + " WQ=16",
+                     value_name + " WQ=NO"});
+  for (std::size_t c = 1; c < 6; ++c) table.set_align(c, util::Align::kRight);
+
+  std::size_t index = 0;
+  for (const wl::Archive archive : wl::all_archives()) {
+    const report::RunResult& baseline = report::baseline_for(results, archive);
+    for (const double bsld_threshold : report::paper_bsld_thresholds()) {
+      std::vector<std::string> row = {wl::archive_name(archive),
+                                      util::fmt_double(bsld_threshold, 1)};
+      for (std::size_t w = 0; w < report::paper_wq_thresholds().size(); ++w) {
+        row.push_back(cell(results.dvfs[index], baseline));
+        ++index;
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::cout << table;
+}
+
+/// Runs one §5.2 enlarged-system grid (Figs. 7-9) for the given WQ setting
+/// and renders one value per (workload, size scale) cell.
+inline void print_enlarged_figure(
+    const std::string& title, const std::optional<std::int64_t>& wq,
+    const std::function<std::string(const report::RunResult& run,
+                                    const report::RunResult& baseline)>& cell) {
+  std::cout << title << "\n\n";
+  const report::EnlargedGrid grid = report::enlarged_grid(wq);
+  const report::GridResults results =
+      report::run_grid(grid.dvfs_specs, grid.baseline_specs);
+
+  std::vector<std::string> headers = {"Workload"};
+  for (const double scale : report::paper_size_scales()) {
+    std::string label = "+";
+    label += util::fmt_double((scale - 1.0) * 100.0, 0);
+    label += '%';
+    headers.push_back(std::move(label));
+  }
+  util::Table table(std::move(headers));
+  for (std::size_t c = 1; c <= report::paper_size_scales().size(); ++c) {
+    table.set_align(c, util::Align::kRight);
+  }
+
+  std::size_t index = 0;
+  for (const wl::Archive archive : wl::all_archives()) {
+    const report::RunResult& baseline = report::baseline_for(results, archive);
+    std::vector<std::string> row = {wl::archive_name(archive)};
+    for (std::size_t s = 0; s < report::paper_size_scales().size(); ++s) {
+      row.push_back(cell(results.dvfs[index], baseline));
+      ++index;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+}
+
+}  // namespace bsld::benchtool

@@ -1,0 +1,26 @@
+/// \file bench_fig4_reduced_jobs.cpp
+/// \brief Reproduces Figure 4: the number of jobs run at reduced frequency
+/// for every (workload, BSLDthreshold, WQthreshold) combination.
+///
+/// Paper reference points: LLNLThunder runs 1219 reduced jobs at
+/// (BSLDthr=1.5, WQ=4) but only 854 at (2, 4) — a *higher* BSLD threshold
+/// can reduce *fewer* jobs because the extra slowdown lengthens queues and
+/// the WQ gate then blocks later jobs. SDSCBlue runs 2778 reduced jobs at
+/// (2, NO) and 2654 at (3, NO).
+#include "bench_common.hpp"
+
+using namespace bsld;
+
+int main() {
+  benchtool::print_original_size_figure(
+      "Figure 4 — Number of jobs run at reduced frequency",
+      "reduced",
+      [](const report::RunResult& run, const report::RunResult&) {
+        return std::to_string(run.sim.reduced_jobs);
+      });
+  std::cout << "\nShape check: counts grow as the WQ limit relaxes; on the "
+               "lightly-loaded LLNL traces the BSLDthr=1.5 rows can exceed "
+               "the 2.0 rows (the paper's Thunder inversion); the saturated "
+               "SDSC reduces almost nothing until WQ=NO.\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// \file bench_fig8_enlarged_wqno.cpp
+/// \brief Reproduces Figure 8: normalized energies of enlarged systems with
+/// no wait-queue limit (BSLDthreshold = 2, WQ = NO LIMIT), both normalized
+/// to the original-size no-DVFS baseline.
+///
+/// Paper headline: a 20% larger system with the power-aware scheduler needs
+/// almost 30% less CPU energy for the same load.
+#include "bench_common.hpp"
+
+using namespace bsld;
+
+int main() {
+  benchtool::print_enlarged_figure(
+      "Figure 8a — Enlarged systems, WQ = NO: E(idle=0), normalized to "
+      "original size without DVFS",
+      std::nullopt,
+      [](const report::RunResult& run, const report::RunResult& baseline) {
+        return util::fmt_double(
+            report::normalized_energy(run.sim, baseline.sim).computational, 3);
+      });
+  std::cout << '\n';
+  benchtool::print_enlarged_figure(
+      "Figure 8b — Enlarged systems, WQ = NO: E(idle=low), normalized to "
+      "original size without DVFS",
+      std::nullopt,
+      [](const report::RunResult& run, const report::RunResult& baseline) {
+        return util::fmt_double(
+            report::normalized_energy(run.sim, baseline.sim).total, 3);
+      });
+  std::cout << "\nShape check: the +20% column of panel (a) sits near 0.7-0.75 "
+               "for the non-saturated workloads (the paper's 'almost 30%').\n";
+  return 0;
+}

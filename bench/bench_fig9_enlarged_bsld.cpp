@@ -1,0 +1,37 @@
+/// \file bench_fig9_enlarged_bsld.cpp
+/// \brief Reproduces Figure 9: average BSLD of the power-aware scheduler on
+/// enlarged systems, for WQ = NO LIMIT and WQ = 0 (BSLDthreshold = 2).
+///
+/// Paper shape: with the power-aware scheduler, every additional increase in
+/// system size improves performance; CTC/SDSC/SDSCBlue eventually beat their
+/// original no-DVFS performance, while Thunder/Atlas (already at BSLD ~ 1)
+/// can only approach it.
+#include "bench_common.hpp"
+
+using namespace bsld;
+
+int main() {
+  benchtool::print_enlarged_figure(
+      "Figure 9 (left) — Avg BSLD on enlarged systems, WQ = NO, BSLDthr = 2",
+      std::nullopt,
+      [](const report::RunResult& run, const report::RunResult&) {
+        return util::fmt_double(run.sim.avg_bsld, 2);
+      });
+  std::cout << '\n';
+  benchtool::print_enlarged_figure(
+      "Figure 9 (right) — Avg BSLD on enlarged systems, WQ = 0, BSLDthr = 2",
+      std::int64_t{0},
+      [](const report::RunResult& run, const report::RunResult&) {
+        return util::fmt_double(run.sim.avg_bsld, 2);
+      });
+  std::cout << "\nBaselines (original size, no DVFS): ";
+  for (const wl::Archive archive : wl::all_archives()) {
+    report::RunSpec spec;
+    spec.archive = archive;
+    std::cout << wl::archive_name(archive) << "="
+              << util::fmt_double(report::run_one(spec).sim.avg_bsld, 2) << ' ';
+  }
+  std::cout << "\nShape check: every row decreases monotonically to the "
+               "right (more processors, better performance).\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark microbenchmarks of the simulation substrate:
+/// event-engine throughput, allocation search, trace generation, and
+/// end-to-end simulation rate per archive.
+#include <benchmark/benchmark.h>
+
+#include "cluster/first_fit.hpp"
+#include "core/policy_factory.hpp"
+#include "power/power_model.hpp"
+#include "report/experiment.hpp"
+#include "sim/engine.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "workload/archives.hpp"
+
+using namespace bsld;
+
+namespace {
+
+void BM_EngineScheduleDrain(benchmark::State& state) {
+  const auto events = static_cast<std::int64_t>(state.range(0));
+  util::Rng rng(42);
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::int64_t i = 0; i < events; ++i) {
+      engine.schedule(sim::Event{rng.uniform_int(0, 1'000'000),
+                                 sim::EventKind::kJobSubmit, 0, i});
+    }
+    while (auto event = engine.pop()) benchmark::DoNotOptimize(*event);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineScheduleDrain)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EarliestStart(benchmark::State& state) {
+  const auto cpus = static_cast<std::int32_t>(state.range(0));
+  cluster::Machine machine(cpus);
+  util::Rng rng(7);
+  // Fill ~2/3 of the machine with fake jobs of staggered expected ends.
+  std::vector<CpuId> cpu_list;
+  for (CpuId c = 0; c < cpus * 2 / 3; ++c) cpu_list.push_back(c);
+  for (CpuId c : cpu_list) {
+    machine.assign(c + 1, {c}, rng.uniform_int(100, 100000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.earliest_start(cpus / 2, 50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EarliestStart)->Arg(430)->Arg(1152)->Arg(9216);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const auto archive = static_cast<wl::Archive>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::make_archive_workload(archive));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_GenerateTrace)
+    ->Arg(static_cast<int>(wl::Archive::kCTC))
+    ->Arg(static_cast<int>(wl::Archive::kLLNLAtlas));
+
+void BM_SimulateArchive(benchmark::State& state) {
+  const auto archive = static_cast<wl::Archive>(state.range(0));
+  const wl::Workload workload = wl::make_archive_workload(archive);
+  const cluster::GearSet gears = cluster::paper_gear_set();
+  const power::PowerModel power_model(gears);
+  const power::BetaTimeModel time_model(gears, 0.5);
+  for (auto _ : state) {
+    core::DvfsConfig config;
+    config.bsld_threshold = 2.0;
+    config.wq_threshold = 16;
+    const auto policy =
+        core::make_policy(core::BasePolicy::kEasy, config, "FirstFit");
+    benchmark::DoNotOptimize(
+        sim::run_simulation(workload, *policy, power_model, time_model));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);  // jobs per run
+}
+BENCHMARK(BM_SimulateArchive)
+    ->Arg(static_cast<int>(wl::Archive::kCTC))
+    ->Arg(static_cast<int>(wl::Archive::kSDSC))
+    ->Arg(static_cast<int>(wl::Archive::kSDSCBlue))
+    ->Arg(static_cast<int>(wl::Archive::kLLNLThunder))
+    ->Arg(static_cast<int>(wl::Archive::kLLNLAtlas))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/// \file bench_table1_workloads.cpp
+/// \brief Reproduces Table 1: workload characteristics and the average BSLD
+/// of each trace under plain EASY backfilling (no DVFS).
+///
+/// Paper reference values (Etinski et al., IPDPS 2010, Table 1):
+///   CTC-430: 4.66   SDSC-128: 24.91   SDSCBlue-1152: 5.15
+///   LLNLThunder-4008: 1.00   LLNLAtlas-9216: 1.08
+#include <iostream>
+
+#include "report/figures.hpp"
+#include "util/table.hpp"
+#include "workload/workload_stats.hpp"
+
+using namespace bsld;
+
+int main() {
+  std::cout << "Table 1 — Workloads (synthetic stand-ins for the Parallel "
+               "Workload Archive logs)\n"
+            << "Baseline scheduler: EASY backfilling, First Fit, no DVFS.\n\n";
+
+  util::Table table({"Workload", "#CPUs", "Jobs", "Avg BSLD (paper)",
+                     "Avg BSLD (measured)", "Avg wait (s)", "Utilization",
+                     "Seq jobs", "<600s jobs", "Mean size"});
+  for (std::size_t c = 1; c < 10; ++c) table.set_align(c, util::Align::kRight);
+
+  std::vector<report::RunSpec> specs;
+  for (const wl::Archive archive : wl::all_archives()) {
+    report::RunSpec spec;
+    spec.archive = archive;
+    specs.push_back(spec);
+  }
+  const std::vector<report::RunResult> results = report::run_all(specs);
+
+  for (const report::RunResult& result : results) {
+    const wl::Archive archive = result.spec.archive;
+    const wl::Workload workload = wl::make_archive_workload(archive);
+    const wl::WorkloadStats stats = wl::compute_stats(workload);
+    table.add_row({wl::archive_name(archive),
+                   std::to_string(wl::paper_cpus(archive)),
+                   std::to_string(stats.jobs),
+                   util::fmt_double(wl::paper_avg_bsld(archive)),
+                   util::fmt_double(result.sim.avg_bsld),
+                   util::fmt_double(result.sim.avg_wait, 0),
+                   util::fmt_double(result.sim.utilization, 3),
+                   util::fmt_percent(stats.sequential_fraction),
+                   util::fmt_percent(stats.short_fraction),
+                   util::fmt_double(stats.mean_size, 1)});
+  }
+  std::cout << table << '\n'
+            << "Shape check: SDSC is the saturated outlier (BSLD ~ 25), "
+               "Thunder/Atlas are near 1, CTC/Blue sit in between.\n";
+  return 0;
+}

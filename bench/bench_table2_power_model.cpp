@@ -1,0 +1,53 @@
+/// \file bench_table2_power_model.cpp
+/// \brief Reproduces Table 2 (the DVFS gear set) and validates the power
+/// model calibration of paper §4:
+///   * static power = 25% of total active power at the top gear;
+///   * an idle CPU (lowest gear, idle activity) consumes ~21% of the power
+///     of a CPU executing a job at the top gear.
+#include <iostream>
+
+#include "cluster/gears.hpp"
+#include "power/power_model.hpp"
+#include "power/time_model.hpp"
+#include "util/table.hpp"
+
+using namespace bsld;
+
+int main() {
+  const cluster::GearSet gears = cluster::paper_gear_set();
+  const power::PowerModel model(gears);
+  const power::BetaTimeModel beta(gears, 0.5);
+
+  std::cout << "Table 2 — DVFS gear set and derived per-gear power/time "
+               "model values\n\n";
+
+  util::Table table({"Gear", "Frequency (GHz)", "Voltage (V)",
+                     "P_dynamic (W)", "P_static (W)", "P_active (W)",
+                     "vs Ftop", "Coef(f), beta=0.5"});
+  for (std::size_t c = 1; c < 8; ++c) table.set_align(c, util::Align::kRight);
+  for (GearIndex g = 0; g <= gears.top_index(); ++g) {
+    table.add_row({std::to_string(g),
+                   util::fmt_double(gears[g].frequency_ghz, 1),
+                   util::fmt_double(gears[g].voltage_v, 1),
+                   util::fmt_double(model.dynamic_power(g), 1),
+                   util::fmt_double(model.static_power(g), 1),
+                   util::fmt_double(model.active_power(g), 1),
+                   util::fmt_percent(model.active_power(g) /
+                                     model.active_power(gears.top_index())),
+                   util::fmt_double(beta.coefficient(g), 3)});
+  }
+  std::cout << table << '\n';
+
+  const double static_share =
+      model.static_power(gears.top_index()) /
+      model.active_power(gears.top_index());
+  std::cout << "Calibration checks (paper section 4):\n"
+            << "  static share at Ftop : " << util::fmt_percent(static_share)
+            << "  (paper: 25%)\n"
+            << "  idle / active(Ftop)  : "
+            << util::fmt_percent(model.idle_fraction_of_top())
+            << "  (paper: 21%)\n"
+            << "  idle power           : "
+            << util::fmt_double(model.idle_power(), 1) << " W\n";
+  return 0;
+}

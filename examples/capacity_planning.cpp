@@ -1,0 +1,76 @@
+/// \file capacity_planning.cpp
+/// \brief The paper's §5.2 dimensioning question as an application: "should
+/// we buy 20% more DVFS-capable processors for the same workload?" Sweeps
+/// system size for one archive and reports energy + performance against the
+/// original-size no-DVFS operation.
+///
+/// Run: ./capacity_planning [--archive CTC] [--wq 0|4|16|NO] [--bsld 2.0]
+#include <iostream>
+
+#include "report/figures.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace bsld;
+
+int main(int argc, char** argv) {
+  util::Cli cli("capacity_planning",
+                "sweep DVFS-enabled system size for one workload (paper §5.2)");
+  cli.add_flag("archive", "CTC",
+               "workload model: CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas");
+  cli.add_flag("wq", "NO", "WQthreshold: 0, 4, 16 or NO (no limit)");
+  cli.add_flag("bsld", "2.0", "BSLDthreshold");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const wl::Archive archive = wl::archive_from_name(cli.get("archive"));
+  core::DvfsConfig dvfs;
+  dvfs.bsld_threshold = cli.get_double("bsld");
+  if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
+  else dvfs.wq_threshold = cli.get_int("wq");
+
+  std::vector<report::RunSpec> specs;
+  report::RunSpec baseline;
+  baseline.archive = archive;
+  specs.push_back(baseline);  // original size, no DVFS
+  for (const double scale : report::paper_size_scales()) {
+    report::RunSpec spec = baseline;
+    spec.size_scale = scale;
+    spec.dvfs = dvfs;
+    specs.push_back(spec);
+  }
+
+  const std::vector<report::RunResult> results = report::run_all(specs);
+  const report::RunResult& base = results.front();
+
+  std::cout << "Capacity planning for " << wl::archive_name(archive)
+            << " — power-aware EASY, BSLDthr="
+            << util::fmt_double(dvfs.bsld_threshold, 1)
+            << ", WQ=" << report::wq_label(dvfs.wq_threshold) << "\n"
+            << "All values relative to the original "
+            << wl::paper_cpus(archive) << "-CPU system without DVFS (avg BSLD "
+            << util::fmt_double(base.sim.avg_bsld, 2) << ")\n\n";
+
+  util::Table table({"System size", "CPUs", "E(idle=0)", "E(idle=low)",
+                     "Avg BSLD", "Avg wait (s)", "Utilization"});
+  for (std::size_t c = 1; c < 7; ++c) table.set_align(c, util::Align::kRight);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto norm = report::normalized_energy(results[i].sim, base.sim);
+    const double scale = results[i].spec.size_scale;
+    std::string size_label = "+";
+    size_label += util::fmt_double((scale - 1.0) * 100.0, 0);
+    size_label += '%';
+    table.add_row({std::move(size_label),
+                   std::to_string(results[i].sim.cpus),
+                   util::fmt_double(norm.computational, 3),
+                   util::fmt_double(norm.total, 3),
+                   util::fmt_double(results[i].sim.avg_bsld, 2),
+                   util::fmt_double(results[i].sim.avg_wait, 0),
+                   util::fmt_double(results[i].sim.utilization, 3)});
+  }
+  std::cout << table
+            << "\nReading: E(idle=0) keeps falling with size; E(idle=low) "
+               "has a sweet spot; BSLD improves monotonically. The paper's "
+               "headline: +20% size => almost 30% less CPU energy at equal "
+               "or better performance.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file energy_tradeoff.cpp
+/// \brief The paper's §5.1 workflow as an application: sweep the two policy
+/// parameters (BSLDthreshold x WQthreshold) on one workload and print the
+/// energy/performance frontier an operator would choose from.
+///
+/// Run: ./energy_tradeoff [--archive SDSCBlue] [--jobs 5000]
+#include <iostream>
+
+#include "report/figures.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace bsld;
+
+int main(int argc, char** argv) {
+  util::Cli cli("energy_tradeoff",
+                "sweep BSLD/WQ thresholds on one workload and print the "
+                "energy-performance trade-off");
+  cli.add_flag("archive", "SDSCBlue",
+               "workload model: CTC, SDSC, SDSCBlue, LLNLThunder, LLNLAtlas");
+  cli.add_flag("jobs", "5000", "trace length in jobs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const wl::Archive archive = wl::archive_from_name(cli.get("archive"));
+  const auto jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+
+  std::vector<report::RunSpec> specs;
+  report::RunSpec baseline;
+  baseline.archive = archive;
+  baseline.num_jobs = jobs;
+  specs.push_back(baseline);
+  for (const double threshold : report::paper_bsld_thresholds()) {
+    for (const auto& wq : report::paper_wq_thresholds()) {
+      report::RunSpec spec = baseline;
+      core::DvfsConfig dvfs;
+      dvfs.bsld_threshold = threshold;
+      dvfs.wq_threshold = wq;
+      spec.dvfs = dvfs;
+      specs.push_back(spec);
+    }
+  }
+
+  const std::vector<report::RunResult> results = report::run_all(specs);
+  const report::RunResult& base = results.front();
+
+  std::cout << "Energy-performance trade-off for " << wl::archive_name(archive)
+            << " (" << jobs << " jobs, baseline avg BSLD "
+            << util::fmt_double(base.sim.avg_bsld, 2) << ")\n\n";
+
+  util::Table table({"BSLDthr", "WQthr", "Energy saved (idle=0)",
+                     "Energy saved (idle=low)", "Avg BSLD", "Reduced jobs"});
+  for (std::size_t c = 2; c < 6; ++c) table.set_align(c, util::Align::kRight);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto norm = report::normalized_energy(results[i].sim, base.sim);
+    table.add_row(
+        {util::fmt_double(results[i].spec.dvfs->bsld_threshold, 1),
+         report::wq_label(results[i].spec.dvfs->wq_threshold),
+         util::fmt_percent(1.0 - norm.computational),
+         util::fmt_percent(1.0 - norm.total),
+         util::fmt_double(results[i].sim.avg_bsld, 2),
+         std::to_string(results[i].sim.reduced_jobs)});
+  }
+  std::cout << table
+            << "\nPick the row with the largest savings whose BSLD penalty "
+               "your users tolerate.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// \file allocation.hpp
+/// \brief Allocation and reservation value types shared by schedulers and
+/// resource selectors.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bsld::cluster {
+
+/// A concrete placement decision: which CPUs, starting when, at which gear.
+struct Allocation {
+  Time start = kNoTime;
+  std::vector<CpuId> cpus;
+  GearIndex gear = 0;
+
+  [[nodiscard]] bool valid() const { return start != kNoTime && !cpus.empty(); }
+};
+
+/// EASY backfilling reserves CPUs for the head of the wait queue: backfilled
+/// jobs must not delay `start` on the reserved `cpus`.
+struct Reservation {
+  JobId job = kNoJob;
+  Time start = kNoTime;
+  std::vector<CpuId> cpus;
+  /// O(1) membership mask, sized to the machine.
+  std::vector<char> mask;
+
+  [[nodiscard]] bool active() const { return job != kNoJob; }
+  [[nodiscard]] bool contains(CpuId cpu) const {
+    return static_cast<std::size_t>(cpu) < mask.size() &&
+           mask[static_cast<std::size_t>(cpu)] != 0;
+  }
+};
+
+}  // namespace bsld::cluster

@@ -1,0 +1,103 @@
+#include "cluster/first_fit.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::cluster {
+
+namespace {
+
+/// Shared scan in a caller-chosen CPU order.
+template <typename CpuRange>
+std::vector<CpuId> scan_select_at(const Machine& machine, std::int32_t size,
+                                  Time start, Time now, CpuRange cpu_order) {
+  std::vector<CpuId> out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (CpuId cpu : cpu_order) {
+    if (machine.avail_time(cpu, now) <= start) {
+      out.push_back(cpu);
+      if (static_cast<std::int32_t>(out.size()) == size) return out;
+    }
+  }
+  throw Error("ResourceSelector: not enough CPUs available at start time");
+}
+
+template <typename CpuRange>
+std::optional<std::vector<CpuId>> scan_select_backfill(
+    const Machine& machine, std::int32_t size, Time now, Time expected_end,
+    const Reservation* reservation, CpuRange cpu_order) {
+  const bool respects_shadow =
+      reservation == nullptr || !reservation->active() ||
+      expected_end <= reservation->start;
+  std::vector<CpuId> out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (CpuId cpu : cpu_order) {
+    if (!machine.is_free(cpu)) continue;
+    if (!respects_shadow && reservation->contains(cpu)) continue;
+    out.push_back(cpu);
+    if (static_cast<std::int32_t>(out.size()) == size) return out;
+  }
+  (void)now;
+  return std::nullopt;
+}
+
+struct Ascending {
+  std::int32_t count;
+  struct iterator {
+    CpuId value;
+    CpuId operator*() const { return value; }
+    iterator& operator++() { ++value; return *this; }
+    bool operator!=(const iterator& other) const { return value != other.value; }
+  };
+  [[nodiscard]] iterator begin() const { return {0}; }
+  [[nodiscard]] iterator end() const { return {count}; }
+};
+
+struct Descending {
+  std::int32_t count;
+  struct iterator {
+    CpuId value;
+    CpuId operator*() const { return value; }
+    iterator& operator++() { --value; return *this; }
+    bool operator!=(const iterator& other) const { return value != other.value; }
+  };
+  [[nodiscard]] iterator begin() const { return {count - 1}; }
+  [[nodiscard]] iterator end() const { return {-1}; }
+};
+
+}  // namespace
+
+std::vector<CpuId> FirstFit::select_at(const Machine& machine,
+                                       std::int32_t size, Time start,
+                                       Time now) const {
+  return scan_select_at(machine, size, start, now,
+                        Ascending{machine.cpu_count()});
+}
+
+std::optional<std::vector<CpuId>> FirstFit::select_backfill(
+    const Machine& machine, std::int32_t size, Time now, Time expected_end,
+    const Reservation* reservation) const {
+  return scan_select_backfill(machine, size, now, expected_end, reservation,
+                              Ascending{machine.cpu_count()});
+}
+
+std::vector<CpuId> LastFit::select_at(const Machine& machine,
+                                      std::int32_t size, Time start,
+                                      Time now) const {
+  return scan_select_at(machine, size, start, now,
+                        Descending{machine.cpu_count()});
+}
+
+std::optional<std::vector<CpuId>> LastFit::select_backfill(
+    const Machine& machine, std::int32_t size, Time now, Time expected_end,
+    const Reservation* reservation) const {
+  return scan_select_backfill(machine, size, now, expected_end, reservation,
+                              Descending{machine.cpu_count()});
+}
+
+std::unique_ptr<ResourceSelector> make_selector(const std::string& name) {
+  if (name == "FirstFit") return std::make_unique<FirstFit>();
+  if (name == "LastFit") return std::make_unique<LastFit>();
+  throw Error("make_selector(): unknown selector `" + name + "`");
+}
+
+}  // namespace bsld::cluster

@@ -1,0 +1,71 @@
+#include "cluster/gears.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsld::cluster {
+
+GearSet::GearSet(std::vector<Gear> gears) : gears_(std::move(gears)) {
+  BSLD_REQUIRE(!gears_.empty(), "GearSet: needs at least one gear");
+  for (std::size_t i = 0; i < gears_.size(); ++i) {
+    BSLD_REQUIRE(gears_[i].frequency_ghz > 0.0 && gears_[i].voltage_v > 0.0,
+                 "GearSet: frequencies and voltages must be positive");
+    if (i > 0) {
+      BSLD_REQUIRE(gears_[i].frequency_ghz > gears_[i - 1].frequency_ghz,
+                   "GearSet: frequencies must be strictly increasing");
+      BSLD_REQUIRE(gears_[i].voltage_v >= gears_[i - 1].voltage_v,
+                   "GearSet: voltages must be non-decreasing");
+    }
+  }
+}
+
+const Gear& GearSet::operator[](GearIndex index) const {
+  BSLD_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < gears_.size(),
+               "GearSet: gear index out of range");
+  return gears_[static_cast<std::size_t>(index)];
+}
+
+double GearSet::frequency_ratio(GearIndex index) const {
+  return top().frequency_ghz / (*this)[index].frequency_ghz;
+}
+
+std::string GearSet::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < gears_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << gears_[i].frequency_ghz << "GHz@" << gears_[i].voltage_v << "V";
+  }
+  return os.str();
+}
+
+GearSet paper_gear_set() {
+  return GearSet({{0.8, 1.0},
+                  {1.1, 1.1},
+                  {1.4, 1.2},
+                  {1.7, 1.3},
+                  {2.0, 1.4},
+                  {2.3, 1.5}});
+}
+
+GearSet gear_set_from_config(const util::Config& config) {
+  const GearSet fallback = paper_gear_set();
+  std::vector<double> default_f;
+  std::vector<double> default_v;
+  for (const Gear& gear : fallback.all()) {
+    default_f.push_back(gear.frequency_ghz);
+    default_v.push_back(gear.voltage_v);
+  }
+  const auto freqs = config.get_double_list("gears.frequencies_ghz", default_f);
+  const auto volts = config.get_double_list("gears.voltages_v", default_v);
+  BSLD_REQUIRE(freqs.size() == volts.size(),
+               "gear_set_from_config(): frequency/voltage lists differ in length");
+  std::vector<Gear> gears;
+  gears.reserve(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    gears.push_back({freqs[i], volts[i]});
+  }
+  return GearSet(std::move(gears));
+}
+
+}  // namespace bsld::cluster

@@ -1,0 +1,97 @@
+#include "cluster/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsld::cluster {
+
+Machine::Machine(std::int32_t cpu_count)
+    : jobs_(static_cast<std::size_t>(cpu_count), kNoJob),
+      expected_end_(static_cast<std::size_t>(cpu_count), 0),
+      free_now_(cpu_count) {
+  BSLD_REQUIRE(cpu_count > 0, "Machine: cpu_count must be positive");
+}
+
+void Machine::check_cpu(CpuId cpu) const {
+  BSLD_REQUIRE(cpu >= 0 && cpu < cpu_count(), "Machine: cpu out of range");
+}
+
+JobId Machine::running_job(CpuId cpu) const {
+  check_cpu(cpu);
+  return jobs_[static_cast<std::size_t>(cpu)];
+}
+
+bool Machine::is_free(CpuId cpu) const { return running_job(cpu) == kNoJob; }
+
+Time Machine::avail_time(CpuId cpu, Time now) const {
+  check_cpu(cpu);
+  const auto index = static_cast<std::size_t>(cpu);
+  if (jobs_[index] == kNoJob) return now;
+  return std::max(expected_end_[index], now + 1);
+}
+
+Time Machine::earliest_start(std::int32_t size, Time now) const {
+  BSLD_REQUIRE(size > 0 && size <= cpu_count(),
+               "Machine: allocation size must be within [1, cpu_count]");
+  if (free_now_ >= size) return now;
+  std::vector<Time> avail;
+  avail.reserve(jobs_.size());
+  for (CpuId cpu = 0; cpu < cpu_count(); ++cpu) {
+    avail.push_back(avail_time(cpu, now));
+  }
+  auto kth = avail.begin() + (size - 1);
+  std::nth_element(avail.begin(), kth, avail.end());
+  return *kth;
+}
+
+std::int32_t Machine::available_by(Time t, Time now) const {
+  std::int32_t count = 0;
+  for (CpuId cpu = 0; cpu < cpu_count(); ++cpu) {
+    if (avail_time(cpu, now) <= t) ++count;
+  }
+  return count;
+}
+
+void Machine::assign(JobId job, const std::vector<CpuId>& cpus,
+                     Time expected_end) {
+  BSLD_REQUIRE(job != kNoJob, "Machine: cannot assign the null job");
+  BSLD_REQUIRE(!cpus.empty(), "Machine: empty allocation");
+  for (CpuId cpu : cpus) {
+    check_cpu(cpu);
+    BSLD_REQUIRE(jobs_[static_cast<std::size_t>(cpu)] == kNoJob,
+                 "Machine: CPU already busy (oversubscription)");
+  }
+  for (CpuId cpu : cpus) {
+    const auto index = static_cast<std::size_t>(cpu);
+    jobs_[index] = job;
+    expected_end_[index] = expected_end;
+  }
+  free_now_ -= static_cast<std::int32_t>(cpus.size());
+}
+
+void Machine::update_expected_end(JobId job, const std::vector<CpuId>& cpus,
+                                  Time expected_end) {
+  for (CpuId cpu : cpus) {
+    check_cpu(cpu);
+    BSLD_REQUIRE(jobs_[static_cast<std::size_t>(cpu)] == job,
+                 "Machine: CPU is not running the re-timed job");
+  }
+  for (CpuId cpu : cpus) {
+    expected_end_[static_cast<std::size_t>(cpu)] = expected_end;
+  }
+}
+
+void Machine::release(JobId job, const std::vector<CpuId>& cpus) {
+  for (CpuId cpu : cpus) {
+    check_cpu(cpu);
+    BSLD_REQUIRE(jobs_[static_cast<std::size_t>(cpu)] == job,
+                 "Machine: CPU is not running the released job");
+  }
+  for (CpuId cpu : cpus) {
+    jobs_[static_cast<std::size_t>(cpu)] = kNoJob;
+  }
+  free_now_ += static_cast<std::int32_t>(cpus.size());
+}
+
+}  // namespace bsld::cluster

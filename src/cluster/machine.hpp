@@ -1,0 +1,79 @@
+/// \file machine.hpp
+/// \brief The simulated DVFS-enabled cluster: per-CPU occupancy and the
+/// availability profile that backfilling's findAllocation queries.
+///
+/// Each CPU runs at most one process (rigid jobs, one process per CPU). A
+/// busy CPU advertises the time its job is *expected* to end — start +
+/// requested time scaled by the job's gear — because that is all EASY
+/// backfilling may assume; actual completions trigger rescheduling. Since
+/// only running jobs hold CPUs (EASY keeps a single reservation, handled by
+/// the scheduler), free capacity is non-decreasing in time, which makes
+/// `earliest_start` a selection (k-th smallest availability time) rather
+/// than a search.
+#pragma once
+
+#include <vector>
+
+#include "cluster/gears.hpp"
+#include "util/types.hpp"
+
+namespace bsld::cluster {
+
+/// Mutable cluster state.
+class Machine {
+ public:
+  /// A machine with `cpu_count` identical DVFS-enabled processors.
+  explicit Machine(std::int32_t cpu_count);
+
+  [[nodiscard]] std::int32_t cpu_count() const {
+    return static_cast<std::int32_t>(jobs_.size());
+  }
+
+  /// Job currently on `cpu`, or kNoJob.
+  [[nodiscard]] JobId running_job(CpuId cpu) const;
+  [[nodiscard]] bool is_free(CpuId cpu) const;
+
+  /// Number of CPUs free right now (O(1)).
+  [[nodiscard]] std::int32_t free_now() const { return free_now_; }
+
+  /// Time at which `cpu` is expected to be available, from the viewpoint of
+  /// `now`: `now` when free, otherwise max(expected end, now + 1) — the
+  /// clamp keeps overrunning jobs (actual > requested time) from appearing
+  /// free before their real completion event.
+  [[nodiscard]] Time avail_time(CpuId cpu, Time now) const;
+
+  /// Earliest time at which `size` CPUs are simultaneously available
+  /// (>= now). Throws bsld::Error when size exceeds the machine. O(P).
+  [[nodiscard]] Time earliest_start(std::int32_t size, Time now) const;
+
+  /// Number of CPUs available by time `t` (avail_time <= t). O(P).
+  [[nodiscard]] std::int32_t available_by(Time t, Time now) const;
+
+  /// Marks `cpus` busy with `job` until `expected_end`. Throws bsld::Error
+  /// when any CPU is already busy.
+  void assign(JobId job, const std::vector<CpuId>& cpus, Time expected_end);
+
+  /// Frees the given CPUs. Throws bsld::Error when a CPU is not running
+  /// `job`.
+  void release(JobId job, const std::vector<CpuId>& cpus);
+
+  /// Re-times a running job's expected end on the given CPUs (used when a
+  /// job's frequency is raised mid-flight). Throws bsld::Error when a CPU
+  /// is not running `job`.
+  void update_expected_end(JobId job, const std::vector<CpuId>& cpus,
+                           Time expected_end);
+
+  /// Busy CPU count right now.
+  [[nodiscard]] std::int32_t busy_now() const {
+    return cpu_count() - free_now_;
+  }
+
+ private:
+  void check_cpu(CpuId cpu) const;
+
+  std::vector<JobId> jobs_;          ///< kNoJob when free.
+  std::vector<Time> expected_end_;   ///< Valid only for busy CPUs.
+  std::int32_t free_now_ = 0;
+};
+
+}  // namespace bsld::cluster

@@ -1,0 +1,48 @@
+#include "core/dynamic_raise.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsld::core {
+
+DynamicRaiseEasy::DynamicRaiseEasy(
+    std::unique_ptr<cluster::ResourceSelector> selector,
+    std::unique_ptr<FrequencyAssigner> assigner, DynamicRaiseConfig config)
+    : inner_(std::move(selector), std::move(assigner)), config_(config) {
+  BSLD_REQUIRE(config_.queue_limit >= 0,
+               "DynamicRaiseConfig: queue_limit must be non-negative");
+}
+
+std::string DynamicRaiseEasy::name() const {
+  std::ostringstream os;
+  os << inner_.name() << "+raise>" << config_.queue_limit
+     << (config_.one_step ? ",step" : ",top");
+  return os.str();
+}
+
+void DynamicRaiseEasy::on_submit(SchedulerContext& ctx, JobId id) {
+  inner_.on_submit(ctx, id);
+  maybe_raise(ctx);
+}
+
+void DynamicRaiseEasy::on_job_end(SchedulerContext& ctx, JobId id) {
+  inner_.on_job_end(ctx, id);
+  maybe_raise(ctx);
+}
+
+void DynamicRaiseEasy::maybe_raise(SchedulerContext& ctx) {
+  if (static_cast<std::int64_t>(inner_.queue_size()) <= config_.queue_limit) {
+    return;
+  }
+  const GearIndex top = ctx.time_model().gears().top_index();
+  for (const JobId id : ctx.running_jobs()) {
+    const GearIndex current = ctx.running_gear(id);
+    if (current >= top) continue;
+    const GearIndex target =
+        config_.one_step ? static_cast<GearIndex>(current + 1) : top;
+    ctx.boost_job(id, target);
+  }
+}
+
+}  // namespace bsld::core

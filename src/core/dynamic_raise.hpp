@@ -1,0 +1,55 @@
+/// \file dynamic_raise.hpp
+/// \brief The paper's stated future work (§7): "add a possibility to
+/// dynamically increase frequencies of jobs running at lower frequencies
+/// when there are too many jobs waiting on execution."
+///
+/// DynamicRaiseEasy decorates EASY backfilling (with any FrequencyAssigner)
+/// and, after every scheduling event, raises running reduced-frequency jobs
+/// when the wait queue exceeds `queue_limit` — either straight to Ftop or
+/// one gear per event (`one_step`), which trades responsiveness for a
+/// gentler energy give-back.
+#pragma once
+
+#include <memory>
+
+#include "core/easy.hpp"
+
+namespace bsld::core {
+
+/// Tunables for the raise rule.
+struct DynamicRaiseConfig {
+  /// Raise running reduced jobs while more than this many jobs wait.
+  std::int64_t queue_limit = 16;
+  /// Raise one gear per event instead of jumping to Ftop.
+  bool one_step = false;
+};
+
+/// EASY backfilling + dynamic frequency raising under queue pressure.
+class DynamicRaiseEasy final : public SchedulingPolicy {
+ public:
+  DynamicRaiseEasy(std::unique_ptr<cluster::ResourceSelector> selector,
+                   std::unique_ptr<FrequencyAssigner> assigner,
+                   DynamicRaiseConfig config);
+
+  void on_submit(SchedulerContext& ctx, JobId id) override;
+  void on_job_end(SchedulerContext& ctx, JobId id) override;
+
+  [[nodiscard]] std::size_t queue_size() const override {
+    return inner_.queue_size();
+  }
+  [[nodiscard]] const cluster::Reservation* reservation() const override {
+    return inner_.reservation();
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const DynamicRaiseConfig& config() const { return config_; }
+
+ private:
+  /// Applies the raise rule to every running reduced job.
+  void maybe_raise(SchedulerContext& ctx);
+
+  EasyBackfilling inner_;
+  DynamicRaiseConfig config_;
+};
+
+}  // namespace bsld::core

@@ -1,0 +1,45 @@
+#include "core/policy_factory.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::core {
+
+std::unique_ptr<FrequencyAssigner> make_assigner(
+    const std::optional<DvfsConfig>& dvfs) {
+  if (dvfs) return std::make_unique<BsldThresholdAssigner>(*dvfs);
+  return std::make_unique<TopFrequency>();
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(
+    BasePolicy base, const std::optional<DvfsConfig>& dvfs,
+    const std::string& selector_name) {
+  auto selector = cluster::make_selector(selector_name);
+  auto assigner = make_assigner(dvfs);
+  switch (base) {
+    case BasePolicy::kEasy:
+      return std::make_unique<EasyBackfilling>(std::move(selector),
+                                               std::move(assigner));
+    case BasePolicy::kFcfs:
+      return std::make_unique<Fcfs>(std::move(selector), std::move(assigner));
+    case BasePolicy::kConservative:
+      return std::make_unique<ConservativeBackfilling>(std::move(selector),
+                                                       std::move(assigner));
+  }
+  throw Error("make_policy(): unknown base policy");
+}
+
+std::unique_ptr<SchedulingPolicy> make_dynamic_raise_policy(
+    const std::optional<DvfsConfig>& dvfs, DynamicRaiseConfig raise,
+    const std::string& selector_name) {
+  return std::make_unique<DynamicRaiseEasy>(
+      cluster::make_selector(selector_name), make_assigner(dvfs), raise);
+}
+
+BasePolicy base_policy_from_name(const std::string& name) {
+  if (name == "easy") return BasePolicy::kEasy;
+  if (name == "fcfs") return BasePolicy::kFcfs;
+  if (name == "conservative") return BasePolicy::kConservative;
+  throw Error("base_policy_from_name(): unknown policy `" + name + "`");
+}
+
+}  // namespace bsld::core

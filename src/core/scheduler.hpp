@@ -1,0 +1,85 @@
+/// \file scheduler.hpp
+/// \brief The scheduling-policy seam between the simulation engine and the
+/// job scheduling algorithms.
+///
+/// The simulator (sim::Simulation) owns the clock, the machine, and the
+/// per-job bookkeeping; a SchedulingPolicy owns the wait queue and decides
+/// who starts when, on which CPUs, at which DVFS gear. The policy acts
+/// through SchedulerContext::start_job, never on the Machine directly, so
+/// every state change is recorded exactly once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/allocation.hpp"
+#include "cluster/machine.hpp"
+#include "power/time_model.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace bsld::core {
+
+/// Simulator services available to scheduling policies.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  /// Current simulation time.
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// The machine (read-only; mutate via start_job).
+  [[nodiscard]] virtual const cluster::Machine& machine() const = 0;
+
+  /// Trace record of a job.
+  [[nodiscard]] virtual const wl::Job& job(JobId id) const = 0;
+
+  /// The execution-time dilation model in force.
+  [[nodiscard]] virtual const power::BetaTimeModel& time_model() const = 0;
+
+  /// Starts `id` immediately on `cpus` at `gear`: occupies the machine until
+  /// now() + dilated requested time, schedules the completion event at
+  /// now() + dilated actual runtime, and accounts energy. Throws bsld::Error
+  /// on oversubscription or a size mismatch.
+  virtual void start_job(JobId id, const std::vector<CpuId>& cpus,
+                         GearIndex gear) = 0;
+
+  /// Ids of jobs currently executing (unspecified order).
+  [[nodiscard]] virtual std::vector<JobId> running_jobs() const = 0;
+
+  /// Current gear of a running job. Throws bsld::Error when not running.
+  [[nodiscard]] virtual GearIndex running_gear(JobId id) const = 0;
+
+  /// Raises a *running* job to `gear` (>= its current gear): the remaining
+  /// work is re-timed at the new gear, its completion event moves earlier,
+  /// and energy is accounted per gear segment. Supports the paper's stated
+  /// future work — dynamically increasing frequencies of reduced jobs when
+  /// too many jobs are waiting (§7). Throws bsld::Error on a gear decrease
+  /// or a job that is not running.
+  virtual void boost_job(JobId id, GearIndex gear) = 0;
+};
+
+/// A parallel job scheduling policy (EASY backfilling, FCFS, ...).
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// A job entered the system.
+  virtual void on_submit(SchedulerContext& ctx, JobId id) = 0;
+
+  /// A running job completed (its CPUs are already free).
+  virtual void on_job_end(SchedulerContext& ctx, JobId id) = 0;
+
+  /// Jobs currently waiting on execution.
+  [[nodiscard]] virtual std::size_t queue_size() const = 0;
+
+  /// Active head-of-queue reservation, or nullptr (introspection/tests).
+  [[nodiscard]] virtual const cluster::Reservation* reservation() const {
+    return nullptr;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace bsld::core

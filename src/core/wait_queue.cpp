@@ -1,0 +1,36 @@
+#include "core/wait_queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsld::core {
+
+void WaitQueue::push(JobId id) {
+  BSLD_REQUIRE(!contains(id), "WaitQueue: duplicate job id");
+  jobs_.push_back(id);
+}
+
+JobId WaitQueue::head() const {
+  BSLD_REQUIRE(!jobs_.empty(), "WaitQueue: head() on empty queue");
+  return jobs_.front();
+}
+
+JobId WaitQueue::pop_head() {
+  BSLD_REQUIRE(!jobs_.empty(), "WaitQueue: pop_head() on empty queue");
+  const JobId id = jobs_.front();
+  jobs_.pop_front();
+  return id;
+}
+
+void WaitQueue::remove(JobId id) {
+  const auto it = std::find(jobs_.begin(), jobs_.end(), id);
+  BSLD_REQUIRE(it != jobs_.end(), "WaitQueue: removing absent job");
+  jobs_.erase(it);
+}
+
+bool WaitQueue::contains(JobId id) const {
+  return std::find(jobs_.begin(), jobs_.end(), id) != jobs_.end();
+}
+
+}  // namespace bsld::core

@@ -1,0 +1,44 @@
+/// \file wait_queue.hpp
+/// \brief FCFS wait queue with stable order and O(1) head access.
+///
+/// EASY backfilling needs: FCFS iteration, head inspection, pop-head, and
+/// removal of an arbitrary backfilled job without disturbing the relative
+/// order of the rest.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/types.hpp"
+
+namespace bsld::core {
+
+/// First-come-first-served queue of job ids.
+class WaitQueue {
+ public:
+  /// Appends a job (jobs arrive in submit order). Throws bsld::Error on
+  /// duplicates.
+  void push(JobId id);
+
+  /// Head of the queue; throws bsld::Error when empty.
+  [[nodiscard]] JobId head() const;
+
+  /// Removes and returns the head; throws bsld::Error when empty.
+  JobId pop_head();
+
+  /// Removes `id` wherever it is; throws bsld::Error when absent.
+  void remove(JobId id);
+
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool contains(JobId id) const;
+
+  /// FCFS-ordered view for backfill scans.
+  [[nodiscard]] auto begin() const { return jobs_.begin(); }
+  [[nodiscard]] auto end() const { return jobs_.end(); }
+
+ private:
+  std::deque<JobId> jobs_;
+};
+
+}  // namespace bsld::core

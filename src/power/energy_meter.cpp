@@ -1,0 +1,57 @@
+#include "power/energy_meter.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::power {
+
+EnergyMeter::EnergyMeter(const PowerModel& model)
+    : model_(model),
+      core_seconds_(model.gears().size(), 0.0),
+      executions_(model.gears().size(), 0) {}
+
+void EnergyMeter::add_execution(std::int32_t size, GearIndex gear,
+                                Time scaled_runtime) {
+  BSLD_REQUIRE(size > 0, "EnergyMeter: size must be positive");
+  BSLD_REQUIRE(scaled_runtime >= 0, "EnergyMeter: negative runtime");
+  BSLD_REQUIRE(gear >= 0 && static_cast<std::size_t>(gear) < core_seconds_.size(),
+               "EnergyMeter: gear out of range");
+  core_seconds_[static_cast<std::size_t>(gear)] +=
+      static_cast<double>(size) * static_cast<double>(scaled_runtime);
+  ++executions_[static_cast<std::size_t>(gear)];
+}
+
+EnergyReport EnergyMeter::report(std::int32_t cpus, Time horizon) const {
+  BSLD_REQUIRE(cpus > 0, "EnergyMeter: cpus must be positive");
+  BSLD_REQUIRE(horizon >= 0, "EnergyMeter: negative horizon");
+
+  EnergyReport out;
+  out.horizon = horizon;
+  for (GearIndex g = 0; g <= model_.gears().top_index(); ++g) {
+    const double cs = core_seconds_[static_cast<std::size_t>(g)];
+    out.busy_core_seconds += cs;
+    out.computational_joules += cs * model_.active_power(g);
+  }
+  const double capacity =
+      static_cast<double>(cpus) * static_cast<double>(horizon);
+  BSLD_REQUIRE(out.busy_core_seconds <= capacity * (1.0 + 1e-9),
+               "EnergyMeter: busy core-seconds exceed machine capacity over "
+               "the horizon");
+  out.idle_core_seconds = std::max(0.0, capacity - out.busy_core_seconds);
+  out.idle_joules = out.idle_core_seconds * model_.idle_power();
+  out.total_joules = out.computational_joules + out.idle_joules;
+  return out;
+}
+
+double EnergyMeter::core_seconds_at(GearIndex gear) const {
+  BSLD_REQUIRE(gear >= 0 && static_cast<std::size_t>(gear) < core_seconds_.size(),
+               "EnergyMeter: gear out of range");
+  return core_seconds_[static_cast<std::size_t>(gear)];
+}
+
+std::int64_t EnergyMeter::executions_at(GearIndex gear) const {
+  BSLD_REQUIRE(gear >= 0 && static_cast<std::size_t>(gear) < executions_.size(),
+               "EnergyMeter: gear out of range");
+  return executions_[static_cast<std::size_t>(gear)];
+}
+
+}  // namespace bsld::power

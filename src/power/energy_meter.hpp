@@ -1,0 +1,61 @@
+/// \file energy_meter.hpp
+/// \brief Workload-level CPU energy accounting under the paper's two
+/// scenarios:
+///
+///  * computational energy (`Eidle = 0`): idle processors dissipate no
+///    power — the paper's proxy for PowerNap-style systems;
+///  * total energy (`Eidle = low`): idle processors consume the idle power
+///    of the PowerModel (lowest gear, idle activity).
+///
+/// Busy core-seconds are accumulated per gear as jobs run; idle energy is
+/// derived from the measurement horizon (first submission to last
+/// completion) when the report is taken.
+#pragma once
+
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "util/types.hpp"
+
+namespace bsld::power {
+
+/// Final energy numbers for one simulation run.
+struct EnergyReport {
+  double computational_joules = 0.0;  ///< Eidle = 0 scenario.
+  double total_joules = 0.0;          ///< Eidle = low scenario.
+  double idle_joules = 0.0;           ///< Idle share inside total_joules.
+  double busy_core_seconds = 0.0;     ///< Sum over jobs of size * runtime.
+  double idle_core_seconds = 0.0;     ///< cpus * horizon - busy.
+  Time horizon = 0;                   ///< Measurement span in seconds.
+};
+
+/// Accumulates per-job energies during a simulation.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const PowerModel& model);
+
+  /// Records a completed execution: `size` CPUs ran at `gear` for
+  /// `scaled_runtime` seconds (already dilated by the time model).
+  void add_execution(std::int32_t size, GearIndex gear, Time scaled_runtime);
+
+  /// Produces the report for a machine of `cpus` processors observed over
+  /// `horizon` seconds. Throws bsld::Error when the horizon is too short to
+  /// contain the recorded busy time (accounting bug guard).
+  [[nodiscard]] EnergyReport report(std::int32_t cpus, Time horizon) const;
+
+  /// Busy core-seconds recorded at `gear`.
+  [[nodiscard]] double core_seconds_at(GearIndex gear) const;
+
+  /// Jobs recorded per gear (diagnostics; Fig. 4 counts come from the
+  /// simulation result, which also knows requested gears).
+  [[nodiscard]] std::int64_t executions_at(GearIndex gear) const;
+
+  [[nodiscard]] const PowerModel& model() const { return model_; }
+
+ private:
+  const PowerModel& model_;
+  std::vector<double> core_seconds_;   ///< Indexed by gear.
+  std::vector<std::int64_t> executions_;
+};
+
+}  // namespace bsld::power

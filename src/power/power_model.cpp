@@ -1,0 +1,60 @@
+#include "power/power_model.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::power {
+
+PowerModel::PowerModel(cluster::GearSet gears, PowerModelConfig config)
+    : gears_(std::move(gears)), config_(config) {
+  BSLD_REQUIRE(config_.activity_ratio >= 1.0,
+               "PowerModel: activity_ratio must be >= 1");
+  BSLD_REQUIRE(config_.static_fraction_at_top >= 0.0 &&
+                   config_.static_fraction_at_top < 1.0,
+               "PowerModel: static_fraction_at_top must be in [0, 1)");
+  BSLD_REQUIRE(config_.top_active_power_watts > 0.0,
+               "PowerModel: top_active_power_watts must be positive");
+
+  const cluster::Gear& top = gears_.top();
+  const double p_top = config_.top_active_power_watts;
+  // P_active(top) = dynamic_unit * f_top * V_top^2 + alpha * V_top, with the
+  // static share pinned at static_fraction_at_top.
+  dynamic_unit_ = (1.0 - config_.static_fraction_at_top) * p_top /
+                  (top.frequency_ghz * top.voltage_v * top.voltage_v);
+  alpha_ = config_.static_fraction_at_top * p_top / top.voltage_v;
+}
+
+double PowerModel::dynamic_power(GearIndex gear) const {
+  const cluster::Gear& g = gears_[gear];
+  return dynamic_unit_ * g.frequency_ghz * g.voltage_v * g.voltage_v;
+}
+
+double PowerModel::static_power(GearIndex gear) const {
+  return alpha_ * gears_[gear].voltage_v;
+}
+
+double PowerModel::active_power(GearIndex gear) const {
+  return dynamic_power(gear) + static_power(gear);
+}
+
+double PowerModel::idle_power() const {
+  const cluster::Gear& low = gears_.lowest();
+  const double idle_dynamic = dynamic_unit_ / config_.activity_ratio *
+                              low.frequency_ghz * low.voltage_v * low.voltage_v;
+  return idle_dynamic + alpha_ * low.voltage_v;
+}
+
+double PowerModel::idle_fraction_of_top() const {
+  return idle_power() / active_power(gears_.top_index());
+}
+
+PowerModelConfig power_config_from(const util::Config& config) {
+  PowerModelConfig out;
+  out.activity_ratio = config.get_double("power.activity_ratio", out.activity_ratio);
+  out.static_fraction_at_top =
+      config.get_double("power.static_fraction_at_top", out.static_fraction_at_top);
+  out.top_active_power_watts =
+      config.get_double("power.top_active_power_watts", out.top_active_power_watts);
+  return out;
+}
+
+}  // namespace bsld::power

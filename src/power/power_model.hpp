@@ -1,0 +1,67 @@
+/// \file power_model.hpp
+/// \brief CPU power model of the paper's §4.
+///
+/// Total CPU power = dynamic + static.
+///   P_dynamic = A * C * f * V^2   (Eq. 3)
+///   P_static  = alpha * V        (Eq. 4, Butts & Sohi)
+///
+/// Calibration follows the paper:
+///  * all applications share one average activity factor; a running CPU's
+///    activity is `activity_ratio` (2.5x) that of an idle CPU;
+///  * static power is `static_fraction_at_top` (25%) of the total active
+///    power at the top gear, which pins alpha;
+///  * an idle CPU runs at the lowest gear with the idle activity factor —
+///    with the paper's constants that lands at ~21% of top active power.
+///
+/// Powers are reported in watts by anchoring the top-gear active power at
+/// `top_active_power_watts`; energy ratios are invariant to that anchor.
+#pragma once
+
+#include "cluster/gears.hpp"
+#include "util/config.hpp"
+
+namespace bsld::power {
+
+/// Calibration constants (paper defaults).
+struct PowerModelConfig {
+  double activity_ratio = 2.5;          ///< running / idle activity factor.
+  double static_fraction_at_top = 0.25; ///< share of static power at Ftop.
+  double top_active_power_watts = 95.0; ///< anchor: P_active(Ftop) in W.
+};
+
+/// Evaluates active/idle CPU power per gear.
+class PowerModel {
+ public:
+  /// Throws bsld::Error on non-physical configuration values.
+  PowerModel(cluster::GearSet gears, PowerModelConfig config = {});
+
+  /// Power of a CPU executing a job at `gear` (W).
+  [[nodiscard]] double active_power(GearIndex gear) const;
+
+  /// Power of an idle CPU: lowest gear, idle activity factor (W).
+  [[nodiscard]] double idle_power() const;
+
+  /// Dynamic component of the active power at `gear` (W).
+  [[nodiscard]] double dynamic_power(GearIndex gear) const;
+
+  /// Static component at `gear`'s voltage (W).
+  [[nodiscard]] double static_power(GearIndex gear) const;
+
+  /// idle_power() / active_power(top): ~0.21 with paper constants.
+  [[nodiscard]] double idle_fraction_of_top() const;
+
+  [[nodiscard]] const cluster::GearSet& gears() const { return gears_; }
+  [[nodiscard]] const PowerModelConfig& config() const { return config_; }
+
+ private:
+  cluster::GearSet gears_;
+  PowerModelConfig config_;
+  double dynamic_unit_ = 0.0;  ///< A_running * C, in W per (GHz * V^2).
+  double alpha_ = 0.0;         ///< Static coefficient, W per volt.
+};
+
+/// Reads `power.activity_ratio`, `power.static_fraction_at_top` and
+/// `power.top_active_power_watts` from a Config (paper defaults otherwise).
+PowerModelConfig power_config_from(const util::Config& config);
+
+}  // namespace bsld::power

@@ -1,0 +1,86 @@
+#include "report/experiment.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bsld::report {
+
+namespace {
+const char* base_name(core::BasePolicy base) {
+  switch (base) {
+    case core::BasePolicy::kEasy: return "EASY";
+    case core::BasePolicy::kFcfs: return "FCFS";
+    case core::BasePolicy::kConservative: return "CONS";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string RunSpec::label() const {
+  std::ostringstream os;
+  os << wl::archive_name(archive) << " x" << size_scale << ' '
+     << base_name(base);
+  if (dvfs) {
+    os << " BSLD<=" << dvfs->bsld_threshold << ",WQ<=";
+    if (dvfs->wq_threshold) os << *dvfs->wq_threshold;
+    else os << "NO";
+  } else {
+    os << " noDVFS";
+  }
+  return os.str();
+}
+
+RunResult run_one(const RunSpec& spec) {
+  BSLD_REQUIRE(spec.size_scale > 0.0, "run_one(): size_scale must be positive");
+
+  wl::Workload workload = wl::make_archive_workload(spec.archive, spec.num_jobs);
+  const auto scaled_cpus = static_cast<std::int32_t>(
+      std::llround(static_cast<double>(workload.cpus) * spec.size_scale));
+  BSLD_REQUIRE(scaled_cpus >= 1, "run_one(): scaled machine has no CPUs");
+  // Enlarged systems keep original job sizes (paper §1: "Since our jobs are
+  // rigid we have used original job sizes"); shrunken ones must clamp.
+  if (scaled_cpus < workload.cpus) {
+    for (wl::Job& job : workload.jobs) {
+      job.size = std::min(job.size, scaled_cpus);
+    }
+  }
+
+  if (spec.per_job_beta) {
+    // Deterministic per-job sensitivities (future-work extension): seeded
+    // from the archive so equal specs stay bit-identical.
+    util::Rng rng(wl::archive_seed(spec.archive) ^ 0xbe7abe7aULL);
+    for (wl::Job& job : workload.jobs) {
+      job.beta = rng.uniform(spec.per_job_beta->first,
+                             spec.per_job_beta->second);
+    }
+  }
+
+  const cluster::GearSet gears = cluster::paper_gear_set();
+  const power::PowerModel power_model(gears, spec.power);
+  const power::BetaTimeModel time_model(gears, spec.beta);
+  const auto policy =
+      spec.raise ? core::make_dynamic_raise_policy(spec.dvfs, *spec.raise,
+                                                   spec.selector)
+                 : core::make_policy(spec.base, spec.dvfs, spec.selector);
+
+  sim::SimulationConfig config;
+  config.cpus = scaled_cpus;
+  RunResult result{spec, sim::run_simulation(workload, *policy, power_model,
+                                             time_model, config)};
+  return result;
+}
+
+NormalizedEnergy normalized_energy(const sim::SimulationResult& run,
+                                   const sim::SimulationResult& baseline) {
+  BSLD_REQUIRE(baseline.energy.computational_joules > 0.0 &&
+                   baseline.energy.total_joules > 0.0,
+               "normalized_energy(): degenerate baseline");
+  return NormalizedEnergy{
+      run.energy.computational_joules / baseline.energy.computational_joules,
+      run.energy.total_joules / baseline.energy.total_joules};
+}
+
+}  // namespace bsld::report

@@ -1,0 +1,58 @@
+/// \file experiment.hpp
+/// \brief One fully-specified simulation run of the paper's evaluation:
+/// which archive, which system size, which policy/parameters — and the
+/// machinery to execute it reproducibly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/frequency.hpp"
+#include "core/policy_factory.hpp"
+#include "power/power_model.hpp"
+#include "sim/simulation.hpp"
+#include "workload/archives.hpp"
+
+namespace bsld::report {
+
+/// Declarative description of a run.
+struct RunSpec {
+  wl::Archive archive = wl::Archive::kCTC;
+  std::int32_t num_jobs = 5000;      ///< Paper: 5000-job slices.
+  double size_scale = 1.0;           ///< 1.2 = "20% larger system" (§5.2).
+  core::BasePolicy base = core::BasePolicy::kEasy;
+  std::optional<core::DvfsConfig> dvfs;  ///< nullopt = no-DVFS baseline.
+  double beta = 0.5;                 ///< Paper's beta (Eq. 5).
+  power::PowerModelConfig power;     ///< Paper defaults.
+  std::string selector = "FirstFit"; ///< Paper's resource selection policy.
+  /// Extension (paper §7 future work): raise running reduced jobs under
+  /// queue pressure. Only meaningful with base == kEasy.
+  std::optional<core::DynamicRaiseConfig> raise;
+  /// Extension (paper §7 future work): per-job beta drawn uniformly from
+  /// [first, second] instead of the single platform beta.
+  std::optional<std::pair<double, double>> per_job_beta;
+
+  /// "CTC x1.0 EASY BSLD<=2,WQ<=0" — for tables and logs.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Spec + everything the run produced.
+struct RunResult {
+  RunSpec spec;
+  sim::SimulationResult sim;
+};
+
+/// Executes one spec: generates the canonical archive trace, builds the
+/// gear set / power / time models and the policy, simulates, returns the
+/// result. Deterministic: equal specs yield identical results.
+RunResult run_one(const RunSpec& spec);
+
+/// Energy of `run` normalized to `baseline` (paper's Figs. 3/7/8 y-axis).
+struct NormalizedEnergy {
+  double computational = 1.0;  ///< Eidle = 0 panel.
+  double total = 1.0;          ///< Eidle = low panel.
+};
+NormalizedEnergy normalized_energy(const sim::SimulationResult& run,
+                                   const sim::SimulationResult& baseline);
+
+}  // namespace bsld::report

@@ -1,0 +1,104 @@
+#include "report/figures.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::report {
+
+const std::vector<double>& paper_bsld_thresholds() {
+  static const std::vector<double> values = {1.5, 2.0, 3.0};
+  return values;
+}
+
+const std::vector<std::optional<std::int64_t>>& paper_wq_thresholds() {
+  static const std::vector<std::optional<std::int64_t>> values = {
+      std::int64_t{0}, std::int64_t{4}, std::int64_t{16}, std::nullopt};
+  return values;
+}
+
+const std::vector<double>& paper_size_scales() {
+  // "ranging from the original size to 125% increase in system size"
+  static const std::vector<double> values = {1.0, 1.1, 1.2, 1.5,
+                                             1.75, 2.0, 2.25};
+  return values;
+}
+
+std::string wq_label(const std::optional<std::int64_t>& wq) {
+  return wq ? std::to_string(*wq) : "NO";
+}
+
+OriginalSizeGrid original_size_grid(std::int32_t num_jobs) {
+  OriginalSizeGrid grid;
+  for (const wl::Archive archive : wl::all_archives()) {
+    for (const double bsld : paper_bsld_thresholds()) {
+      for (const auto& wq : paper_wq_thresholds()) {
+        RunSpec spec;
+        spec.archive = archive;
+        spec.num_jobs = num_jobs;
+        core::DvfsConfig dvfs;
+        dvfs.bsld_threshold = bsld;
+        dvfs.wq_threshold = wq;
+        spec.dvfs = dvfs;
+        grid.dvfs_specs.push_back(spec);
+      }
+    }
+    RunSpec baseline;
+    baseline.archive = archive;
+    baseline.num_jobs = num_jobs;
+    grid.baseline_specs.push_back(baseline);
+  }
+  return grid;
+}
+
+EnlargedGrid enlarged_grid(const std::optional<std::int64_t>& wq_threshold,
+                           std::int32_t num_jobs) {
+  EnlargedGrid grid;
+  for (const wl::Archive archive : wl::all_archives()) {
+    for (const double scale : paper_size_scales()) {
+      RunSpec spec;
+      spec.archive = archive;
+      spec.num_jobs = num_jobs;
+      spec.size_scale = scale;
+      core::DvfsConfig dvfs;
+      dvfs.bsld_threshold = 2.0;  // paper: "the medium used value 2"
+      dvfs.wq_threshold = wq_threshold;
+      spec.dvfs = dvfs;
+      grid.dvfs_specs.push_back(spec);
+    }
+    RunSpec baseline;
+    baseline.archive = archive;
+    baseline.num_jobs = num_jobs;
+    grid.baseline_specs.push_back(baseline);
+  }
+  return grid;
+}
+
+GridResults run_grid(const std::vector<RunSpec>& dvfs_specs,
+                     const std::vector<RunSpec>& baseline_specs,
+                     unsigned threads) {
+  std::vector<RunSpec> all;
+  all.reserve(dvfs_specs.size() + baseline_specs.size());
+  all.insert(all.end(), dvfs_specs.begin(), dvfs_specs.end());
+  all.insert(all.end(), baseline_specs.begin(), baseline_specs.end());
+  std::vector<RunResult> results = run_all(all, threads);
+
+  GridResults out;
+  out.dvfs.assign(std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              dvfs_specs.size())));
+  out.baselines.assign(
+      std::make_move_iterator(results.begin() +
+                              static_cast<std::ptrdiff_t>(dvfs_specs.size())),
+      std::make_move_iterator(results.end()));
+  return out;
+}
+
+const RunResult& baseline_for(const GridResults& results, wl::Archive archive) {
+  for (const RunResult& result : results.baselines) {
+    if (result.spec.archive == archive) return result;
+  }
+  throw Error("baseline_for(): no baseline for archive " +
+              wl::archive_name(archive));
+}
+
+}  // namespace bsld::report

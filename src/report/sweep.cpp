@@ -1,0 +1,48 @@
+#include "report/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bsld::report {
+
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, std::max<std::size_t>(specs.size(), 1));
+
+  std::vector<RunResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= specs.size()) return;
+          try {
+            results[i] = run_one(specs[i]);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  }  // join
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace bsld::report

@@ -1,0 +1,23 @@
+/// \file sweep.hpp
+/// \brief Deterministic parallel execution of experiment grids.
+///
+/// Every paper figure is a grid of independent simulations (up to 5
+/// workloads x 12 parameter combinations); runs are embarrassingly parallel
+/// and are dispatched over a worker pool of std::jthread. Results come back
+/// in input order regardless of completion order, so parallel and serial
+/// execution are bit-identical (covered by tests).
+#pragma once
+
+#include <vector>
+
+#include "report/experiment.hpp"
+
+namespace bsld::report {
+
+/// Runs all specs, `threads` at a time (0 = hardware concurrency).
+/// Exceptions from any run are rethrown on the calling thread after the
+/// pool drains.
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned threads = 0);
+
+}  // namespace bsld::report

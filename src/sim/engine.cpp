@@ -1,0 +1,23 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace bsld::sim {
+
+void Engine::schedule(Event event) {
+  BSLD_REQUIRE(event.time >= now_, "Engine: scheduling an event in the past");
+  event.sequence = next_sequence_++;
+  heap_.push(event);
+}
+
+std::optional<Event> Engine::pop() {
+  if (heap_.empty()) return std::nullopt;
+  const Event event = heap_.top();
+  heap_.pop();
+  BSLD_REQUIRE(event.time >= now_, "Engine: time went backwards");
+  now_ = event.time;
+  ++processed_;
+  return event;
+}
+
+}  // namespace bsld::sim

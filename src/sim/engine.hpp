@@ -1,0 +1,44 @@
+/// \file engine.hpp
+/// \brief Event-driven simulation engine (the Alvio-equivalent substrate).
+///
+/// A thin, fully deterministic priority-queue loop: events are processed in
+/// the total order defined by event.hpp; scheduling an event in the past is
+/// a hard error (it would silently corrupt causality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/types.hpp"
+
+namespace bsld::sim {
+
+/// Priority-queue event engine with a monotonic clock.
+class Engine {
+ public:
+  /// Current simulation time (0 before the first event).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `event` (its `sequence` is assigned here). Throws
+  /// bsld::Error when the event lies in the past.
+  void schedule(Event event);
+
+  /// Pops the next event and advances the clock; nullopt when drained.
+  std::optional<Event> pop();
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Total events processed so far (microbenchmark metric).
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  Time now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace bsld::sim

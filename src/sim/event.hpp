@@ -1,0 +1,38 @@
+/// \file event.hpp
+/// \brief Discrete events of the cluster simulation.
+///
+/// Ordering is total and deterministic: by time, then kind (completions
+/// before submissions at the same instant, so arrivals observe the CPUs
+/// freed "now"), then insertion sequence.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "util/types.hpp"
+
+namespace bsld::sim {
+
+/// Event kinds; numeric order defines same-time processing order.
+enum class EventKind : int {
+  kJobEnd = 0,    ///< A running job completed.
+  kJobSubmit = 1, ///< A job entered the system.
+};
+
+/// One scheduled event.
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::kJobSubmit;
+  std::uint64_t sequence = 0;  ///< Assigned by the engine on scheduling.
+  JobId job = kNoJob;
+};
+
+/// Strict-weak order for the engine's min-heap ("a after b").
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tuple(a.time, static_cast<int>(a.kind), a.sequence) >
+           std::tuple(b.time, static_cast<int>(b.kind), b.sequence);
+  }
+};
+
+}  // namespace bsld::sim

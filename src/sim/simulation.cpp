@@ -1,0 +1,245 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bsld::sim {
+
+Simulation::Simulation(const wl::Workload& workload,
+                       core::SchedulingPolicy& policy,
+                       const power::PowerModel& power_model,
+                       const power::BetaTimeModel& time_model,
+                       SimulationConfig config)
+    : workload_(workload),
+      policy_(policy),
+      power_model_(power_model),
+      time_model_(time_model),
+      config_(config),
+      machine_(config.cpus > 0 ? config.cpus : workload.cpus),
+      meter_(power_model) {
+  BSLD_REQUIRE(!workload_.jobs.empty(), "Simulation: empty workload");
+  BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
+               "Simulation: power and time models must share one gear set");
+  outcomes_.reserve(workload_.jobs.size());
+  index_.reserve(workload_.jobs.size());
+  for (const wl::Job& job : workload_.jobs) {
+    BSLD_REQUIRE(job.size >= 1 && job.size <= machine_.cpu_count(),
+                 "Simulation: job size outside [1, cpus] — clean or clamp "
+                 "the workload first");
+    BSLD_REQUIRE(job.run_time >= 0 && job.requested_time >= 1,
+                 "Simulation: invalid job durations");
+    BSLD_REQUIRE(!index_.contains(job.id), "Simulation: duplicate job id");
+    JobOutcome outcome;
+    outcome.id = job.id;
+    outcome.submit = job.submit;
+    outcome.size = job.size;
+    outcome.run_time_top = job.run_time;
+    index_.emplace(job.id, outcomes_.size());
+    outcomes_.push_back(outcome);
+  }
+}
+
+const wl::Job& Simulation::job(JobId id) const {
+  const auto it = index_.find(id);
+  BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
+  return workload_.jobs[it->second];
+}
+
+JobOutcome& Simulation::outcome(JobId id) {
+  const auto it = index_.find(id);
+  BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
+  return outcomes_[it->second];
+}
+
+const JobOutcome& Simulation::outcome(JobId id) const {
+  const auto it = index_.find(id);
+  BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
+  return outcomes_[it->second];
+}
+
+Simulation::Running& Simulation::running(JobId id) {
+  const auto it = running_.find(id);
+  BSLD_REQUIRE(it != running_.end(), "Simulation: job is not running");
+  return it->second;
+}
+
+void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
+                           GearIndex gear) {
+  const wl::Job& trace = job(id);
+  JobOutcome& record = outcome(id);
+  BSLD_REQUIRE(record.start == kNoTime, "Simulation: job started twice");
+  BSLD_REQUIRE(static_cast<std::int32_t>(cpus.size()) == trace.size,
+               "Simulation: allocation size mismatch");
+  BSLD_REQUIRE(engine_.now() >= trace.submit,
+               "Simulation: job started before submission");
+
+  record.start = engine_.now();
+  record.gear = gear;
+  record.final_gear = gear;
+  const Time scaled_runtime =
+      time_model_.scale_duration_with_beta(trace.run_time, gear, trace.beta);
+  record.scaled_requested = std::max(
+      time_model_.scale_duration_with_beta(trace.requested_time, gear,
+                                           trace.beta),
+      scaled_runtime);
+
+  Running state;
+  state.cpus = cpus;
+  state.gear = gear;
+  state.segment_start = engine_.now();
+  state.remaining_run_top = static_cast<double>(trace.run_time);
+  state.remaining_req_top = static_cast<double>(trace.requested_time);
+  state.pending_end = engine_.now() + scaled_runtime;
+
+  machine_.assign(id, cpus, engine_.now() + record.scaled_requested);
+  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+  running_.emplace(id, std::move(state));
+}
+
+std::vector<JobId> Simulation::running_jobs() const {
+  std::vector<JobId> out;
+  out.reserve(running_.size());
+  for (const auto& [id, _] : running_) out.push_back(id);
+  // Map order is unspecified; sort for deterministic policy behaviour.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GearIndex Simulation::running_gear(JobId id) const {
+  const auto it = running_.find(id);
+  BSLD_REQUIRE(it != running_.end(), "Simulation: job is not running");
+  return it->second.gear;
+}
+
+void Simulation::boost_job(JobId id, GearIndex gear) {
+  Running& state = running(id);
+  BSLD_REQUIRE(gear >= state.gear,
+               "Simulation: boost_job() cannot lower the gear");
+  BSLD_REQUIRE(gear <= time_model_.gears().top_index(),
+               "Simulation: gear out of range");
+  if (gear == state.gear) return;
+
+  const Time now = engine_.now();
+  const Time elapsed = now - state.segment_start;
+  const double old_coefficient =
+      time_model_.coefficient_with_beta(state.gear, job(id).beta);
+  const double progress_top = static_cast<double>(elapsed) / old_coefficient;
+
+  // Close the old gear segment in the energy ledger.
+  JobOutcome& record = outcome(id);
+  meter_.add_execution(record.size, state.gear, elapsed);
+  state.remaining_run_top =
+      std::max(0.0, state.remaining_run_top - progress_top);
+  state.remaining_req_top =
+      std::max(0.0, state.remaining_req_top - progress_top);
+  state.gear = gear;
+  state.segment_start = now;
+  record.final_gear = gear;
+  record.boosted = true;
+
+  // Re-time completion and the machine's expected end at the new gear.
+  const double new_coefficient =
+      time_model_.coefficient_with_beta(gear, job(id).beta);
+  const Time run_left = static_cast<Time>(
+      std::llround(state.remaining_run_top * new_coefficient));
+  const Time req_left = std::max(
+      run_left, static_cast<Time>(
+                    std::llround(state.remaining_req_top * new_coefficient)));
+  state.pending_end = now + run_left;
+  machine_.update_expected_end(id, state.cpus, now + req_left);
+  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+}
+
+void Simulation::finish_job(JobId id) {
+  Running& state = running(id);
+  JobOutcome& record = outcome(id);
+  record.end = engine_.now();
+  record.scaled_runtime = record.end - record.start;
+  meter_.add_execution(record.size, state.gear,
+                       engine_.now() - state.segment_start);
+  machine_.release(id, state.cpus);
+  running_.erase(id);
+}
+
+SimulationResult Simulation::run() {
+  BSLD_REQUIRE(!ran_, "Simulation: run() is single-shot");
+  ran_ = true;
+
+  for (const wl::Job& trace : workload_.jobs) {
+    engine_.schedule(Event{trace.submit, EventKind::kJobSubmit, 0, trace.id});
+  }
+
+  while (auto event = engine_.pop()) {
+    switch (event->kind) {
+      case EventKind::kJobSubmit:
+        policy_.on_submit(*this, event->job);
+        break;
+      case EventKind::kJobEnd: {
+        // A boost re-schedules the completion; the superseded event stays
+        // in the heap and is skipped here by timestamp mismatch.
+        const auto it = running_.find(event->job);
+        if (it == running_.end() || it->second.pending_end != event->time) {
+          break;
+        }
+        finish_job(event->job);
+        policy_.on_job_end(*this, event->job);
+        break;
+      }
+    }
+  }
+
+  BSLD_REQUIRE(policy_.queue_size() == 0,
+               "Simulation: drained event queue but jobs are still waiting");
+  BSLD_REQUIRE(running_.empty(),
+               "Simulation: drained event queue but jobs are still running");
+
+  SimulationResult result;
+  result.workload = workload_.name;
+  result.policy = policy_.name();
+  result.cpus = machine_.cpu_count();
+  result.jobs_per_gear.assign(power_model_.gears().size(), 0);
+  const GearIndex top = power_model_.gears().top_index();
+
+  Time first_submit = workload_.jobs.front().submit;
+  Time last_end = 0;
+  double bsld_sum = 0.0;
+  double wait_sum = 0.0;
+  for (JobOutcome& record : outcomes_) {
+    BSLD_REQUIRE(record.start != kNoTime && record.end != kNoTime,
+                 "Simulation: job never ran");
+    record.bsld = core::penalized_bsld(record.wait(), record.scaled_runtime,
+                                       record.run_time_top, config_.bsld_floor);
+    bsld_sum += record.bsld;
+    wait_sum += static_cast<double>(record.wait());
+    ++result.jobs_per_gear[static_cast<std::size_t>(record.gear)];
+    if (record.gear != top) ++result.reduced_jobs;
+    if (record.boosted) ++result.boosted_jobs;
+    last_end = std::max(last_end, record.end);
+  }
+  const auto n = static_cast<double>(outcomes_.size());
+  result.avg_bsld = bsld_sum / n;
+  result.avg_wait = wait_sum / n;
+  result.makespan = last_end;
+
+  const Time horizon = std::max<Time>(last_end - first_submit, 1);
+  result.energy = meter_.report(machine_.cpu_count(), horizon);
+  result.utilization =
+      result.energy.busy_core_seconds /
+      (static_cast<double>(machine_.cpu_count()) * static_cast<double>(horizon));
+  result.events_processed = engine_.processed();
+  result.jobs = std::move(outcomes_);
+  return result;
+}
+
+SimulationResult run_simulation(const wl::Workload& workload,
+                                core::SchedulingPolicy& policy,
+                                const power::PowerModel& power_model,
+                                const power::BetaTimeModel& time_model,
+                                SimulationConfig config) {
+  Simulation simulation(workload, policy, power_model, time_model, config);
+  return simulation.run();
+}
+
+}  // namespace bsld::sim

@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  BSLD_REQUIRE(!flags_.contains(name), "Cli: duplicate flag --" + name);
+  flags_.emplace(name, Flag{default_value, help, std::nullopt});
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.erase(eq);
+    }
+    auto it = flags_.find(name);
+    BSLD_REQUIRE(it != flags_.end(),
+                 "Cli: unknown flag --" + name + "\n" + help_text());
+    if (!value) {
+      // `--key value` when the next token is not a flag; bare `--key`
+      // otherwise (boolean form).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  BSLD_REQUIRE(it != flags_.end(), "Cli: flag --" + name + " not registered");
+  return it->second.value.value_or(it->second.default_value);
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    throw Error("Cli: --" + name + " expects a number, got `" + value + "`");
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    throw Error("Cli: --" + name + " expects an integer, got `" + value + "`");
+  }
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string value = get(name);
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw Error("Cli: --" + name + " expects a boolean, got `" + value + "`");
+}
+
+std::string Cli::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bsld::util

@@ -1,0 +1,56 @@
+/// \file cli.hpp
+/// \brief Tiny command-line flag parser shared by examples and benches.
+///
+/// Accepts `--key=value`, `--key value` and boolean `--key` forms. Unknown
+/// flags raise an error listing the registered flags, so every binary is
+/// self-documenting via `--help`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsld::util {
+
+/// Declarative flag registry + parser.
+class Cli {
+ public:
+  /// `program` and `summary` feed the --help text.
+  Cli(std::string program, std::string summary);
+
+  /// Registers a flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false when --help was requested (help text is
+  /// written to stdout). Throws bsld::Error on unknown flags or missing
+  /// values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bsld::util

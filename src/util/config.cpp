@@ -1,0 +1,161 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto begin = s.begin();
+  auto end = s.end();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin))) {
+    ++begin;
+  }
+  while (end != begin && std::isspace(static_cast<unsigned char>(*(end - 1)))) {
+    --end;
+  }
+  return std::string(begin, end);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    BSLD_REQUIRE(eq != std::string::npos,
+                 "Config: line " + std::to_string(line_no) +
+                     " is not `key = value`: " + trimmed);
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    BSLD_REQUIRE(!key.empty(),
+                 "Config: empty key on line " + std::to_string(line_no));
+    BSLD_REQUIRE(!config.values_.contains(key),
+                 "Config: duplicate key `" + key + "` on line " +
+                     std::to_string(line_no));
+    config.values_.emplace(key, value);
+  }
+  return config;
+}
+
+Config Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  BSLD_REQUIRE(in.good(), "Config: cannot open file `" + path + "`");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*value, &pos);
+    BSLD_REQUIRE(pos == value->size(), "trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("Config: key `" + key + "` is not a double: " + *value);
+  }
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*value, &pos);
+    BSLD_REQUIRE(pos == value->size(), "trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("Config: key `" + key + "` is not an integer: " + *value);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const std::string v = lower(trim(*value));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("Config: key `" + key + "` is not a boolean: " + *value);
+}
+
+std::vector<double> Config::get_double_list(
+    const std::string& key, const std::vector<double>& fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::vector<double> out;
+  std::istringstream in(*value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string trimmed = trim(item);
+    if (trimmed.empty()) continue;
+    try {
+      std::size_t pos = 0;
+      out.push_back(std::stod(trimmed, &pos));
+      BSLD_REQUIRE(pos == trimmed.size(), "trailing characters");
+    } catch (const std::exception&) {
+      throw Error("Config: key `" + key + "` has a non-numeric item: " + item);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, _] : values_) out.push_back(key);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : values_) {
+    os << key << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bsld::util

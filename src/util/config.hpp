@@ -1,0 +1,61 @@
+/// \file config.hpp
+/// \brief Key/value configuration store mirroring Alvio-style platform
+/// configuration files ("All the parameters are platform dependent and
+/// adjustable in configuration files", paper §4).
+///
+/// File format: one `key = value` per line; `#` starts a comment; blank
+/// lines ignored. Keys are dot-separated identifiers (e.g. `power.beta`).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsld::util {
+
+/// Typed access over a string key/value map with defaults and validation.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses configuration text. Throws bsld::Error on malformed lines or
+  /// duplicate keys.
+  static Config parse(const std::string& text);
+
+  /// Reads and parses a configuration file. Throws bsld::Error when the
+  /// file cannot be opened.
+  static Config load_file(const std::string& path);
+
+  /// Sets or replaces a value.
+  void set(const std::string& key, std::string value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent and throwing
+  /// bsld::Error when present but unparseable.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parses a comma-separated list of doubles, e.g. "0.8, 1.1, 1.4".
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key, const std::vector<double>& fallback) const;
+
+  /// All keys in sorted order (for diagnostics and round-trip tests).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Serializes to the same `key = value` format parse() accepts.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bsld::util

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace bsld::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << message << " [requirement `" << expr << "` failed at " << file << ":"
+     << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace bsld::detail

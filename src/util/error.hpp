@@ -1,0 +1,32 @@
+/// \file error.hpp
+/// \brief Error reporting helpers: a project exception type and checked
+/// preconditions that remain active in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bsld {
+
+/// Exception thrown for invalid configuration, malformed input files, and
+/// violated API preconditions. Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Precondition/invariant check that stays enabled in release builds.
+/// Violations throw bsld::Error with the failing expression and location.
+#define BSLD_REQUIRE(expr, message)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::bsld::detail::throw_error(#expr, __FILE__, __LINE__, (message));  \
+    }                                                                     \
+  } while (false)
+
+}  // namespace bsld

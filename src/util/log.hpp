@@ -1,0 +1,46 @@
+/// \file log.hpp
+/// \brief Leveled diagnostic logging to stderr. Off (kWarn) by default so
+/// bench output stays clean; tests and debugging can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bsld::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` at `level` if enabled. Thread-safe (single write call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Builds a message with streaming syntax then emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace bsld::util
+
+#define BSLD_LOG_DEBUG() ::bsld::util::detail::LogLine(::bsld::util::LogLevel::kDebug)
+#define BSLD_LOG_INFO() ::bsld::util::detail::LogLine(::bsld::util::LogLevel::kInfo)
+#define BSLD_LOG_WARN() ::bsld::util::detail::LogLine(::bsld::util::LogLevel::kWarn)
+#define BSLD_LOG_ERROR() ::bsld::util::detail::LogLine(::bsld::util::LogLevel::kError)

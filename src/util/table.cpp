@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {
+  BSLD_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  BSLD_REQUIRE(column < aligns_.size(), "Table: column out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  BSLD_REQUIRE(cells.size() == headers_.size(),
+               "Table: row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                       std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << " | ";
+    emit_cell(os, headers_[c], c);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << " | ";
+      emit_cell(os, row[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace bsld::util

@@ -1,0 +1,54 @@
+/// \file table.hpp
+/// \brief ASCII table rendering for benchmark output.
+///
+/// Every bench binary reproduces one of the paper's tables or figures; the
+/// Table class renders those as aligned monospace tables so the harness
+/// output is directly comparable with the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsld::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Incremental builder for an aligned ASCII table.
+class Table {
+ public:
+  /// Creates a table with the given column headers (left-aligned by default).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets the alignment of one column. Throws on out-of-range index.
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row; throws bsld::Error when the cell count mismatches.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   name   | value
+  ///   -------+------
+  ///   CTC    |  4.66
+  [[nodiscard]] std::string to_string() const;
+
+  /// Streams `to_string()`.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2 decimal places).
+std::string fmt_double(double value, int precision = 2);
+
+/// Formats a fraction (0.173 -> "17.3%").
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace bsld::util

@@ -1,0 +1,37 @@
+/// \file types.hpp
+/// \brief Fundamental vocabulary types shared by every bsldsched layer.
+///
+/// Simulation time is an integral number of seconds, matching the Standard
+/// Workload Format (SWF) convention used by the Parallel Workload Archive.
+/// Keeping time integral makes event ordering exactly reproducible across
+/// platforms; durations derived from the beta time model are rounded to whole
+/// seconds at the model boundary (see power/time_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bsld {
+
+/// Simulation time in whole seconds since the start of the trace.
+using Time = std::int64_t;
+
+/// Identifier of a job within a trace (1-based, as in SWF logs).
+using JobId = std::int64_t;
+
+/// Index of a processor within the simulated machine (0-based).
+using CpuId = std::int32_t;
+
+/// Index into the machine's DVFS gear set (0 = lowest frequency).
+using GearIndex = std::int32_t;
+
+/// Sentinel for "no time"/"unknown time" fields.
+inline constexpr Time kNoTime = -1;
+
+/// Sentinel for "no job".
+inline constexpr JobId kNoJob = -1;
+
+/// Largest representable time; used as +infinity in availability profiles.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+}  // namespace bsld

@@ -1,0 +1,229 @@
+#include "workload/archives.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bsld::wl {
+
+namespace {
+
+/// ln() helper so runtime class parameters read in seconds.
+double ln_s(double seconds) { return std::log(seconds); }
+
+WorkloadSpec ctc_spec() {
+  WorkloadSpec spec;
+  spec.name = "CTC";
+  spec.cpus = 430;
+  // "many large jobs but with relatively low degree of parallelism".
+  // Moderate sustained load with a deep daily cycle: congestion peaks give
+  // the 4.66 baseline BSLD while off-peak valleys drain the queue (the
+  // WQthreshold = 0 configuration only saves energy in such windows).
+  spec.arrival.load_target = 0.85;
+  spec.arrival.burst_probability = 0.50;
+  spec.arrival.burst_gap_mean = 4.0;
+  spec.arrival.daily_amplitude = 0.65;
+  spec.size.p_sequential = 0.40;
+  spec.size.log2_mean = 2.4;
+  spec.size.log2_sigma = 1.8;
+  spec.size.p_power_of_two = 0.45;
+  spec.size.max_size = 336;  // CTC batch partition cap
+  spec.runtime.classes = {
+      {0.45, ln_s(180), 1.3},    // short-job mass drives avg BSLD
+      {0.30, ln_s(3600), 1.0},   // medium
+      {0.25, ln_s(30000), 0.6},  // long ("many large jobs" carry core-hours)
+  };
+  spec.runtime.max_runtime = 18 * 3600;
+  spec.estimate.factor_mu = 1.4;
+  spec.estimate.factor_sigma = 1.0;
+  spec.estimate.max_requested = 18 * 3600;
+  return spec;
+}
+
+WorkloadSpec sdsc_spec() {
+  WorkloadSpec spec;
+  spec.name = "SDSC";
+  spec.cpus = 128;
+  // The saturated trace: baseline avg BSLD ~ 25. "less sequential jobs than
+  // CTC while run time distribution is very similar". Sustained overload
+  // with a shallow daily cycle: the queue never drains, so almost no job
+  // sees the near-zero predicted BSLD that would allow a reduced gear —
+  // reproducing the paper's "no energy decrease for SDSC".
+  spec.arrival.load_target = 1.06;
+  spec.arrival.burst_probability = 0.25;
+  spec.arrival.daily_amplitude = 0.15;
+  spec.size.p_sequential = 0.15;
+  spec.size.log2_mean = 3.0;
+  spec.size.log2_sigma = 1.5;
+  spec.size.p_power_of_two = 0.55;
+  spec.size.max_size = 128;
+  spec.runtime.classes = {
+      {0.30, ln_s(240), 1.2},
+      {0.40, ln_s(3600), 1.0},
+      {0.30, ln_s(25000), 0.7},
+  };
+  spec.runtime.max_runtime = 18 * 3600;
+  spec.estimate.max_requested = 18 * 3600;
+  return spec;
+}
+
+WorkloadSpec sdsc_blue_spec() {
+  WorkloadSpec spec;
+  spec.name = "SDSCBlue";
+  spec.cpus = 1152;
+  // "there are no sequential jobs, to each jobs is assigned at least 8
+  // processors" — Blue Horizon allocated in 8-way node units. Bursty with a
+  // deep daily cycle, like CTC.
+  spec.arrival.load_target = 0.74;
+  spec.arrival.burst_probability = 0.45;
+  spec.arrival.burst_gap_mean = 4.0;
+  spec.arrival.daily_amplitude = 0.70;
+  spec.size.p_sequential = 0.0;
+  spec.size.min_size = 8;
+  spec.size.log2_mean = 5.2;
+  spec.size.log2_sigma = 1.6;
+  spec.size.p_power_of_two = 0.80;
+  spec.size.max_size = 1152;
+  spec.runtime.classes = {
+      {0.40, ln_s(400), 1.2},
+      {0.35, ln_s(5000), 0.9},
+      {0.25, ln_s(25000), 0.6},
+  };
+  spec.estimate.factor_mu = 1.4;
+  spec.estimate.factor_sigma = 1.0;
+  spec.runtime.max_runtime = 36 * 3600;
+  spec.estimate.max_requested = 36 * 3600;
+  return spec;
+}
+
+WorkloadSpec llnl_thunder_spec() {
+  WorkloadSpec spec;
+  spec.name = "LLNLThunder";
+  spec.cpus = 4008;
+  // "devoted to running large numbers of smaller to medium jobs"; baseline
+  // avg BSLD is exactly 1 — most jobs are shorter than the 600 s BSLD floor
+  // and waits are negligible at this load.
+  // Load sits where the no-DVFS system stays queue-free (BSLD = 1) but the
+  // ~1.9x dilation of unconstrained DVFS would congest it — the feedback
+  // that makes the WQthreshold gate bite on this trace (paper Fig. 4).
+  spec.arrival.load_target = 0.75;
+  spec.arrival.burst_probability = 0.35;
+  spec.arrival.burst_gap_mean = 10.0;
+  spec.arrival.daily_amplitude = 0.50;
+  spec.size.p_sequential = 0.20;
+  spec.size.log2_mean = 3.5;
+  spec.size.log2_sigma = 2.0;   // wide: job-count mass is small, core-hours
+  spec.size.p_power_of_two = 0.50;  // are carried by the large tail
+  spec.size.max_size = 4008;
+  spec.runtime.classes = {
+      {0.70, ln_s(90), 1.0},    // the short-job mass (BSLD floor keeps avg=1)
+      {0.20, ln_s(1800), 0.9},
+      {0.10, ln_s(20000), 0.7}, // long tail carrying utilization
+  };
+  spec.runtime.max_runtime = 24 * 3600;
+  spec.estimate.max_requested = 24 * 3600;
+  return spec;
+}
+
+WorkloadSpec llnl_atlas_spec() {
+  WorkloadSpec spec;
+  spec.name = "LLNLAtlas";
+  spec.cpus = 9216;
+  // "Atlas cluster is used for running large parallel jobs."
+  spec.arrival.load_target = 0.60;
+  spec.arrival.burst_probability = 0.25;
+  spec.arrival.daily_amplitude = 0.60;
+  spec.size.p_sequential = 0.05;
+  spec.size.log2_mean = 7.0;
+  spec.size.log2_sigma = 1.6;
+  spec.size.p_power_of_two = 0.70;
+  spec.size.max_size = 9216;
+  spec.runtime.classes = {
+      {0.30, ln_s(300), 1.0},
+      {0.45, ln_s(3600), 0.9},
+      {0.25, ln_s(15000), 0.7},
+  };
+  spec.runtime.max_runtime = 24 * 3600;
+  spec.estimate.max_requested = 24 * 3600;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<Archive>& all_archives() {
+  static const std::vector<Archive> archives = {
+      Archive::kCTC, Archive::kSDSC, Archive::kSDSCBlue,
+      Archive::kLLNLThunder, Archive::kLLNLAtlas};
+  return archives;
+}
+
+std::string archive_name(Archive archive) {
+  switch (archive) {
+    case Archive::kCTC: return "CTC";
+    case Archive::kSDSC: return "SDSC";
+    case Archive::kSDSCBlue: return "SDSCBlue";
+    case Archive::kLLNLThunder: return "LLNLThunder";
+    case Archive::kLLNLAtlas: return "LLNLAtlas";
+  }
+  throw Error("archive_name(): unknown archive");
+}
+
+Archive archive_from_name(const std::string& name) {
+  for (Archive archive : all_archives()) {
+    if (archive_name(archive) == name) return archive;
+  }
+  throw Error("archive_from_name(): unknown archive `" + name + "`");
+}
+
+double paper_avg_bsld(Archive archive) {
+  switch (archive) {
+    case Archive::kCTC: return 4.66;
+    case Archive::kSDSC: return 24.91;
+    case Archive::kSDSCBlue: return 5.15;
+    case Archive::kLLNLThunder: return 1.0;
+    case Archive::kLLNLAtlas: return 1.08;
+  }
+  throw Error("paper_avg_bsld(): unknown archive");
+}
+
+std::int32_t paper_cpus(Archive archive) {
+  switch (archive) {
+    case Archive::kCTC: return 430;
+    case Archive::kSDSC: return 128;
+    case Archive::kSDSCBlue: return 1152;
+    case Archive::kLLNLThunder: return 4008;
+    case Archive::kLLNLAtlas: return 9216;
+  }
+  throw Error("paper_cpus(): unknown archive");
+}
+
+WorkloadSpec archive_spec(Archive archive, std::int32_t num_jobs) {
+  BSLD_REQUIRE(num_jobs > 0, "archive_spec(): num_jobs must be positive");
+  WorkloadSpec spec;
+  switch (archive) {
+    case Archive::kCTC: spec = ctc_spec(); break;
+    case Archive::kSDSC: spec = sdsc_spec(); break;
+    case Archive::kSDSCBlue: spec = sdsc_blue_spec(); break;
+    case Archive::kLLNLThunder: spec = llnl_thunder_spec(); break;
+    case Archive::kLLNLAtlas: spec = llnl_atlas_spec(); break;
+  }
+  spec.num_jobs = num_jobs;
+  return spec;
+}
+
+std::uint64_t archive_seed(Archive archive) {
+  switch (archive) {
+    case Archive::kCTC: return 0x00c7c001ULL;
+    case Archive::kSDSC: return 0x005d5c02ULL;
+    case Archive::kSDSCBlue: return 0x0b10e003ULL;
+    case Archive::kLLNLThunder: return 0x07d04de7ULL;
+    case Archive::kLLNLAtlas: return 0x0a71a505ULL;
+  }
+  throw Error("archive_seed(): unknown archive");
+}
+
+Workload make_archive_workload(Archive archive, std::int32_t num_jobs) {
+  return generate(archive_spec(archive, num_jobs), archive_seed(archive));
+}
+
+}  // namespace bsld::wl

@@ -1,0 +1,78 @@
+#include "workload/cleaner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace bsld::wl {
+
+CleanReport clean(Workload& workload, const CleanOptions& options) {
+  CleanReport report;
+  std::vector<Job> kept;
+  kept.reserve(workload.jobs.size());
+
+  // Sliding submission window per user for flurry detection.
+  std::map<std::int32_t, std::deque<Time>> user_windows;
+
+  for (Job job : workload.jobs) {
+    if (job.size <= 0 || job.run_time < 0 || job.submit < 0) {
+      ++report.dropped_invalid;
+      continue;
+    }
+    if (options.drop_zero_runtime && job.run_time == 0) {
+      ++report.dropped_invalid;
+      continue;
+    }
+    if (options.machine_cpus > 0 && job.size > options.machine_cpus) {
+      job.size = options.machine_cpus;
+      ++report.clamped_size;
+    }
+    if (job.requested_time <= 0) job.requested_time = std::max<Time>(job.run_time, 1);
+    if (options.clamp_runtime_to_requested &&
+        job.run_time > job.requested_time) {
+      job.requested_time = job.run_time;
+      ++report.clamped_runtime;
+    }
+
+    if (options.flurry_max_jobs > 0) {
+      auto& window = user_windows[job.user_id];
+      while (!window.empty() &&
+             job.submit - window.front() > options.flurry_window) {
+        window.pop_front();
+      }
+      if (static_cast<std::int64_t>(window.size()) >=
+          options.flurry_max_jobs) {
+        ++report.dropped_flurry;
+        continue;
+      }
+      window.push_back(job.submit);
+    }
+
+    kept.push_back(job);
+  }
+
+  report.kept = kept.size();
+  workload.jobs = std::move(kept);
+  return report;
+}
+
+Workload slice(const Workload& workload, std::size_t first_index,
+               std::size_t count) {
+  BSLD_REQUIRE(first_index + count <= workload.jobs.size(),
+               "slice(): range exceeds workload size");
+  Workload out;
+  out.name = workload.name;
+  out.cpus = workload.cpus;
+  out.jobs.assign(workload.jobs.begin() + static_cast<std::ptrdiff_t>(first_index),
+                  workload.jobs.begin() +
+                      static_cast<std::ptrdiff_t>(first_index + count));
+  if (!out.jobs.empty()) {
+    const Time base = out.jobs.front().submit;
+    for (Job& job : out.jobs) job.submit -= base;
+  }
+  return out;
+}
+
+}  // namespace bsld::wl

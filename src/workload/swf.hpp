@@ -1,0 +1,55 @@
+/// \file swf.hpp
+/// \brief Standard Workload Format (SWF) reader/writer.
+///
+/// SWF is the trace format of the Parallel Workload Archive the paper takes
+/// its five logs from. Each data line has 18 whitespace-separated fields;
+/// lines starting with `;` are header comments, some of which are `Key:
+/// value` directives (MaxProcs, UnixStartTime, ...). Missing values are -1.
+///
+/// The reproduction runs on synthetic traces (see archives.hpp), but this
+/// module makes real archive logs first-class inputs: any downloaded
+/// `*.swf` can be replayed through the identical pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace bsld::wl {
+
+/// Result of parsing an SWF stream: jobs plus header directives.
+struct SwfTrace {
+  std::vector<Job> jobs;
+  /// Header directives such as {"MaxProcs", "430"}; keys as written.
+  std::map<std::string, std::string> header;
+  /// Number of data lines skipped because mandatory fields were invalid.
+  std::size_t skipped_lines = 0;
+
+  /// MaxProcs directive as an integer, or `fallback` when absent/invalid.
+  [[nodiscard]] std::int32_t max_procs(std::int32_t fallback) const;
+};
+
+/// Parses SWF text. Tolerates missing optional fields (-1): processor count
+/// falls back from allocated to requested processors, requested time falls
+/// back to the actual runtime. Lines whose mandatory fields (job id, submit,
+/// runtime, size) are unusable are counted in `skipped_lines`, not errors.
+/// Throws bsld::Error only on structurally broken lines (< 18 fields).
+SwfTrace parse_swf(std::istream& in);
+
+/// Convenience overload over a string.
+SwfTrace parse_swf_text(const std::string& text);
+
+/// Reads and parses a file. Throws bsld::Error when it cannot be opened.
+SwfTrace load_swf_file(const std::string& path);
+
+/// Writes a workload as SWF (18 fields; unknown fields emitted as -1),
+/// including a small header with MaxProcs and the workload name.
+void write_swf(std::ostream& out, const Workload& workload);
+
+/// Writes to a file. Throws bsld::Error when the file cannot be created.
+void save_swf_file(const std::string& path, const Workload& workload);
+
+}  // namespace bsld::wl

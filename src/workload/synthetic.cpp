@@ -1,0 +1,167 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace bsld::wl {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Relative arrival rate at absolute time t (daily cycle).
+double daily_rate(double t, const ArrivalModel& arrival) {
+  const double phase =
+      2.0 * std::numbers::pi * (t / kSecondsPerDay - arrival.peak_hour / 24.0);
+  return 1.0 + arrival.daily_amplitude * std::cos(phase);
+}
+
+std::int32_t sample_size(const SizeModel& model, std::int32_t cpus,
+                         util::Rng& rng) {
+  const std::int32_t cap = std::min(model.max_size, cpus);
+  if (model.p_sequential > 0.0 && rng.bernoulli(model.p_sequential)) return 1;
+  const double log2_size = rng.normal(model.log2_mean, model.log2_sigma);
+  double size = std::exp2(std::clamp(log2_size, 0.0, 30.0));
+  if (rng.bernoulli(model.p_power_of_two)) {
+    size = std::exp2(std::round(std::clamp(log2_size, 0.0, 30.0)));
+  }
+  auto result = static_cast<std::int32_t>(std::lround(size));
+  result = std::clamp(result, std::max<std::int32_t>(model.min_size, 1), cap);
+  return result;
+}
+
+Time sample_runtime(const RuntimeModel& model, util::Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(model.classes.size());
+  for (const auto& cls : model.classes) weights.push_back(cls.weight);
+  const auto& cls = model.classes[rng.discrete(weights)];
+  const double runtime = rng.lognormal(cls.mu, cls.sigma);
+  const auto rounded = static_cast<Time>(std::llround(runtime));
+  return std::clamp<Time>(rounded, model.min_runtime, model.max_runtime);
+}
+
+Time sample_requested(const EstimateModel& model, Time run_time,
+                      util::Rng& rng) {
+  Time requested;
+  if (rng.bernoulli(model.p_exact)) {
+    requested = run_time;
+  } else {
+    const double factor =
+        std::max(1.0, rng.lognormal(model.factor_mu, model.factor_sigma));
+    requested = static_cast<Time>(std::llround(
+        static_cast<double>(run_time) * factor));
+  }
+  if (model.round_to_nice) requested = round_to_nice_request(requested);
+  requested = std::min(requested, model.max_requested);
+  return std::max(requested, run_time);  // estimates are upper bounds
+}
+
+}  // namespace
+
+Time round_to_nice_request(Time seconds) {
+  if (seconds <= 0) return 1;
+  auto round_up = [](Time value, Time quantum) {
+    return ((value + quantum - 1) / quantum) * quantum;
+  };
+  if (seconds <= 2 * 3600) return round_up(seconds, 300);
+  if (seconds <= 6 * 3600) return round_up(seconds, 1800);
+  return round_up(seconds, 3600);
+}
+
+Workload generate(const WorkloadSpec& spec, std::uint64_t seed) {
+  BSLD_REQUIRE(spec.cpus > 0, "generate(): cpus must be positive");
+  BSLD_REQUIRE(spec.num_jobs > 0, "generate(): num_jobs must be positive");
+  BSLD_REQUIRE(spec.arrival.load_target > 0.0,
+               "generate(): load_target must be positive");
+  BSLD_REQUIRE(!spec.runtime.classes.empty(),
+               "generate(): runtime mixture needs at least one class");
+  BSLD_REQUIRE(spec.arrival.daily_amplitude >= 0.0 &&
+                   spec.arrival.daily_amplitude < 1.0,
+               "generate(): daily_amplitude must be in [0, 1)");
+
+  util::Rng root(seed ^ util::hash_label(spec.name));
+  util::Rng size_rng = root.split("size");
+  util::Rng runtime_rng = root.split("runtime");
+  util::Rng estimate_rng = root.split("estimate");
+  util::Rng arrival_rng = root.split("arrival");
+  util::Rng user_rng = root.split("user");
+
+  const auto n = static_cast<std::size_t>(spec.num_jobs);
+
+  // Draw the work content first so the arrival process can be scaled to the
+  // target offered load.
+  std::vector<std::int32_t> sizes(n);
+  std::vector<Time> runtimes(n);
+  std::vector<Time> requested(n);
+  double total_core_seconds = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes[i] = sample_size(spec.size, spec.cpus, size_rng);
+    runtimes[i] = sample_runtime(spec.runtime, runtime_rng);
+    requested[i] = sample_requested(spec.estimate, runtimes[i], estimate_rng);
+    total_core_seconds +=
+        static_cast<double>(sizes[i]) * static_cast<double>(runtimes[i]);
+  }
+
+  // Trace span implied by the load target, and the resulting mean gap.
+  const double span =
+      total_core_seconds /
+      (static_cast<double>(spec.cpus) * spec.arrival.load_target);
+  const double mean_gap = span / static_cast<double>(n);
+
+  std::vector<Time> submits(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    submits[i] = static_cast<Time>(std::llround(t));
+    double gap;
+    if (arrival_rng.bernoulli(spec.arrival.burst_probability)) {
+      gap = arrival_rng.exponential(spec.arrival.burst_gap_mean);
+    } else {
+      // Thin the base rate by the daily cycle at the current time. The
+      // burst jobs contribute little to the span, so re-scale the base gap
+      // to keep the overall mean near `mean_gap`.
+      const double base =
+          (mean_gap - spec.arrival.burst_probability *
+                          spec.arrival.burst_gap_mean) /
+          std::max(1e-9, 1.0 - spec.arrival.burst_probability);
+      gap = arrival_rng.exponential(std::max(1.0, base)) /
+            daily_rate(t, spec.arrival);
+    }
+    t += gap;
+  }
+
+  // A small population of users, Zipf-ish activity (only used by the flurry
+  // cleaner and for realism of per-user patterns).
+  constexpr std::int32_t kUsers = 64;
+  std::vector<double> user_weights(kUsers);
+  for (std::int32_t u = 0; u < kUsers; ++u) {
+    user_weights[static_cast<std::size_t>(u)] = 1.0 / static_cast<double>(u + 1);
+  }
+
+  Workload workload;
+  workload.name = spec.name;
+  workload.cpus = spec.cpus;
+  workload.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i + 1);
+    job.submit = submits[i];
+    job.size = sizes[i];
+    job.run_time = runtimes[i];
+    job.requested_time = requested[i];
+    job.user_id = static_cast<std::int32_t>(user_rng.discrete(user_weights));
+    workload.jobs.push_back(job);
+  }
+  // Submits are already non-decreasing by construction; keep the invariant
+  // explicit for downstream consumers.
+  std::stable_sort(workload.jobs.begin(), workload.jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return std::tie(a.submit, a.id) < std::tie(b.submit, b.id);
+                   });
+  return workload;
+}
+
+}  // namespace bsld::wl

@@ -1,0 +1,105 @@
+/// \file synthetic.hpp
+/// \brief Statistical workload generator.
+///
+/// Substitute for the Parallel Workload Archive logs (see DESIGN.md §3):
+/// the archive is online-only, so each of the paper's five traces is
+/// replaced by a generator profile matched on the moments that drive every
+/// result in the paper — offered load, job-size mix, runtime mix, and the
+/// user's requested-time overestimation. The model family follows the
+/// classic workload-modelling literature (Lublin/Feitelson-style):
+///
+///  * arrivals: exponential gaps modulated by a daily cycle, plus a
+///    burst component (a fraction of jobs arrives in back-to-back clumps);
+///  * sizes: a sequential-job fraction and a log2-normal parallel part with
+///    optional power-of-two snapping and a minimum-size floor (SDSC-Blue
+///    allocates at least 8 CPUs per job);
+///  * runtimes: a mixture of lognormal classes (short/medium/long);
+///  * estimates: requested time = runtime x lognormal overestimation
+///    factor, rounded up to "nice" values, capped by a site limit —
+///    mirroring the Mu'alem/Feitelson observations EASY backfilling relies
+///    on.
+///
+/// Generation is fully deterministic given (spec, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace bsld::wl {
+
+/// Arrival process parameters.
+struct ArrivalModel {
+  /// Target offered load: total core-seconds / (cpus * trace span). The
+  /// central calibration knob per archive profile.
+  double load_target = 0.7;
+  /// Fraction of jobs arriving as part of a burst (tiny gap to predecessor).
+  double burst_probability = 0.25;
+  /// Mean gap inside a burst, seconds.
+  double burst_gap_mean = 15.0;
+  /// Relative amplitude of the daily arrival-rate cycle in [0, 1).
+  double daily_amplitude = 0.5;
+  /// Hour of day (0-24) at which the arrival rate peaks.
+  double peak_hour = 14.0;
+};
+
+/// Job-size distribution parameters.
+struct SizeModel {
+  double p_sequential = 0.3;      ///< Fraction of 1-CPU jobs.
+  std::int32_t min_size = 1;      ///< Floor for parallel jobs (Blue: 8).
+  std::int32_t max_size = 1 << 30;///< Cap (clamped to machine later).
+  double log2_mean = 3.0;         ///< Mean of log2(size) for parallel jobs.
+  double log2_sigma = 1.5;        ///< Stddev of log2(size).
+  double p_power_of_two = 0.6;    ///< Probability of snapping to 2^k.
+};
+
+/// One lognormal runtime class of the mixture.
+struct RuntimeClass {
+  double weight = 1.0;  ///< Mixture weight (normalized internally).
+  double mu = 6.0;      ///< Mean of ln(runtime seconds).
+  double sigma = 1.0;   ///< Stddev of ln(runtime seconds).
+};
+
+/// Runtime mixture parameters.
+struct RuntimeModel {
+  /// Defaults to one medium class (mu=6 ~ 400 s, sigma=1).
+  std::vector<RuntimeClass> classes = std::vector<RuntimeClass>(1);
+  Time min_runtime = 1;
+  Time max_runtime = 36 * 3600;
+};
+
+/// Requested-time (user estimate) model.
+struct EstimateModel {
+  double p_exact = 0.10;        ///< Estimate equals runtime (rounded up).
+  double factor_mu = 1.0;       ///< ln of the overestimation factor: mean.
+  double factor_sigma = 0.9;    ///< ln of the overestimation factor: stddev.
+  bool round_to_nice = true;    ///< Round estimates up to human-ish values.
+  Time max_requested = 36 * 3600;  ///< Site limit on estimates.
+};
+
+/// Complete generator profile.
+struct WorkloadSpec {
+  std::string name = "synthetic";
+  std::int32_t cpus = 128;
+  std::int32_t num_jobs = 5000;
+  ArrivalModel arrival;
+  SizeModel size;
+  RuntimeModel runtime;
+  EstimateModel estimate;
+};
+
+/// Generates a workload from `spec` with deterministic randomness derived
+/// from `seed`. Jobs are sorted by submit time, ids 1..num_jobs, and always
+/// satisfy: 1 <= size <= cpus, run_time >= 1, requested_time >= run_time.
+/// Throws bsld::Error on invalid specs.
+Workload generate(const WorkloadSpec& spec, std::uint64_t seed);
+
+/// Rounds a requested time up to a "nice" human value: multiples of 5 min
+/// below 2 h, of 30 min below 6 h, of 1 h above. Exposed for tests.
+Time round_to_nice_request(Time seconds);
+
+}  // namespace bsld::wl

@@ -1,0 +1,63 @@
+#include "workload/workload_stats.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace bsld::wl {
+
+WorkloadStats compute_stats(const Workload& workload) {
+  BSLD_REQUIRE(!workload.jobs.empty(), "compute_stats(): empty workload");
+  BSLD_REQUIRE(workload.cpus > 0, "compute_stats(): workload has no cpus");
+
+  WorkloadStats stats;
+  stats.jobs = workload.jobs.size();
+  double size_sum = 0.0;
+  double run_sum = 0.0;
+  double req_sum = 0.0;
+  double over_sum = 0.0;
+  std::size_t sequential = 0;
+  std::size_t shorter_than_th = 0;
+  for (const Job& job : workload.jobs) {
+    size_sum += job.size;
+    run_sum += static_cast<double>(job.run_time);
+    req_sum += static_cast<double>(job.requested_time);
+    if (job.run_time > 0) {
+      over_sum += static_cast<double>(job.requested_time) /
+                  static_cast<double>(job.run_time);
+    }
+    if (job.size == 1) ++sequential;
+    if (job.run_time < 600) ++shorter_than_th;
+    stats.total_core_seconds +=
+        static_cast<double>(job.size) * static_cast<double>(job.run_time);
+  }
+  const auto n = static_cast<double>(stats.jobs);
+  stats.mean_size = size_sum / n;
+  stats.mean_runtime = run_sum / n;
+  stats.mean_requested = req_sum / n;
+  stats.mean_overestimation = over_sum / n;
+  stats.sequential_fraction = static_cast<double>(sequential) / n;
+  stats.short_fraction = static_cast<double>(shorter_than_th) / n;
+  stats.span = workload.jobs.back().submit - workload.jobs.front().submit;
+  if (stats.span > 0) {
+    stats.offered_load = stats.total_core_seconds /
+                         (static_cast<double>(workload.cpus) *
+                          static_cast<double>(stats.span));
+  }
+  return stats;
+}
+
+std::string to_string(const WorkloadStats& stats) {
+  std::ostringstream os;
+  os << "jobs=" << stats.jobs
+     << " mean_size=" << util::fmt_double(stats.mean_size, 1)
+     << " mean_runtime=" << util::fmt_double(stats.mean_runtime, 0) << "s"
+     << " seq=" << util::fmt_percent(stats.sequential_fraction)
+     << " short(<600s)=" << util::fmt_percent(stats.short_fraction)
+     << " offered_load=" << util::fmt_double(stats.offered_load, 3)
+     << " overest=" << util::fmt_double(stats.mean_overestimation, 1) << "x";
+  return os.str();
+}
+
+}  // namespace bsld::wl

@@ -1,0 +1,39 @@
+/// \file workload_stats.hpp
+/// \brief Descriptive statistics of a workload trace, used by the Table 1
+/// bench and by calibration tests.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace bsld::wl {
+
+/// Summary moments of a trace.
+struct WorkloadStats {
+  std::size_t jobs = 0;
+  double mean_size = 0.0;
+  double mean_runtime = 0.0;
+  double mean_requested = 0.0;
+  /// Fraction of 1-CPU jobs.
+  double sequential_fraction = 0.0;
+  /// Fraction of jobs shorter than the BSLD threshold Th = 600 s.
+  double short_fraction = 0.0;
+  /// Sum over jobs of size * run_time (core-seconds at top frequency).
+  double total_core_seconds = 0.0;
+  /// Submit-time span: last submit - first submit, seconds.
+  Time span = 0;
+  /// total_core_seconds / (cpus * span): the offered load.
+  double offered_load = 0.0;
+  /// Mean of requested_time / run_time (user overestimation).
+  double mean_overestimation = 0.0;
+};
+
+/// Computes the summary; throws bsld::Error on an empty workload.
+WorkloadStats compute_stats(const Workload& workload);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const WorkloadStats& stats);
+
+}  // namespace bsld::wl

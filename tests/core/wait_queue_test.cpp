@@ -1,0 +1,62 @@
+#include "core/wait_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::core {
+namespace {
+
+TEST(WaitQueueTest, FcfsOrder) {
+  WaitQueue queue;
+  queue.push(3);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.head(), 3);
+  EXPECT_EQ(queue.pop_head(), 3);
+  EXPECT_EQ(queue.pop_head(), 1);
+  EXPECT_EQ(queue.pop_head(), 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(WaitQueueTest, RemoveMiddlePreservesOrder) {
+  WaitQueue queue;
+  for (JobId id = 1; id <= 4; ++id) queue.push(id);
+  queue.remove(2);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_FALSE(queue.contains(2));
+  std::vector<JobId> order(queue.begin(), queue.end());
+  EXPECT_EQ(order, (std::vector<JobId>{1, 3, 4}));
+}
+
+TEST(WaitQueueTest, DuplicatePushRejected) {
+  WaitQueue queue;
+  queue.push(1);
+  EXPECT_THROW(queue.push(1), Error);
+}
+
+TEST(WaitQueueTest, EmptyAccessRejected) {
+  WaitQueue queue;
+  EXPECT_THROW((void)queue.head(), Error);
+  EXPECT_THROW((void)queue.pop_head(), Error);
+  EXPECT_THROW(queue.remove(1), Error);
+}
+
+TEST(WaitQueueTest, ContainsAndSize) {
+  WaitQueue queue;
+  EXPECT_FALSE(queue.contains(5));
+  queue.push(5);
+  EXPECT_TRUE(queue.contains(5));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(WaitQueueTest, ReuseAfterRemoval) {
+  WaitQueue queue;
+  queue.push(1);
+  queue.remove(1);
+  queue.push(1);  // a job id may re-enter after leaving
+  EXPECT_EQ(queue.head(), 1);
+}
+
+}  // namespace
+}  // namespace bsld::core

@@ -1,0 +1,129 @@
+/// \file reproduction_test.cpp
+/// \brief Guard rails for the paper reproduction itself: miniature versions
+/// of the headline results that must keep holding as the code evolves.
+/// Uses shortened traces (1500 jobs) to stay fast; the bench binaries run
+/// the full 5000-job experiments.
+#include <gtest/gtest.h>
+
+#include "report/figures.hpp"
+
+namespace bsld::report {
+namespace {
+
+RunSpec dvfs_spec(wl::Archive archive, double threshold,
+                  std::optional<std::int64_t> wq, std::int32_t jobs = 1500) {
+  RunSpec spec;
+  spec.archive = archive;
+  spec.num_jobs = jobs;
+  core::DvfsConfig config;
+  config.bsld_threshold = threshold;
+  config.wq_threshold = wq;
+  spec.dvfs = config;
+  return spec;
+}
+
+RunSpec baseline_spec(wl::Archive archive, std::int32_t jobs = 1500) {
+  RunSpec spec;
+  spec.archive = archive;
+  spec.num_jobs = jobs;
+  return spec;
+}
+
+TEST(ReproductionTest, Table1BaselineOrdering) {
+  // The paper's baseline ordering: Thunder ~ 1 <= Atlas ~ 1.08 << CTC <
+  // Blue << SDSC ~ 25. The ordering is the load signature the rest of the
+  // evaluation depends on.
+  std::vector<RunSpec> specs;
+  for (const wl::Archive archive : wl::all_archives()) {
+    specs.push_back(baseline_spec(archive, 2500));
+  }
+  const auto results = run_all(specs);
+  const double ctc = results[0].sim.avg_bsld;
+  const double sdsc = results[1].sim.avg_bsld;
+  const double blue = results[2].sim.avg_bsld;
+  const double thunder = results[3].sim.avg_bsld;
+  const double atlas = results[4].sim.avg_bsld;
+
+  EXPECT_NEAR(thunder, 1.0, 0.1);
+  EXPECT_NEAR(atlas, 1.08, 0.25);
+  EXPECT_GT(ctc, atlas);
+  EXPECT_GT(blue, 1.5);
+  EXPECT_GT(sdsc, 10.0);
+  EXPECT_GT(sdsc, blue);
+  EXPECT_GT(sdsc, ctc);
+}
+
+TEST(ReproductionTest, Fig3SaturatedSdscCannotSave) {
+  // "Hence the proposed policy with used BSLDthreshold values can not lead
+  // to an energy decrease" — within a couple percent of 1.0 at bounded WQ.
+  const auto results =
+      run_all({dvfs_spec(wl::Archive::kSDSC, 2.0, 16),
+               baseline_spec(wl::Archive::kSDSC)});
+  const auto norm = normalized_energy(results[0].sim, results[1].sim);
+  EXPECT_GT(norm.computational, 0.97);
+}
+
+TEST(ReproductionTest, Fig3LightWorkloadsSaveEnergy) {
+  const auto results =
+      run_all({dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, std::nullopt),
+               baseline_spec(wl::Archive::kLLNLAtlas)});
+  const auto norm = normalized_energy(results[0].sim, results[1].sim);
+  EXPECT_LT(norm.computational, 0.85);  // strong savings on light load
+  EXPECT_LT(norm.total, 0.90);
+}
+
+TEST(ReproductionTest, Fig3RelaxingWqIncreasesSavings) {
+  const auto results = run_all({dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, 0),
+                                dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, 16),
+                                baseline_spec(wl::Archive::kLLNLAtlas)});
+  const auto wq0 = normalized_energy(results[0].sim, results[2].sim);
+  const auto wq16 = normalized_energy(results[1].sim, results[2].sim);
+  EXPECT_LE(wq16.computational, wq0.computational + 0.01);
+}
+
+TEST(ReproductionTest, Fig5DvfsCostsPerformance) {
+  const auto results =
+      run_all({dvfs_spec(wl::Archive::kSDSCBlue, 2.0, std::nullopt),
+               baseline_spec(wl::Archive::kSDSCBlue)});
+  EXPECT_GT(results[0].sim.avg_bsld, results[1].sim.avg_bsld);
+  EXPECT_GT(results[0].sim.avg_wait, results[1].sim.avg_wait);
+}
+
+TEST(ReproductionTest, Fig7ComputationalEnergyFallsWithSystemSize) {
+  RunSpec small = dvfs_spec(wl::Archive::kSDSCBlue, 2.0, 0);
+  RunSpec grown = small;
+  grown.size_scale = 1.5;
+  const auto results =
+      run_all({small, grown, baseline_spec(wl::Archive::kSDSCBlue)});
+  const auto at_1x = normalized_energy(results[0].sim, results[2].sim);
+  const auto at_15x = normalized_energy(results[1].sim, results[2].sim);
+  EXPECT_LT(at_15x.computational, at_1x.computational);
+}
+
+TEST(ReproductionTest, Fig9EnlargingImprovesBsld) {
+  RunSpec small = dvfs_spec(wl::Archive::kCTC, 2.0, std::nullopt);
+  RunSpec grown = small;
+  grown.size_scale = 1.5;
+  const auto results = run_all({small, grown});
+  EXPECT_LT(results[1].sim.avg_bsld, results[0].sim.avg_bsld);
+}
+
+TEST(ReproductionTest, Table3EnlargedSystemBeatsOriginalWaits) {
+  RunSpec grown = dvfs_spec(wl::Archive::kSDSCBlue, 2.0, 0);
+  grown.size_scale = 1.5;
+  const auto results =
+      run_all({grown, baseline_spec(wl::Archive::kSDSCBlue)});
+  EXPECT_LT(results[0].sim.avg_wait, results[1].sim.avg_wait);
+}
+
+TEST(ReproductionTest, ReducedJobsGrowWithWqRelaxation) {
+  const auto results = run_all({dvfs_spec(wl::Archive::kSDSCBlue, 2.0, 0),
+                                dvfs_spec(wl::Archive::kSDSCBlue, 2.0, 16),
+                                dvfs_spec(wl::Archive::kSDSCBlue, 2.0,
+                                          std::nullopt)});
+  EXPECT_LE(results[0].sim.reduced_jobs, results[1].sim.reduced_jobs);
+  EXPECT_LE(results[1].sim.reduced_jobs, results[2].sim.reduced_jobs);
+}
+
+}  // namespace
+}  // namespace bsld::report

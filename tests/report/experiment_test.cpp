@@ -1,0 +1,100 @@
+#include "report/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::report {
+namespace {
+
+TEST(RunSpecTest, LabelFormats) {
+  RunSpec spec;
+  spec.archive = wl::Archive::kCTC;
+  EXPECT_EQ(spec.label(), "CTC x1 EASY noDVFS");
+
+  core::DvfsConfig dvfs;
+  dvfs.bsld_threshold = 1.5;
+  dvfs.wq_threshold = 16;
+  spec.dvfs = dvfs;
+  spec.size_scale = 1.2;
+  EXPECT_EQ(spec.label(), "CTC x1.2 EASY BSLD<=1.5,WQ<=16");
+
+  spec.dvfs->wq_threshold = std::nullopt;
+  spec.base = core::BasePolicy::kFcfs;
+  EXPECT_EQ(spec.label(), "CTC x1.2 FCFS BSLD<=1.5,WQ<=NO");
+}
+
+TEST(RunOneTest, DeterministicForEqualSpecs) {
+  RunSpec spec;
+  spec.archive = wl::Archive::kSDSC;
+  spec.num_jobs = 400;
+  const RunResult a = run_one(spec);
+  const RunResult b = run_one(spec);
+  EXPECT_DOUBLE_EQ(a.sim.avg_bsld, b.sim.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.sim.energy.total_joules, b.sim.energy.total_joules);
+}
+
+TEST(RunOneTest, SizeScaleChangesMachine) {
+  RunSpec spec;
+  spec.archive = wl::Archive::kSDSC;  // 128 CPUs
+  spec.num_jobs = 300;
+  spec.size_scale = 1.5;
+  EXPECT_EQ(run_one(spec).sim.cpus, 192);
+}
+
+TEST(RunOneTest, ShrunkenMachineClampsJobSizes) {
+  RunSpec spec;
+  spec.archive = wl::Archive::kSDSC;
+  spec.num_jobs = 300;
+  spec.size_scale = 0.25;  // 32 CPUs; the trace has larger jobs
+  const RunResult result = run_one(spec);
+  EXPECT_EQ(result.sim.cpus, 32);
+  for (const sim::JobOutcome& job : result.sim.jobs) {
+    EXPECT_LE(job.size, 32);
+  }
+}
+
+TEST(RunOneTest, BetaZeroMeansNoDilation) {
+  RunSpec spec;
+  spec.archive = wl::Archive::kLLNLThunder;
+  spec.num_jobs = 300;
+  spec.beta = 0.0;
+  core::DvfsConfig dvfs;
+  dvfs.bsld_threshold = 3.0;
+  dvfs.wq_threshold = std::nullopt;
+  spec.dvfs = dvfs;
+  const RunResult result = run_one(spec);
+  for (const sim::JobOutcome& job : result.sim.jobs) {
+    EXPECT_EQ(job.scaled_runtime, job.run_time_top);
+  }
+  // With beta = 0 reduction is free: everything runs at the lowest gear.
+  EXPECT_EQ(result.sim.reduced_jobs,
+            static_cast<std::int64_t>(result.sim.jobs.size()));
+}
+
+TEST(RunOneTest, InvalidScaleRejected) {
+  RunSpec spec;
+  spec.size_scale = 0.0;
+  EXPECT_THROW((void)run_one(spec), Error);
+}
+
+TEST(NormalizedEnergyTest, Ratios) {
+  sim::SimulationResult run;
+  run.energy.computational_joules = 80.0;
+  run.energy.total_joules = 90.0;
+  sim::SimulationResult base;
+  base.energy.computational_joules = 100.0;
+  base.energy.total_joules = 100.0;
+  const NormalizedEnergy norm = normalized_energy(run, base);
+  EXPECT_DOUBLE_EQ(norm.computational, 0.8);
+  EXPECT_DOUBLE_EQ(norm.total, 0.9);
+}
+
+TEST(NormalizedEnergyTest, DegenerateBaselineRejected) {
+  sim::SimulationResult run;
+  sim::SimulationResult base;  // zero energies
+  EXPECT_THROW((void)normalized_energy(run, base), Error);
+}
+
+}  // namespace
+}  // namespace bsld::report

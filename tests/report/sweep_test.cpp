@@ -1,0 +1,110 @@
+#include "report/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/figures.hpp"
+#include "util/error.hpp"
+
+namespace bsld::report {
+namespace {
+
+std::vector<RunSpec> small_grid() {
+  std::vector<RunSpec> specs;
+  for (const wl::Archive archive :
+       {wl::Archive::kCTC, wl::Archive::kSDSC, wl::Archive::kSDSCBlue}) {
+    for (const double threshold : {1.5, 2.0}) {
+      RunSpec spec;
+      spec.archive = archive;
+      spec.num_jobs = 250;
+      core::DvfsConfig dvfs;
+      dvfs.bsld_threshold = threshold;
+      dvfs.wq_threshold = 4;
+      spec.dvfs = dvfs;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+TEST(SweepTest, ParallelEqualsSerial) {
+  const std::vector<RunSpec> specs = small_grid();
+  const auto serial = run_all(specs, 1);
+  const auto parallel = run_all(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].sim.avg_bsld, parallel[i].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(serial[i].sim.energy.total_joules,
+                     parallel[i].sim.energy.total_joules);
+    EXPECT_EQ(serial[i].sim.reduced_jobs, parallel[i].sim.reduced_jobs);
+  }
+}
+
+TEST(SweepTest, ResultsComeBackInInputOrder) {
+  const std::vector<RunSpec> specs = small_grid();
+  const auto results = run_all(specs, 3);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].spec.archive, specs[i].archive);
+    EXPECT_DOUBLE_EQ(results[i].spec.dvfs->bsld_threshold,
+                     specs[i].dvfs->bsld_threshold);
+  }
+}
+
+TEST(SweepTest, EmptyInput) {
+  EXPECT_TRUE(run_all({}).empty());
+}
+
+TEST(SweepTest, MoreThreadsThanWork) {
+  std::vector<RunSpec> specs;
+  RunSpec spec;
+  spec.archive = wl::Archive::kSDSC;
+  spec.num_jobs = 200;
+  specs.push_back(spec);
+  const auto results = run_all(specs, 16);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].sim.avg_bsld, 0.0);
+}
+
+TEST(SweepTest, ExceptionsPropagate) {
+  std::vector<RunSpec> specs = small_grid();
+  specs[2].size_scale = -1.0;  // invalid spec fails inside a worker
+  EXPECT_THROW((void)run_all(specs, 4), Error);
+}
+
+TEST(FiguresTest, PaperGridsHaveExpectedShapes) {
+  EXPECT_EQ(paper_bsld_thresholds().size(), 3u);
+  EXPECT_EQ(paper_wq_thresholds().size(), 4u);
+  EXPECT_EQ(paper_size_scales().size(), 7u);
+  EXPECT_EQ(wq_label(std::nullopt), "NO");
+  EXPECT_EQ(wq_label(std::int64_t{16}), "16");
+
+  const OriginalSizeGrid original = original_size_grid(100);
+  EXPECT_EQ(original.dvfs_specs.size(), 5u * 3u * 4u);
+  EXPECT_EQ(original.baseline_specs.size(), 5u);
+
+  const EnlargedGrid enlarged = enlarged_grid(std::nullopt, 100);
+  EXPECT_EQ(enlarged.dvfs_specs.size(), 5u * 7u);
+  for (const RunSpec& spec : enlarged.dvfs_specs) {
+    ASSERT_TRUE(spec.dvfs.has_value());
+    EXPECT_DOUBLE_EQ(spec.dvfs->bsld_threshold, 2.0);
+    EXPECT_FALSE(spec.dvfs->wq_threshold.has_value());
+  }
+}
+
+TEST(FiguresTest, RunGridSplitsAndBaselineLookupWorks) {
+  const OriginalSizeGrid grid = original_size_grid(200);
+  // Only a slice, to keep the test quick: two archives' worth.
+  std::vector<RunSpec> dvfs(grid.dvfs_specs.begin(),
+                            grid.dvfs_specs.begin() + 4);
+  std::vector<RunSpec> baselines(grid.baseline_specs.begin(),
+                                 grid.baseline_specs.begin() + 1);
+  const GridResults results = run_grid(dvfs, baselines, 4);
+  EXPECT_EQ(results.dvfs.size(), 4u);
+  EXPECT_EQ(results.baselines.size(), 1u);
+  EXPECT_EQ(baseline_for(results, wl::Archive::kCTC).spec.archive,
+            wl::Archive::kCTC);
+  EXPECT_THROW((void)baseline_for(results, wl::Archive::kSDSC), Error);
+}
+
+}  // namespace
+}  // namespace bsld::report

@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.add_flag("archive", "CTC", "workload name");
+  cli.add_flag("jobs", "5000", "job count");
+  cli.add_flag("verbose", "false", "chatty output");
+  return cli;
+}
+
+TEST(CliTest, DefaultsWhenUnset) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("archive"), "CTC");
+  EXPECT_EQ(cli.get_int("jobs"), 5000);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, EqualsForm) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--archive=SDSC", "--jobs=100"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("archive"), "SDSC");
+  EXPECT_EQ(cli.get_int("jobs"), 100);
+}
+
+TEST(CliTest, SpaceForm) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--archive", "SDSCBlue"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("archive"), "SDSCBlue");
+}
+
+TEST(CliTest, BareBooleanForm) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, PositionalArguments) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "input.swf", "--jobs=10", "more.txt"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.swf");
+  EXPECT_EQ(cli.positional()[1], "more.txt");
+}
+
+TEST(CliTest, HelpShortCircuits) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, UnknownFlagRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW((void)cli.parse(2, argv), Error);
+}
+
+TEST(CliTest, NumericParseErrors) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW((void)cli.get_int("jobs"), Error);
+  EXPECT_THROW((void)cli.get_double("jobs"), Error);
+}
+
+TEST(CliTest, DuplicateFlagRegistrationRejected) {
+  Cli cli("p", "s");
+  cli.add_flag("x", "1", "first");
+  EXPECT_THROW(cli.add_flag("x", "2", "again"), Error);
+}
+
+TEST(CliTest, HelpTextListsFlags) {
+  Cli cli = make_cli();
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--archive"), std::string::npos);
+  EXPECT_NE(help.find("default: 5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsld::util

@@ -1,0 +1,86 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+namespace {
+
+TEST(ConfigTest, ParseBasics) {
+  const Config config = Config::parse(
+      "# platform file\n"
+      "power.beta = 0.5\n"
+      "gears.count = 6  # inline comment\n"
+      "\n"
+      "name = paper gear set\n");
+  EXPECT_DOUBLE_EQ(config.get_double("power.beta", 0.0), 0.5);
+  EXPECT_EQ(config.get_int("gears.count", 0), 6);
+  EXPECT_EQ(config.get_string("name", ""), "paper gear set");
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  const Config config = Config::parse("");
+  EXPECT_DOUBLE_EQ(config.get_double("absent", 2.5), 2.5);
+  EXPECT_EQ(config.get_int("absent", -7), -7);
+  EXPECT_TRUE(config.get_bool("absent", true));
+  EXPECT_EQ(config.get_string("absent", "x"), "x");
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  const Config config = Config::parse(
+      "a = true\nb = YES\nc = 1\nd = off\ne = False\nf = 0\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_TRUE(config.get_bool("b", false));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+  EXPECT_FALSE(config.get_bool("e", true));
+  EXPECT_FALSE(config.get_bool("f", true));
+}
+
+TEST(ConfigTest, DoubleList) {
+  const Config config = Config::parse("gears.frequencies_ghz = 0.8, 1.1,1.4\n");
+  const auto list = config.get_double_list("gears.frequencies_ghz", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[1], 1.1);
+}
+
+TEST(ConfigTest, TypeErrorsThrow) {
+  const Config config = Config::parse("x = not_a_number\n");
+  EXPECT_THROW((void)config.get_double("x", 0.0), Error);
+  EXPECT_THROW((void)config.get_int("x", 0), Error);
+  EXPECT_THROW((void)config.get_bool("x", false), Error);
+}
+
+TEST(ConfigTest, MalformedLineRejected) {
+  EXPECT_THROW((void)Config::parse("just words\n"), Error);
+  EXPECT_THROW((void)Config::parse("= value\n"), Error);
+}
+
+TEST(ConfigTest, DuplicateKeyRejected) {
+  EXPECT_THROW((void)Config::parse("a = 1\na = 2\n"), Error);
+}
+
+TEST(ConfigTest, SetAndContains) {
+  Config config;
+  EXPECT_FALSE(config.contains("k"));
+  config.set("k", "v");
+  EXPECT_TRUE(config.contains("k"));
+  EXPECT_EQ(config.get_string("k", ""), "v");
+}
+
+TEST(ConfigTest, RoundTripThroughToString) {
+  Config config;
+  config.set("b.key", "2");
+  config.set("a.key", "1");
+  const Config reparsed = Config::parse(config.to_string());
+  EXPECT_EQ(reparsed.keys(), config.keys());
+  EXPECT_EQ(reparsed.get_int("a.key", 0), 1);
+}
+
+TEST(ConfigTest, MissingFileThrows) {
+  EXPECT_THROW((void)Config::load_file("/nonexistent/path/x.conf"), Error);
+}
+
+}  // namespace
+}  // namespace bsld::util

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsld::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+  /// Captures stderr around `body`.
+  template <typename F>
+  std::string capture(F&& body) {
+    ::testing::internal::CaptureStderr();
+    body();
+    return ::testing::internal::GetCapturedStderr();
+  }
+
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, DefaultLevelSuppressesInfo) {
+  set_log_level(LogLevel::kWarn);
+  const std::string out = capture([] { BSLD_LOG_INFO() << "hidden"; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LogTest, WarningsPassAtDefaultLevel) {
+  set_log_level(LogLevel::kWarn);
+  const std::string out = capture([] { BSLD_LOG_WARN() << "visible"; });
+  EXPECT_NE(out.find("visible"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(LogTest, DebugVisibleWhenEnabled) {
+  set_log_level(LogLevel::kDebug);
+  const std::string out = capture([] { BSLD_LOG_DEBUG() << "dbg " << 42; });
+  EXPECT_NE(out.find("dbg 42"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveWarn) {
+  set_log_level(LogLevel::kError);
+  const std::string warn = capture([] { BSLD_LOG_WARN() << "w"; });
+  EXPECT_TRUE(warn.empty());
+  const std::string err = capture([] { BSLD_LOG_ERROR() << "boom"; });
+  EXPECT_NE(err.find("boom"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamingComposesTypes) {
+  set_log_level(LogLevel::kInfo);
+  const std::string out =
+      capture([] { BSLD_LOG_INFO() << "x=" << 1.5 << " y=" << 'c'; });
+  EXPECT_NE(out.find("x=1.5 y=c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsld::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.set_align(1, Align::kRight);
+  table.add_row({"CTC", "4.66"});
+  table.add_row({"SDSCBlue", "5.15"});
+  const std::string expected =
+      "name     | value\n"
+      "---------+------\n"
+      "CTC      |  4.66\n"
+      "SDSCBlue |  5.15\n";
+  EXPECT_EQ(table.to_string(), expected);
+}
+
+TEST(TableTest, HeaderWiderThanCells) {
+  Table table({"wide header", "x"});
+  table.add_row({"a", "b"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("wide header | x"), std::string::npos);
+  EXPECT_NE(rendered.find("a           | b"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchRejected) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), Error);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TableTest, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(TableTest, AlignOutOfRangeRejected) {
+  Table table({"a"});
+  EXPECT_THROW(table.set_align(1, Align::kRight), Error);
+}
+
+TEST(TableTest, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"x"});
+  table.add_row({"y"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(FmtTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 3), "3.142");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(FmtTest, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.173), "17.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.005, 1), "0.5%");
+}
+
+}  // namespace
+}  // namespace bsld::util

@@ -1,0 +1,101 @@
+#include "workload/archives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace bsld::wl {
+namespace {
+
+TEST(ArchivesTest, FiveArchivesInPaperOrder) {
+  const auto& archives = all_archives();
+  ASSERT_EQ(archives.size(), 5u);
+  EXPECT_EQ(archive_name(archives[0]), "CTC");
+  EXPECT_EQ(archive_name(archives[1]), "SDSC");
+  EXPECT_EQ(archive_name(archives[2]), "SDSCBlue");
+  EXPECT_EQ(archive_name(archives[3]), "LLNLThunder");
+  EXPECT_EQ(archive_name(archives[4]), "LLNLAtlas");
+}
+
+TEST(ArchivesTest, NamesRoundTrip) {
+  for (const Archive archive : all_archives()) {
+    EXPECT_EQ(archive_from_name(archive_name(archive)), archive);
+  }
+  EXPECT_THROW((void)archive_from_name("NotAnArchive"), Error);
+}
+
+TEST(ArchivesTest, PaperMachineSizes) {
+  EXPECT_EQ(paper_cpus(Archive::kCTC), 430);
+  EXPECT_EQ(paper_cpus(Archive::kSDSC), 128);
+  EXPECT_EQ(paper_cpus(Archive::kSDSCBlue), 1152);
+  EXPECT_EQ(paper_cpus(Archive::kLLNLThunder), 4008);
+  EXPECT_EQ(paper_cpus(Archive::kLLNLAtlas), 9216);
+}
+
+TEST(ArchivesTest, PaperBaselineBslds) {
+  EXPECT_DOUBLE_EQ(paper_avg_bsld(Archive::kCTC), 4.66);
+  EXPECT_DOUBLE_EQ(paper_avg_bsld(Archive::kSDSC), 24.91);
+  EXPECT_DOUBLE_EQ(paper_avg_bsld(Archive::kSDSCBlue), 5.15);
+  EXPECT_DOUBLE_EQ(paper_avg_bsld(Archive::kLLNLThunder), 1.0);
+  EXPECT_DOUBLE_EQ(paper_avg_bsld(Archive::kLLNLAtlas), 1.08);
+}
+
+TEST(ArchivesTest, SpecsMatchMachines) {
+  for (const Archive archive : all_archives()) {
+    const WorkloadSpec spec = archive_spec(archive);
+    EXPECT_EQ(spec.cpus, paper_cpus(archive));
+    EXPECT_EQ(spec.num_jobs, 5000);
+    EXPECT_EQ(spec.name, archive_name(archive));
+  }
+}
+
+TEST(ArchivesTest, CanonicalTraceIsDeterministic) {
+  const Workload a = make_archive_workload(Archive::kCTC, 200);
+  const Workload b = make_archive_workload(Archive::kCTC, 200);
+  EXPECT_EQ(a.jobs, b.jobs);
+}
+
+TEST(ArchivesTest, DistinctSeedsAcrossArchives) {
+  std::set<std::uint64_t> seeds;
+  for (const Archive archive : all_archives()) {
+    seeds.insert(archive_seed(archive));
+  }
+  EXPECT_EQ(seeds.size(), all_archives().size());
+}
+
+TEST(ArchivesTest, BlueHasNoSequentialJobsAndNodeFloor) {
+  const Workload workload = make_archive_workload(Archive::kSDSCBlue, 1500);
+  for (const Job& job : workload.jobs) EXPECT_GE(job.size, 8);
+}
+
+TEST(ArchivesTest, ThunderIsShortJobHeavy) {
+  const Workload workload = make_archive_workload(Archive::kLLNLThunder, 3000);
+  const WorkloadStats stats = compute_stats(workload);
+  EXPECT_GT(stats.short_fraction, 0.5);  // "majority shorter than Th=600s"
+}
+
+TEST(ArchivesTest, CtcHasManySequentialJobs) {
+  const Workload workload = make_archive_workload(Archive::kCTC, 3000);
+  const WorkloadStats stats = compute_stats(workload);
+  EXPECT_GT(stats.sequential_fraction, 0.3);
+  // SDSC has fewer sequential jobs than CTC (paper §3.2).
+  const WorkloadStats sdsc =
+      compute_stats(make_archive_workload(Archive::kSDSC, 3000));
+  EXPECT_LT(sdsc.sequential_fraction, stats.sequential_fraction);
+}
+
+TEST(ArchivesTest, AtlasRunsLargeParallelJobs) {
+  const WorkloadStats atlas =
+      compute_stats(make_archive_workload(Archive::kLLNLAtlas, 2000));
+  const WorkloadStats ctc =
+      compute_stats(make_archive_workload(Archive::kCTC, 2000));
+  EXPECT_GT(atlas.mean_size, 10 * ctc.mean_size);
+}
+
+TEST(ArchivesTest, InvalidJobCountRejected) {
+  EXPECT_THROW((void)archive_spec(Archive::kCTC, 0), Error);
+}
+
+}  // namespace
+}  // namespace bsld::wl

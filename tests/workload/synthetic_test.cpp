@@ -1,0 +1,175 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace bsld::wl {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec spec;
+  spec.name = "unit";
+  spec.cpus = 64;
+  spec.num_jobs = 800;
+  spec.arrival.load_target = 0.7;
+  return spec;
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  const WorkloadSpec spec = small_spec();
+  const Workload a = generate(spec, 42);
+  const Workload b = generate(spec, 42);
+  EXPECT_EQ(a.jobs, b.jobs);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const WorkloadSpec spec = small_spec();
+  const Workload a = generate(spec, 1);
+  const Workload b = generate(spec, 2);
+  EXPECT_NE(a.jobs, b.jobs);
+}
+
+TEST(SyntheticTest, StructuralInvariants) {
+  const Workload workload = generate(small_spec(), 7);
+  ASSERT_EQ(workload.jobs.size(), 800u);
+  Time previous_submit = 0;
+  JobId expected_id = 1;
+  for (const Job& job : workload.jobs) {
+    EXPECT_EQ(job.id, expected_id++);
+    EXPECT_GE(job.submit, previous_submit);
+    previous_submit = job.submit;
+    EXPECT_GE(job.size, 1);
+    EXPECT_LE(job.size, workload.cpus);
+    EXPECT_GE(job.run_time, 1);
+    EXPECT_GE(job.requested_time, job.run_time);  // estimates are upper bounds
+    EXPECT_GE(job.user_id, 0);
+  }
+}
+
+TEST(SyntheticTest, LoadTargetApproximatelyRealized) {
+  WorkloadSpec spec = small_spec();
+  spec.num_jobs = 4000;
+  spec.arrival.daily_amplitude = 0.0;
+  spec.arrival.burst_probability = 0.0;
+  const Workload workload = generate(spec, 99);
+  const WorkloadStats stats = compute_stats(workload);
+  EXPECT_NEAR(stats.offered_load, spec.arrival.load_target,
+              spec.arrival.load_target * 0.2);
+}
+
+TEST(SyntheticTest, SequentialFractionRespected) {
+  WorkloadSpec spec = small_spec();
+  spec.size.p_sequential = 0.5;
+  spec.num_jobs = 4000;
+  const Workload workload = generate(spec, 5);
+  const WorkloadStats stats = compute_stats(workload);
+  // Parallel jobs can also land on size 1, so >= the configured fraction.
+  EXPECT_GE(stats.sequential_fraction, 0.45);
+}
+
+TEST(SyntheticTest, MinimumSizeFloor) {
+  WorkloadSpec spec = small_spec();
+  spec.size.p_sequential = 0.0;
+  spec.size.min_size = 8;
+  const Workload workload = generate(spec, 3);
+  for (const Job& job : workload.jobs) EXPECT_GE(job.size, 8);
+}
+
+TEST(SyntheticTest, RuntimeClampedToModelRange) {
+  WorkloadSpec spec = small_spec();
+  spec.runtime.classes = {{1.0, 12.0, 2.0}};  // huge lognormal
+  spec.runtime.max_runtime = 500;
+  const Workload workload = generate(spec, 3);
+  for (const Job& job : workload.jobs) {
+    EXPECT_LE(job.run_time, 500);
+    EXPECT_GE(job.run_time, spec.runtime.min_runtime);
+  }
+}
+
+TEST(SyntheticTest, RequestedCappedBySiteLimit) {
+  WorkloadSpec spec = small_spec();
+  spec.estimate.max_requested = 1000;
+  spec.runtime.max_runtime = 900;
+  const Workload workload = generate(spec, 3);
+  for (const Job& job : workload.jobs) {
+    EXPECT_LE(job.requested_time, 1000);
+  }
+}
+
+TEST(SyntheticTest, InvalidSpecsRejected) {
+  WorkloadSpec spec = small_spec();
+  spec.cpus = 0;
+  EXPECT_THROW((void)generate(spec, 1), Error);
+
+  spec = small_spec();
+  spec.num_jobs = 0;
+  EXPECT_THROW((void)generate(spec, 1), Error);
+
+  spec = small_spec();
+  spec.arrival.load_target = 0.0;
+  EXPECT_THROW((void)generate(spec, 1), Error);
+
+  spec = small_spec();
+  spec.runtime.classes.clear();
+  EXPECT_THROW((void)generate(spec, 1), Error);
+
+  spec = small_spec();
+  spec.arrival.daily_amplitude = 1.0;
+  EXPECT_THROW((void)generate(spec, 1), Error);
+}
+
+TEST(RoundToNiceTest, Quantization) {
+  EXPECT_EQ(round_to_nice_request(1), 300);        // 5-minute grid
+  EXPECT_EQ(round_to_nice_request(300), 300);
+  EXPECT_EQ(round_to_nice_request(301), 600);
+  EXPECT_EQ(round_to_nice_request(2 * 3600), 7200);
+  EXPECT_EQ(round_to_nice_request(2 * 3600 + 1), 9000);   // 30-minute grid
+  EXPECT_EQ(round_to_nice_request(6 * 3600 + 1), 25200);  // 1-hour grid
+  EXPECT_EQ(round_to_nice_request(0), 1);
+}
+
+// Property sweep: invariants hold across a grid of spec shapes and seeds.
+struct SpecCase {
+  double load;
+  double p_seq;
+  double amplitude;
+  double burst;
+};
+
+class SyntheticPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SpecCase, std::uint64_t>> {};
+
+TEST_P(SyntheticPropertyTest, InvariantsHold) {
+  const auto& [spec_case, seed] = GetParam();
+  WorkloadSpec spec = small_spec();
+  spec.num_jobs = 400;
+  spec.arrival.load_target = spec_case.load;
+  spec.size.p_sequential = spec_case.p_seq;
+  spec.arrival.daily_amplitude = spec_case.amplitude;
+  spec.arrival.burst_probability = spec_case.burst;
+  const Workload workload = generate(spec, seed);
+  ASSERT_EQ(workload.jobs.size(), 400u);
+  Time previous = 0;
+  for (const Job& job : workload.jobs) {
+    ASSERT_GE(job.submit, previous);
+    previous = job.submit;
+    ASSERT_GE(job.size, 1);
+    ASSERT_LE(job.size, spec.cpus);
+    ASSERT_GE(job.run_time, 1);
+    ASSERT_GE(job.requested_time, job.run_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SyntheticPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(SpecCase{0.3, 0.0, 0.0, 0.0},
+                          SpecCase{0.9, 0.5, 0.8, 0.5},
+                          SpecCase{1.2, 0.2, 0.5, 0.9},
+                          SpecCase{0.05, 1.0, 0.95, 0.2}),
+        ::testing::Values(1u, 17u, 91u)));
+
+}  // namespace
+}  // namespace bsld::wl

@@ -1,0 +1,61 @@
+#include "workload/workload_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bsld::wl {
+namespace {
+
+Workload make_workload() {
+  Workload workload;
+  workload.name = "stats";
+  workload.cpus = 10;
+  // {id, submit, run, requested, size, user}
+  workload.jobs = {
+      {1, 0, 100, 200, 1, 0},     // sequential, short
+      {2, 500, 1000, 1000, 4, 0}, // exact estimate
+      {3, 1000, 400, 800, 5, 1},  // short (< 600)
+  };
+  return workload;
+}
+
+TEST(WorkloadStatsTest, HandComputedMoments) {
+  const WorkloadStats stats = compute_stats(make_workload());
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_NEAR(stats.mean_size, (1 + 4 + 5) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean_runtime, (100 + 1000 + 400) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.mean_requested, (200 + 1000 + 800) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.sequential_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.short_fraction, 2.0 / 3.0, 1e-12);  // 100 s and 400 s
+  EXPECT_NEAR(stats.total_core_seconds, 100 + 4000 + 2000, 1e-12);
+  EXPECT_EQ(stats.span, 1000);
+  EXPECT_NEAR(stats.offered_load, 6100.0 / (10.0 * 1000.0), 1e-12);
+  EXPECT_NEAR(stats.mean_overestimation, (2.0 + 1.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(WorkloadStatsTest, SingleJobHasZeroSpanAndLoad) {
+  Workload workload = make_workload();
+  workload.jobs.resize(1);
+  const WorkloadStats stats = compute_stats(workload);
+  EXPECT_EQ(stats.span, 0);
+  EXPECT_DOUBLE_EQ(stats.offered_load, 0.0);
+}
+
+TEST(WorkloadStatsTest, RejectsDegenerateInputs) {
+  Workload empty;
+  empty.cpus = 4;
+  EXPECT_THROW((void)compute_stats(empty), Error);
+  Workload no_cpus = make_workload();
+  no_cpus.cpus = 0;
+  EXPECT_THROW((void)compute_stats(no_cpus), Error);
+}
+
+TEST(WorkloadStatsTest, ToStringMentionsKeyNumbers) {
+  const std::string rendered = to_string(compute_stats(make_workload()));
+  EXPECT_NE(rendered.find("jobs=3"), std::string::npos);
+  EXPECT_NE(rendered.find("offered_load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsld::wl
