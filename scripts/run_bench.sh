@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and emits BENCH_micro.json (google-benchmark
+# JSON format) to seed the performance trajectory.
+#
+# Usage: scripts/run_bench.sh [build-dir] [output.json]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_micro.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$repo_root"
+
+if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
+  cmake -B "$build_dir" -S .
+  cmake --build "$build_dir" --target bench_micro -j
+fi
+
+"$build_dir/bench/bench_micro" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "Wrote $out"

@@ -65,6 +65,36 @@ TEST(SweepTest, MoreThreadsThanWork) {
   EXPECT_GT(results[0].sim.avg_bsld, 0.0);
 }
 
+// Regression: the thread-count clamp in run_all must hold at both
+// boundaries — an explicit thread count with zero specs (run_all returns
+// the empty result before any worker is spawned, for every thread count),
+// and a thread count far above the spec count (clamped down to the spec
+// count, and still bit-identical to the serial run).
+TEST(SweepTest, EmptyInputWithExplicitThreads) {
+  EXPECT_TRUE(run_all({}, 1).empty());
+  EXPECT_TRUE(run_all({}, 8).empty());
+  EXPECT_TRUE(run_all({}, 1024).empty());
+}
+
+TEST(SweepTest, ThreadCountFarAboveSpecCountMatchesSerial) {
+  std::vector<RunSpec> specs;
+  for (const wl::Archive archive : {wl::Archive::kCTC, wl::Archive::kSDSC}) {
+    RunSpec spec;
+    spec.archive = archive;
+    spec.num_jobs = 150;
+    specs.push_back(spec);
+  }
+  const auto serial = run_all(specs, 1);
+  const auto clamped = run_all(specs, 1024);  // clamps to specs.size() == 2
+  ASSERT_EQ(serial.size(), clamped.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].sim.avg_bsld, clamped[i].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(serial[i].sim.energy.total_joules,
+                     clamped[i].sim.energy.total_joules);
+    EXPECT_EQ(serial[i].sim.makespan, clamped[i].sim.makespan);
+  }
+}
+
 TEST(SweepTest, ExceptionsPropagate) {
   std::vector<RunSpec> specs = small_grid();
   specs[2].size_scale = -1.0;  // invalid spec fails inside a worker
