@@ -25,11 +25,11 @@ namespace {
 report::RunSpec base_spec(wl::Archive archive, double bsld_threshold,
                           std::optional<std::int64_t> wq) {
   report::RunSpec spec;
-  spec.archive = archive;
+  spec.workload = wl::WorkloadSource::from_archive(archive);
   core::DvfsConfig config;
   config.bsld_threshold = bsld_threshold;
   config.wq_threshold = wq;
-  spec.dvfs = config;
+  spec.policy.dvfs = config;
   return spec;
 }
 
@@ -41,8 +41,7 @@ void print_rows(const std::string& title,
   for (const auto& [_, spec] : rows) specs.push_back(spec);
   // Shared no-DVFS baseline of the first row's archive for normalization.
   report::RunSpec baseline;
-  baseline.archive = rows.front().second.archive;
-  baseline.num_jobs = rows.front().second.num_jobs;
+  baseline.workload = rows.front().second.workload;
   specs.push_back(baseline);
 
   const std::vector<report::RunResult> results = report::run_all(specs);
@@ -87,7 +86,7 @@ int main() {
     std::vector<std::pair<std::string, report::RunSpec>> rows;
     for (const bool strict : {true, false}) {
       report::RunSpec spec = base_spec(wl::Archive::kSDSC, 2.0, 0);
-      spec.dvfs->backfill_requires_bsld_at_top = strict;
+      spec.policy.dvfs->backfill_requires_bsld_at_top = strict;
       rows.emplace_back(strict ? "Fig.2-literal (check at Ftop)"
                                : "no BSLD check at Ftop",
                         spec);
@@ -103,7 +102,7 @@ int main() {
     std::vector<std::pair<std::string, report::RunSpec>> rows;
     for (const bool self : {false, true}) {
       report::RunSpec spec = base_spec(wl::Archive::kLLNLThunder, 2.0, 0);
-      spec.dvfs->wq_counts_self = self;
+      spec.policy.dvfs->wq_counts_self = self;
       rows.emplace_back(self ? "WQsize includes self (DVFS never fires at WQ=0)"
                              : "WQsize excludes self (default)",
                         spec);
@@ -119,13 +118,13 @@ int main() {
   // all with the identical assigner.
   {
     std::vector<std::pair<std::string, report::RunSpec>> rows;
-    for (const auto& [name, base] :
-         std::vector<std::pair<std::string, core::BasePolicy>>{
-             {"EASY + BSLD-DVFS", core::BasePolicy::kEasy},
-             {"Conservative + BSLD-DVFS", core::BasePolicy::kConservative},
-             {"FCFS + BSLD-DVFS", core::BasePolicy::kFcfs}}) {
+    for (const auto& [name, base_name] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"EASY + BSLD-DVFS", "easy"},
+             {"Conservative + BSLD-DVFS", "conservative"},
+             {"FCFS + BSLD-DVFS", "fcfs"}}) {
       report::RunSpec spec = base_spec(wl::Archive::kCTC, 2.0, std::nullopt);
-      spec.base = base;
+      spec.policy.name = base_name;
       rows.emplace_back(name, spec);
     }
     print_rows("D. Base-policy portability — CTC, (BSLDthr=2, WQ=NO). The "
@@ -140,7 +139,7 @@ int main() {
     std::vector<std::pair<std::string, report::RunSpec>> rows;
     for (const std::string selector : {"FirstFit", "LastFit"}) {
       report::RunSpec spec = base_spec(wl::Archive::kSDSCBlue, 2.0, 16);
-      spec.selector = selector;
+      spec.policy.selector = selector;
       rows.emplace_back(selector, spec);
     }
     print_rows("E. Resource selector — SDSCBlue, (BSLDthr=2, WQ=16). First "
@@ -160,7 +159,7 @@ int main() {
           base_spec(wl::Archive::kLLNLThunder, 2.0, std::nullopt);
       core::DynamicRaiseConfig raise;
       raise.queue_limit = limit;
-      spec.raise = raise;
+      spec.policy.raise = raise;
       rows.emplace_back("raise to Ftop when WQ > " + std::to_string(limit),
                         spec);
     }

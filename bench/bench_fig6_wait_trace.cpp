@@ -18,13 +18,13 @@ using namespace bsld;
 
 int main() {
   report::RunSpec orig;
-  orig.archive = wl::Archive::kSDSCBlue;
+  orig.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSCBlue);
 
   report::RunSpec dvfs = orig;
   core::DvfsConfig config;
   config.bsld_threshold = 2.0;
   config.wq_threshold = 16;
-  dvfs.dvfs = config;
+  dvfs.policy.dvfs = config;
 
   const std::vector<report::RunResult> results = report::run_all({orig, dvfs});
   const auto& orig_jobs = results[0].sim.jobs;

@@ -27,7 +27,7 @@ int main() {
   std::cout << "\nBaselines (original size, no DVFS): ";
   for (const wl::Archive archive : wl::all_archives()) {
     report::RunSpec spec;
-    spec.archive = archive;
+    spec.workload = wl::WorkloadSource::from_archive(archive);
     std::cout << wl::archive_name(archive) << "="
               << util::fmt_double(report::run_one(spec).sim.avg_bsld, 2) << ' ';
   }

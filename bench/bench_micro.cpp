@@ -1,17 +1,15 @@
 /// \file bench_micro.cpp
 /// \brief google-benchmark microbenchmarks of the simulation substrate:
-/// event-engine throughput, allocation search, trace generation, and
-/// end-to-end simulation rate per archive.
+/// event-engine throughput, allocation search, trace generation,
+/// end-to-end simulation rate per archive, and sweep-grid throughput
+/// through report::SweepRunner (dedup off vs on).
 #include <benchmark/benchmark.h>
 
 #include "cluster/first_fit.hpp"
-#include "core/policy_factory.hpp"
-#include "power/power_model.hpp"
-#include "report/experiment.hpp"
+#include "report/sweep.hpp"
 #include "sim/engine.hpp"
-#include "sim/simulation.hpp"
 #include "util/rng.hpp"
-#include "workload/archives.hpp"
+#include "workload/source.hpp"
 
 using namespace bsld;
 
@@ -52,7 +50,8 @@ BENCHMARK(BM_EarliestStart)->Arg(430)->Arg(1152)->Arg(9216);
 void BM_GenerateTrace(benchmark::State& state) {
   const auto archive = static_cast<wl::Archive>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(wl::make_archive_workload(archive));
+    benchmark::DoNotOptimize(
+        wl::load_source(wl::WorkloadSource::from_archive(archive)));
   }
   state.SetItemsProcessed(state.iterations() * 5000);
 }
@@ -62,18 +61,14 @@ BENCHMARK(BM_GenerateTrace)
 
 void BM_SimulateArchive(benchmark::State& state) {
   const auto archive = static_cast<wl::Archive>(state.range(0));
-  const wl::Workload workload = wl::make_archive_workload(archive);
-  const cluster::GearSet gears = cluster::paper_gear_set();
-  const power::PowerModel power_model(gears);
-  const power::BetaTimeModel time_model(gears, 0.5);
+  report::RunSpec spec;
+  spec.workload = wl::WorkloadSource::from_archive(archive);
+  core::DvfsConfig config;
+  config.bsld_threshold = 2.0;
+  config.wq_threshold = 16;
+  spec.policy.dvfs = config;
   for (auto _ : state) {
-    core::DvfsConfig config;
-    config.bsld_threshold = 2.0;
-    config.wq_threshold = 16;
-    const auto policy =
-        core::make_policy(core::BasePolicy::kEasy, config, "FirstFit");
-    benchmark::DoNotOptimize(
-        sim::run_simulation(workload, *policy, power_model, time_model));
+    benchmark::DoNotOptimize(report::run_one(spec));
   }
   state.SetItemsProcessed(state.iterations() * 5000);  // jobs per run
 }
@@ -84,6 +79,39 @@ BENCHMARK(BM_SimulateArchive)
     ->Arg(static_cast<int>(wl::Archive::kLLNLThunder))
     ->Arg(static_cast<int>(wl::Archive::kLLNLAtlas))
     ->Unit(benchmark::kMillisecond);
+
+/// Grid throughput through SweepRunner: 24 specs of which only 6 are
+/// distinct (each repeated 4x, the shape of a figure grid with shared
+/// baselines). Arg(1) enables spec-keyed dedup — the headline win — while
+/// Arg(0) measures the raw pool.
+void BM_SweepThroughput(benchmark::State& state) {
+  const bool dedup = state.range(0) != 0;
+  std::vector<report::RunSpec> specs;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const double threshold : {1.5, 2.0, 3.0}) {
+      for (const bool wq_limited : {true, false}) {
+        report::RunSpec spec;
+        spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kCTC, 400);
+        core::DvfsConfig dvfs;
+        dvfs.bsld_threshold = threshold;
+        if (wq_limited) dvfs.wq_threshold = 4;
+        else dvfs.wq_threshold = std::nullopt;
+        spec.policy.dvfs = dvfs;
+        specs.push_back(spec);
+      }
+    }
+  }
+  report::SweepRunner::Options options;
+  options.threads = 2;
+  options.dedup = dedup;
+  for (auto _ : state) {
+    report::SweepRunner runner(options);
+    benchmark::DoNotOptimize(runner.run(specs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -26,13 +26,13 @@ int main() {
   std::vector<report::RunSpec> specs;
   for (const wl::Archive archive : wl::all_archives()) {
     report::RunSpec spec;
-    spec.archive = archive;
+    spec.workload = wl::WorkloadSource::from_archive(archive);
     specs.push_back(spec);
   }
   const std::vector<report::RunResult> results = report::run_all(specs);
 
   for (const report::RunResult& result : results) {
-    const wl::Archive archive = result.spec.archive;
+    const wl::Archive archive = result.spec.workload.archive;
     const wl::Workload workload = wl::make_archive_workload(archive);
     const wl::WorkloadStats stats = wl::compute_stats(workload);
     table.add_row({wl::archive_name(archive),

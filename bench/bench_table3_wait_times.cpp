@@ -22,13 +22,13 @@ namespace {
 report::RunSpec make_spec(wl::Archive archive, double scale, bool dvfs,
                           std::optional<std::int64_t> wq) {
   report::RunSpec spec;
-  spec.archive = archive;
+  spec.workload = wl::WorkloadSource::from_archive(archive);
   spec.size_scale = scale;
   if (dvfs) {
     core::DvfsConfig config;
     config.bsld_threshold = 2.0;
     config.wq_threshold = wq;
-    spec.dvfs = config;
+    spec.policy.dvfs = config;
   }
   return spec;
 }

@@ -1,13 +1,18 @@
 /// \file bsldsim.cpp
 /// \brief The downstream user's entry point: a config-driven simulator run.
-/// Combines every seam of the library — workload source (archive model or
-/// SWF file), platform file (gears + power model + beta, Alvio-style
-/// "adjustable in configuration files"), base policy, DVFS thresholds, the
-/// dynamic-raise extension, and machine scaling — into one invocation and
-/// prints the full report.
+/// A thin CLI over report::RunSpec — every seam of the library (workload
+/// source, platform file, policy registry, DVFS thresholds, the
+/// dynamic-raise extension, machine scaling) is a field of the spec, and
+/// the run itself is one report::run_one() call.
 ///
 /// Run: ./bsldsim --workload SDSCBlue --bsld 2 --wq 16
 ///      ./bsldsim --workload trace.swf --policy conservative --platform p.conf
+///      ./bsldsim --spec run.conf                # replay a saved spec
+///      ./bsldsim --workload CTC --save-spec run.conf   # save for later
+///
+/// With --spec, the file provides the baseline and explicitly-passed flags
+/// override it; --save-spec writes the effective spec in its canonical
+/// round-trippable form (see RunSpec::to_config).
 ///
 /// Platform file keys (all optional):
 ///   gears.frequencies_ghz = 0.8, 1.1, 1.4, 1.7, 2.0, 2.3
@@ -18,57 +23,31 @@
 ///   time.beta = 0.5
 #include <iostream>
 
-#include "core/policy_factory.hpp"
-#include "power/power_model.hpp"
-#include "power/time_model.hpp"
-#include "sim/simulation.hpp"
+#include "report/experiment.hpp"
 #include "util/cli.hpp"
-#include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
-#include "workload/archives.hpp"
-#include "workload/cleaner.hpp"
-#include "workload/swf.hpp"
 
-#include <cmath>
 #include <fstream>
 
 using namespace bsld;
 
-namespace {
-
-wl::Workload load_workload(const std::string& source, std::int32_t jobs) {
-  // Archive names resolve to the calibrated synthetic models; anything
-  // else is treated as an SWF file path.
-  for (const wl::Archive archive : wl::all_archives()) {
-    if (wl::archive_name(archive) == source) {
-      return wl::make_archive_workload(archive, jobs);
-    }
-  }
-  const wl::SwfTrace trace = wl::load_swf_file(source);
-  wl::Workload workload;
-  workload.name = source;
-  workload.cpus = trace.max_procs(1024);
-  workload.jobs = trace.jobs;
-  wl::CleanOptions options;
-  options.machine_cpus = workload.cpus;
-  wl::clean(workload, options);
-  if (jobs > 0 && static_cast<std::size_t>(jobs) < workload.jobs.size()) {
-    workload = wl::slice(workload, 0, static_cast<std::size_t>(jobs));
-  }
-  return workload;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) try {
   util::Cli cli("bsldsim", "config-driven power-aware scheduling simulation");
+  cli.add_flag("spec", "", "run-spec file; other flags override its values");
+  cli.add_flag("save-spec", "",
+               "write the effective spec to this file and continue");
   cli.add_flag("workload", "SDSCBlue",
                "archive model (CTC/SDSC/SDSCBlue/LLNLThunder/LLNLAtlas) or "
                "an SWF file path");
   cli.add_flag("jobs", "5000", "trace length (0 = whole SWF file)");
+  cli.add_flag("seed", "0",
+               "generator seed for synthetic workloads (0 = the archive's "
+               "canonical seed)");
   cli.add_flag("platform", "", "platform config file (see header comment)");
-  cli.add_flag("policy", "easy", "base policy: easy, fcfs, conservative");
+  cli.add_flag("policy", "easy",
+               "scheduling policy name (see core::PolicyRegistry): easy, "
+               "fcfs, conservative, easy+raise");
   cli.add_flag("selector", "FirstFit", "resource selector: FirstFit, LastFit");
   cli.add_flag("dvfs", "true", "apply the BSLD-threshold DVFS algorithm");
   cli.add_flag("bsld", "2.0", "BSLDthreshold");
@@ -79,43 +58,79 @@ int main(int argc, char** argv) try {
   cli.add_flag("out", "", "write per-job outcomes to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
 
-  const util::Config platform =
-      cli.get("platform").empty() ? util::Config{}
-                                  : util::Config::load_file(cli.get("platform"));
-  const cluster::GearSet gears = cluster::gear_set_from_config(platform);
-  const power::PowerModel power_model(gears, power::power_config_from(platform));
-  const power::BetaTimeModel time_model(
-      gears, platform.get_double("time.beta", 0.5));
+  // Baseline spec: the --spec file when given, defaults otherwise.
+  const bool from_file = !cli.get("spec").empty();
+  report::RunSpec spec =
+      from_file
+          ? report::RunSpec::parse(util::Config::load_file(cli.get("spec")))
+          : report::RunSpec{};
+  // A flag applies when explicitly passed, or always in the no-file mode
+  // (where the registered defaults are the baseline).
+  const auto overrides = [&](const char* flag) {
+    return !from_file || cli.given(flag);
+  };
 
-  const wl::Workload workload = load_workload(
-      cli.get("workload"), static_cast<std::int32_t>(cli.get_int("jobs")));
-
-  std::optional<core::DvfsConfig> dvfs;
-  if (cli.get_bool("dvfs")) {
-    core::DvfsConfig config;
-    config.bsld_threshold = cli.get_double("bsld");
-    if (cli.get("wq") == "NO") config.wq_threshold = std::nullopt;
-    else config.wq_threshold = cli.get_int("wq");
-    dvfs = config;
-  }
-
-  std::unique_ptr<core::SchedulingPolicy> policy;
-  if (cli.get_int("raise") >= 0) {
-    core::DynamicRaiseConfig raise;
-    raise.queue_limit = cli.get_int("raise");
-    policy = core::make_dynamic_raise_policy(dvfs, raise, cli.get("selector"));
+  if (overrides("workload")) {
+    spec.workload = wl::resolve_source(
+        cli.get("workload"),
+        overrides("jobs") ? static_cast<std::int32_t>(cli.get_int("jobs"))
+                          : spec.workload.jobs,
+        overrides("seed") ? static_cast<std::uint64_t>(cli.get_int("seed"))
+                          : spec.workload.seed);
   } else {
-    policy = core::make_policy(core::base_policy_from_name(cli.get("policy")),
-                               dvfs, cli.get("selector"));
+    if (overrides("jobs")) {
+      spec.workload.jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+    }
+    if (overrides("seed")) {
+      spec.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    }
+  }
+  if (overrides("platform") && !cli.get("platform").empty()) {
+    const util::Config platform = util::Config::load_file(cli.get("platform"));
+    spec.gears = cluster::gear_set_from_config(platform);
+    spec.power = power::power_config_from(platform);
+    spec.beta = platform.get_double("time.beta", spec.beta);
+  }
+  if (overrides("policy")) spec.policy.name = cli.get("policy");
+  if (overrides("selector")) spec.policy.selector = cli.get("selector");
+  if (overrides("dvfs") || overrides("bsld") || overrides("wq")) {
+    // --bsld/--wq refine an existing DVFS config; only --dvfs switches the
+    // algorithm on or off relative to the spec baseline.
+    const bool dvfs_on = overrides("dvfs") ? cli.get_bool("dvfs")
+                                           : spec.policy.dvfs.has_value();
+    if (dvfs_on) {
+      core::DvfsConfig dvfs = spec.policy.dvfs.value_or(core::DvfsConfig{});
+      if (overrides("bsld")) dvfs.bsld_threshold = cli.get_double("bsld");
+      if (overrides("wq")) {
+        if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
+        else dvfs.wq_threshold = cli.get_int("wq");
+      }
+      spec.policy.dvfs = dvfs;
+    } else {
+      spec.policy.dvfs = std::nullopt;
+    }
+  }
+  if (overrides("raise")) {
+    if (cli.get_int("raise") >= 0) {
+      core::DynamicRaiseConfig raise;
+      raise.queue_limit = cli.get_int("raise");
+      spec.policy.raise = raise;
+    } else {
+      spec.policy.raise = std::nullopt;
+    }
+  }
+  if (overrides("scale")) spec.size_scale = cli.get_double("scale");
+
+  if (!cli.get("save-spec").empty()) {
+    std::ofstream file(cli.get("save-spec"));
+    file << spec.to_config().to_string();
+    std::cout << "Spec written to " << cli.get("save-spec") << '\n';
   }
 
-  sim::SimulationConfig sim_config;
-  sim_config.cpus = static_cast<std::int32_t>(
-      std::llround(workload.cpus * cli.get_double("scale")));
-  const sim::SimulationResult result = sim::run_simulation(
-      workload, *policy, power_model, time_model, sim_config);
+  const report::RunResult run = report::run_one(spec);
+  const sim::SimulationResult& result = run.sim;
 
-  std::cout << "bsldsim — " << workload.name << " (" << workload.jobs.size()
+  std::cout << "bsldsim — " << spec.label() << " (" << result.jobs.size()
             << " jobs) on " << result.cpus << " CPUs, policy "
             << result.policy << "\n\n";
   util::Table table({"Metric", "Value"});
@@ -135,7 +150,7 @@ int main(int argc, char** argv) try {
 
   std::cout << "\nJobs per gear:";
   for (std::size_t g = 0; g < result.jobs_per_gear.size(); ++g) {
-    std::cout << "  " << gears[static_cast<GearIndex>(g)].frequency_ghz
+    std::cout << "  " << spec.gears[static_cast<GearIndex>(g)].frequency_ghz
               << "GHz:" << result.jobs_per_gear[g];
   }
   std::cout << '\n';
@@ -149,8 +164,8 @@ int main(int argc, char** argv) try {
       csv.write_row({std::to_string(job.id), std::to_string(job.submit),
                      std::to_string(job.start), std::to_string(job.end),
                      std::to_string(job.size),
-                     util::fmt_double(gears[job.gear].frequency_ghz, 1),
-                     util::fmt_double(gears[job.final_gear].frequency_ghz, 1),
+                     util::fmt_double(spec.gears[job.gear].frequency_ghz, 1),
+                     util::fmt_double(spec.gears[job.final_gear].frequency_ghz, 1),
                      std::to_string(job.wait()),
                      util::fmt_double(job.bsld, 3)});
     }

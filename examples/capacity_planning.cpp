@@ -30,12 +30,12 @@ int main(int argc, char** argv) {
 
   std::vector<report::RunSpec> specs;
   report::RunSpec baseline;
-  baseline.archive = archive;
+  baseline.workload = wl::WorkloadSource::from_archive(archive);
   specs.push_back(baseline);  // original size, no DVFS
   for (const double scale : report::paper_size_scales()) {
     report::RunSpec spec = baseline;
     spec.size_scale = scale;
-    spec.dvfs = dvfs;
+    spec.policy.dvfs = dvfs;
     specs.push_back(spec);
   }
 

@@ -26,8 +26,7 @@ int main(int argc, char** argv) {
 
   std::vector<report::RunSpec> specs;
   report::RunSpec baseline;
-  baseline.archive = archive;
-  baseline.num_jobs = jobs;
+  baseline.workload = wl::WorkloadSource::from_archive(archive, jobs);
   specs.push_back(baseline);
   for (const double threshold : report::paper_bsld_thresholds()) {
     for (const auto& wq : report::paper_wq_thresholds()) {
@@ -35,7 +34,7 @@ int main(int argc, char** argv) {
       core::DvfsConfig dvfs;
       dvfs.bsld_threshold = threshold;
       dvfs.wq_threshold = wq;
-      spec.dvfs = dvfs;
+      spec.policy.dvfs = dvfs;
       specs.push_back(spec);
     }
   }
@@ -53,8 +52,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 1; i < results.size(); ++i) {
     const auto norm = report::normalized_energy(results[i].sim, base.sim);
     table.add_row(
-        {util::fmt_double(results[i].spec.dvfs->bsld_threshold, 1),
-         report::wq_label(results[i].spec.dvfs->wq_threshold),
+        {util::fmt_double(results[i].spec.policy.dvfs->bsld_threshold, 1),
+         report::wq_label(results[i].spec.policy.dvfs->wq_threshold),
          util::fmt_percent(1.0 - norm.computational),
          util::fmt_percent(1.0 - norm.total),
          util::fmt_double(results[i].sim.avg_bsld, 2),

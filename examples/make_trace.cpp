@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "util/cli.hpp"
-#include "workload/archives.hpp"
+#include "workload/source.hpp"
 #include "workload/swf.hpp"
 #include "workload/workload_stats.hpp"
 
@@ -28,8 +28,7 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   const wl::Workload workload =
-      seed == 0 ? wl::make_archive_workload(archive, jobs)
-                : wl::generate(wl::archive_spec(archive, jobs), seed);
+      wl::load_source(wl::WorkloadSource::from_archive(archive, jobs, seed));
 
   std::string path = cli.get("out");
   if (path.empty()) path = wl::archive_name(archive) + ".swf";

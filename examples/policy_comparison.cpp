@@ -1,20 +1,21 @@
 /// \file policy_comparison.cpp
-/// \brief Side-by-side comparison of every base scheduling policy in the
-/// library — FCFS, EASY backfilling, conservative backfilling, and EASY
+/// \brief Side-by-side comparison of every registered base scheduling
+/// policy — FCFS, EASY backfilling, conservative backfilling, and EASY
 /// with dynamic frequency raising — each with and without the paper's
 /// BSLD-threshold DVFS, on one workload.
+///
+/// The candidates are RunSpecs differing only in their PolicySpec (names
+/// straight from core::PolicyRegistry), executed in one parallel batch by
+/// report::SweepRunner — which also deduplicates the shared workload specs
+/// and streams per-run progress.
 ///
 /// Run: ./policy_comparison [--archive SDSCBlue] [--jobs 3000]
 ///                          [--bsld 2.0] [--wq NO]
 #include <iostream>
 
-#include "core/policy_factory.hpp"
-#include "power/power_model.hpp"
-#include "power/time_model.hpp"
-#include "sim/simulation.hpp"
+#include "report/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "workload/archives.hpp"
 
 using namespace bsld;
 
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
   cli.add_flag("wq", "NO", "WQthreshold: integer or NO");
   if (!cli.parse(argc, argv)) return 0;
 
-  const wl::Workload workload = wl::make_archive_workload(
+  const wl::WorkloadSource workload = wl::WorkloadSource::from_archive(
       wl::archive_from_name(cli.get("archive")),
       static_cast<std::int32_t>(cli.get_int("jobs")));
 
@@ -38,43 +39,45 @@ int main(int argc, char** argv) {
   if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
   else dvfs.wq_threshold = cli.get_int("wq");
 
-  const cluster::GearSet gears = cluster::paper_gear_set();
-  const power::PowerModel power_model(gears);
-  const power::BetaTimeModel time_model(gears, 0.5);
-
-  struct Candidate {
-    std::string label;
-    std::unique_ptr<core::SchedulingPolicy> policy;
-  };
-  std::vector<Candidate> candidates;
-  for (const auto& [label, base] :
-       std::vector<std::pair<std::string, core::BasePolicy>>{
-           {"FCFS", core::BasePolicy::kFcfs},
-           {"EASY", core::BasePolicy::kEasy},
-           {"Conservative", core::BasePolicy::kConservative}}) {
-    candidates.push_back({label + " / Ftop",
-                          core::make_policy(base, std::nullopt)});
-    candidates.push_back({label + " / BSLD-DVFS",
-                          core::make_policy(base, dvfs)});
+  std::vector<report::RunSpec> specs;
+  for (const char* policy : {"fcfs", "easy", "conservative"}) {
+    report::RunSpec spec;
+    spec.workload = workload;
+    spec.policy.name = policy;
+    specs.push_back(spec);          // Ftop baseline
+    spec.policy.dvfs = dvfs;
+    specs.push_back(spec);          // BSLD-DVFS variant
   }
-  core::DynamicRaiseConfig raise;
-  raise.queue_limit = 16;
-  candidates.push_back({"EASY+raise>16 / BSLD-DVFS",
-                        core::make_dynamic_raise_policy(dvfs, raise)});
+  {
+    report::RunSpec spec;
+    spec.workload = workload;
+    core::DynamicRaiseConfig raise;
+    raise.queue_limit = 16;
+    spec.policy.raise = raise;      // resolves to "easy+raise"
+    spec.policy.dvfs = dvfs;
+    specs.push_back(spec);
+  }
 
-  std::cout << "Policy comparison on " << workload.name << " ("
-            << workload.jobs.size() << " jobs, " << workload.cpus
-            << " CPUs); DVFS = BSLD<=" << cli.get("bsld") << ", WQ<="
-            << cli.get("wq") << "\n\n";
+  std::cout << "Policy comparison on " << wl::source_label(workload) << " ("
+            << cli.get("jobs") << " jobs); DVFS = BSLD<=" << cli.get("bsld")
+            << ", WQ<=" << cli.get("wq") << "\n\n";
+
+  report::SweepRunner runner;
+  runner.on_progress([](const report::SweepRunner::Progress& progress,
+                        const report::RunSpec& finished) {
+    std::cerr << "[" << progress.completed << "/" << progress.total << "] "
+              << finished.label() << '\n';
+  });
+  const std::vector<report::RunResult> results = runner.run(specs);
 
   util::Table table({"Policy", "Avg BSLD", "Avg wait (s)", "Reduced",
                      "Boosted", "E(idle=0) GJ", "E(idle=low) GJ",
                      "Utilization"});
   for (std::size_t c = 1; c < 8; ++c) table.set_align(c, util::Align::kRight);
-  for (auto& candidate : candidates) {
-    const sim::SimulationResult result = sim::run_simulation(
-        workload, *candidate.policy, power_model, time_model);
-    table.add_row({candidate.label, util::fmt_double(result.avg_bsld, 2),
+  for (const report::RunResult& run : results) {
+    const sim::SimulationResult& result = run.sim;
+    table.add_row({core::policy_label(run.spec.policy),
+                   util::fmt_double(result.avg_bsld, 2),
                    util::fmt_double(result.avg_wait, 0),
                    std::to_string(result.reduced_jobs),
                    std::to_string(result.boosted_jobs),

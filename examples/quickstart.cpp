@@ -3,24 +3,20 @@
 /// submit a handful of jobs, schedule them with the power-aware EASY
 /// backfilling policy, and inspect the schedule and the energy bill.
 ///
+/// The run is described by a report::RunSpec (policy by registry name,
+/// paper platform defaults) and executed with report::run_workload — the
+/// entry point for hand-written job lists, sharing all machinery with the
+/// archive/SWF-driven experiments.
+///
 /// Run: ./quickstart
 #include <iostream>
 
-#include "core/policy_factory.hpp"
-#include "power/power_model.hpp"
-#include "power/time_model.hpp"
-#include "sim/simulation.hpp"
+#include "report/experiment.hpp"
 #include "util/table.hpp"
-#include "workload/job.hpp"
 
 using namespace bsld;
 
 int main() {
-  // A 8-CPU cluster with the paper's DVFS gear set (Table 2).
-  const cluster::GearSet gears = cluster::paper_gear_set();
-  const power::PowerModel power_model(gears);      // paper §4 calibration
-  const power::BetaTimeModel time_model(gears, 0.5);  // beta = 0.5
-
   // Five jobs, SWF-style: {id, submit, runtime@Ftop, requested, size, user}.
   wl::Workload workload;
   workload.name = "quickstart";
@@ -34,15 +30,16 @@ int main() {
   };
 
   // The paper's power-aware scheduler: EASY backfilling + BSLD-threshold
-  // frequency assignment (BSLDthreshold = 2, WQthreshold = NO LIMIT).
+  // frequency assignment (BSLDthreshold = 2, WQthreshold = NO LIMIT), on
+  // the paper's gear set / power model / beta = 0.5 (the spec defaults).
+  report::RunSpec spec;
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 2.0;
   dvfs.wq_threshold = std::nullopt;
-  const auto policy =
-      core::make_policy(core::BasePolicy::kEasy, dvfs, "FirstFit");
+  spec.policy.dvfs = dvfs;
 
   const sim::SimulationResult result =
-      sim::run_simulation(workload, *policy, power_model, time_model);
+      report::run_workload(workload, spec).sim;
 
   std::cout << "Policy: " << result.policy << "\n\n";
   util::Table table({"Job", "Size", "Submit", "Start", "End", "Gear (GHz)",
@@ -52,7 +49,7 @@ int main() {
     table.add_row({std::to_string(job.id), std::to_string(job.size),
                    std::to_string(job.submit), std::to_string(job.start),
                    std::to_string(job.end),
-                   util::fmt_double(gears[job.gear].frequency_ghz, 1),
+                   util::fmt_double(spec.gears[job.gear].frequency_ghz, 1),
                    std::to_string(job.run_time_top),
                    std::to_string(job.scaled_runtime),
                    util::fmt_double(job.bsld, 2)});

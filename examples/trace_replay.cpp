@@ -5,17 +5,16 @@
 /// trace to disk first and replays that, demonstrating the full round trip
 /// (generate -> save SWF -> load SWF -> clean -> simulate).
 ///
+/// The SWF pipeline (load, clean, slice) lives in wl::load_source; the two
+/// runs — no-DVFS baseline vs the paper's policy — are RunSpecs differing
+/// only in their policy config, executed through report::run_all.
+///
 /// Run: ./trace_replay [--input trace.swf] [--cpus 0] [--bsld 2.0] [--wq NO]
 #include <iostream>
 
-#include "core/policy_factory.hpp"
-#include "power/power_model.hpp"
-#include "power/time_model.hpp"
-#include "sim/simulation.hpp"
+#include "report/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "workload/archives.hpp"
-#include "workload/cleaner.hpp"
 #include "workload/swf.hpp"
 #include "workload/workload_stats.hpp"
 
@@ -34,22 +33,17 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     // Self-demo: write a 2000-job SDSCBlue-like trace as SWF.
     path = "trace_replay_demo.swf";
-    const wl::Workload demo =
-        wl::make_archive_workload(wl::Archive::kSDSCBlue, 2000);
+    const wl::Workload demo = wl::load_source(
+        wl::WorkloadSource::from_archive(wl::Archive::kSDSCBlue, 2000));
     wl::save_swf_file(path, demo);
     std::cout << "No --input given; wrote demo trace to " << path << "\n";
   }
 
-  const wl::SwfTrace trace = wl::load_swf_file(path);
-  wl::Workload workload;
-  workload.name = path;
-  workload.cpus = static_cast<std::int32_t>(cli.get_int("cpus"));
-  if (workload.cpus <= 0) workload.cpus = trace.max_procs(/*fallback=*/1024);
-  workload.jobs = trace.jobs;
+  const wl::WorkloadSource source = wl::WorkloadSource::from_swf(
+      path, /*jobs=*/0, static_cast<std::int32_t>(cli.get_int("cpus")));
 
-  wl::CleanOptions clean_options;
-  clean_options.machine_cpus = workload.cpus;
-  const wl::CleanReport clean_report = wl::clean(workload, clean_options);
+  wl::CleanReport clean_report;
+  const wl::Workload workload = wl::load_source(source, &clean_report);
   std::cout << "Loaded " << path << ": kept " << clean_report.kept
             << " jobs, dropped " << clean_report.dropped_invalid
             << " invalid, clamped " << clean_report.clamped_size
@@ -57,24 +51,20 @@ int main(int argc, char** argv) {
             << "Trace stats: " << wl::to_string(wl::compute_stats(workload))
             << "\n\n";
 
+  report::RunSpec baseline;
+  baseline.workload = source;
+
+  report::RunSpec power_aware = baseline;
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = cli.get_double("bsld");
   if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
   else dvfs.wq_threshold = cli.get_int("wq");
+  power_aware.policy.dvfs = dvfs;
 
-  const cluster::GearSet gears = cluster::paper_gear_set();
-  const power::PowerModel power_model(gears);
-  const power::BetaTimeModel time_model(gears, 0.5);
-
-  const auto baseline =
-      core::make_policy(core::BasePolicy::kEasy, std::nullopt, "FirstFit");
-  const auto power_aware =
-      core::make_policy(core::BasePolicy::kEasy, dvfs, "FirstFit");
-
-  const sim::SimulationResult base_run =
-      sim::run_simulation(workload, *baseline, power_model, time_model);
-  const sim::SimulationResult dvfs_run =
-      sim::run_simulation(workload, *power_aware, power_model, time_model);
+  const std::vector<report::RunResult> results =
+      report::run_all({baseline, power_aware});
+  const sim::SimulationResult& base_run = results[0].sim;
+  const sim::SimulationResult& dvfs_run = results[1].sim;
 
   util::Table table({"Run", "Avg BSLD", "Avg wait (s)", "Reduced jobs",
                      "E(idle=0) MJ", "E(idle=low) MJ"});

@@ -22,6 +22,9 @@ struct DynamicRaiseConfig {
   std::int64_t queue_limit = 16;
   /// Raise one gear per event instead of jumping to Ftop.
   bool one_step = false;
+
+  friend bool operator==(const DynamicRaiseConfig&,
+                         const DynamicRaiseConfig&) = default;
 };
 
 /// EASY backfilling + dynamic frequency raising under queue pressure.

@@ -55,6 +55,8 @@ struct DvfsConfig {
   /// Fig. 2 else-branch: require satisfiesBSLD at Ftop before backfilling
   /// when the queue is over threshold (literal reading; ablated).
   bool backfill_requires_bsld_at_top = true;
+
+  friend bool operator==(const DvfsConfig&, const DvfsConfig&) = default;
 };
 
 /// Strategy interface for gear selection at schedule time.

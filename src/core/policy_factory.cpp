@@ -1,38 +1,49 @@
 #include "core/policy_factory.hpp"
 
+#include "core/policy_registry.hpp"
 #include "util/error.hpp"
 
 namespace bsld::core {
 
+namespace {
+
+const char* base_key(BasePolicy base) {
+  switch (base) {
+    case BasePolicy::kEasy: return "easy";
+    case BasePolicy::kFcfs: return "fcfs";
+    case BasePolicy::kConservative: return "conservative";
+  }
+  throw Error("base_key(): unknown base policy");
+}
+
+}  // namespace
+
 std::unique_ptr<FrequencyAssigner> make_assigner(
     const std::optional<DvfsConfig>& dvfs) {
-  if (dvfs) return std::make_unique<BsldThresholdAssigner>(*dvfs);
-  return std::make_unique<TopFrequency>();
+  PolicySpec spec;
+  spec.dvfs = dvfs;
+  return PolicyRegistry::global().make_assigner(spec);
 }
 
 std::unique_ptr<SchedulingPolicy> make_policy(
     BasePolicy base, const std::optional<DvfsConfig>& dvfs,
     const std::string& selector_name) {
-  auto selector = cluster::make_selector(selector_name);
-  auto assigner = make_assigner(dvfs);
-  switch (base) {
-    case BasePolicy::kEasy:
-      return std::make_unique<EasyBackfilling>(std::move(selector),
-                                               std::move(assigner));
-    case BasePolicy::kFcfs:
-      return std::make_unique<Fcfs>(std::move(selector), std::move(assigner));
-    case BasePolicy::kConservative:
-      return std::make_unique<ConservativeBackfilling>(std::move(selector),
-                                                       std::move(assigner));
-  }
-  throw Error("make_policy(): unknown base policy");
+  PolicySpec spec;
+  spec.name = base_key(base);
+  spec.dvfs = dvfs;
+  spec.selector = selector_name;
+  return PolicyRegistry::global().make(spec);
 }
 
 std::unique_ptr<SchedulingPolicy> make_dynamic_raise_policy(
     const std::optional<DvfsConfig>& dvfs, DynamicRaiseConfig raise,
     const std::string& selector_name) {
-  return std::make_unique<DynamicRaiseEasy>(
-      cluster::make_selector(selector_name), make_assigner(dvfs), raise);
+  PolicySpec spec;
+  spec.name = "easy";
+  spec.dvfs = dvfs;
+  spec.raise = raise;  // resolves to "easy+raise"
+  spec.selector = selector_name;
+  return PolicyRegistry::global().make(spec);
 }
 
 BasePolicy base_policy_from_name(const std::string& name) {

@@ -7,6 +7,11 @@
 /// who starts when, on which CPUs, at which DVFS gear. The policy acts
 /// through SchedulerContext::start_job, never on the Machine directly, so
 /// every state change is recorded exactly once.
+///
+/// Concrete policies live next door (easy.hpp, fcfs.hpp, conservative.hpp,
+/// dynamic_raise.hpp) and are constructed by name through
+/// core::PolicyRegistry (policy_registry.hpp), the seam where downstream
+/// code plugs in new policies without touching this interface.
 #pragma once
 
 #include <cstddef>

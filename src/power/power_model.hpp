@@ -27,6 +27,9 @@ struct PowerModelConfig {
   double activity_ratio = 2.5;          ///< running / idle activity factor.
   double static_fraction_at_top = 0.25; ///< share of static power at Ftop.
   double top_active_power_watts = 95.0; ///< anchor: P_active(Ftop) in W.
+
+  friend bool operator==(const PowerModelConfig&,
+                         const PowerModelConfig&) = default;
 };
 
 /// Evaluates active/idle CPU power per gear.

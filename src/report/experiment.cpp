@@ -8,38 +8,74 @@
 
 namespace bsld::report {
 
-namespace {
-const char* base_name(core::BasePolicy base) {
-  switch (base) {
-    case core::BasePolicy::kEasy: return "EASY";
-    case core::BasePolicy::kFcfs: return "FCFS";
-    case core::BasePolicy::kConservative: return "CONS";
+RunSpec RunSpec::parse(const util::Config& config) {
+  RunSpec spec;
+  spec.workload = wl::source_from_config(config);
+  spec.size_scale = config.get_double("scale", spec.size_scale);
+  spec.policy = core::policy_from_config(config);
+  spec.gears = cluster::gear_set_from_config(config);
+  spec.beta = config.get_double("time.beta", spec.beta);
+  spec.power = power::power_config_from(config);
+  if (config.contains("beta.per_job")) {
+    const std::vector<double> range =
+        config.get_double_list("beta.per_job", {});
+    BSLD_REQUIRE(range.size() == 2,
+                 "RunSpec: beta.per_job expects `low, high`");
+    spec.per_job_beta = {range[0], range[1]};
   }
-  return "?";
+  return spec;
 }
-}  // namespace
+
+util::Config RunSpec::to_config() const {
+  util::Config config;
+  wl::source_to_config(workload, config);
+  config.set("scale", util::config_double(size_scale));
+  core::policy_to_config(policy, config);
+  std::vector<double> frequencies;
+  std::vector<double> voltages;
+  for (const cluster::Gear& gear : gears.all()) {
+    frequencies.push_back(gear.frequency_ghz);
+    voltages.push_back(gear.voltage_v);
+  }
+  config.set("gears.frequencies_ghz", util::config_double_list(frequencies));
+  config.set("gears.voltages_v", util::config_double_list(voltages));
+  config.set("time.beta", util::config_double(beta));
+  config.set("power.activity_ratio", util::config_double(power.activity_ratio));
+  config.set("power.static_fraction_at_top",
+             util::config_double(power.static_fraction_at_top));
+  config.set("power.top_active_power_watts",
+             util::config_double(power.top_active_power_watts));
+  if (per_job_beta) {
+    config.set("beta.per_job",
+               util::config_double_list(
+                   {per_job_beta->first, per_job_beta->second}));
+  }
+  return config;
+}
+
+std::string RunSpec::key() const { return to_config().to_string(); }
 
 std::string RunSpec::label() const {
   std::ostringstream os;
-  os << wl::archive_name(archive) << " x" << size_scale << ' '
-     << base_name(base);
-  if (dvfs) {
-    os << " BSLD<=" << dvfs->bsld_threshold << ",WQ<=";
-    if (dvfs->wq_threshold) os << *dvfs->wq_threshold;
-    else os << "NO";
-  } else {
-    os << " noDVFS";
-  }
+  os << wl::source_label(workload) << " x" << size_scale << ' '
+     << core::policy_label(policy);
   return os.str();
 }
 
 RunResult run_one(const RunSpec& spec) {
+  // Fail fast: don't materialize the workload for a spec run_workload
+  // would reject anyway.
   BSLD_REQUIRE(spec.size_scale > 0.0, "run_one(): size_scale must be positive");
+  return run_workload(wl::load_source(spec.workload), spec);
+}
 
-  wl::Workload workload = wl::make_archive_workload(spec.archive, spec.num_jobs);
+RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
+  BSLD_REQUIRE(spec.size_scale > 0.0,
+               "run_workload(): size_scale must be positive");
+
   const auto scaled_cpus = static_cast<std::int32_t>(
       std::llround(static_cast<double>(workload.cpus) * spec.size_scale));
-  BSLD_REQUIRE(scaled_cpus >= 1, "run_one(): scaled machine has no CPUs");
+  BSLD_REQUIRE(scaled_cpus >= 1, "run_workload(): scaled machine has no CPUs");
   // Enlarged systems keep original job sizes (paper §1: "Since our jobs are
   // rigid we have used original job sizes"); shrunken ones must clamp.
   if (scaled_cpus < workload.cpus) {
@@ -50,21 +86,17 @@ RunResult run_one(const RunSpec& spec) {
 
   if (spec.per_job_beta) {
     // Deterministic per-job sensitivities (future-work extension): seeded
-    // from the archive so equal specs stay bit-identical.
-    util::Rng rng(wl::archive_seed(spec.archive) ^ 0xbe7abe7aULL);
+    // from the workload source so equal specs stay bit-identical.
+    util::Rng rng(wl::source_seed(spec.workload) ^ 0xbe7abe7aULL);
     for (wl::Job& job : workload.jobs) {
       job.beta = rng.uniform(spec.per_job_beta->first,
                              spec.per_job_beta->second);
     }
   }
 
-  const cluster::GearSet gears = cluster::paper_gear_set();
-  const power::PowerModel power_model(gears, spec.power);
-  const power::BetaTimeModel time_model(gears, spec.beta);
-  const auto policy =
-      spec.raise ? core::make_dynamic_raise_policy(spec.dvfs, *spec.raise,
-                                                   spec.selector)
-                 : core::make_policy(spec.base, spec.dvfs, spec.selector);
+  const power::PowerModel power_model(spec.gears, spec.power);
+  const power::BetaTimeModel time_model(spec.gears, spec.beta);
+  const auto policy = core::PolicyRegistry::global().make(spec.policy);
 
   sim::SimulationConfig config;
   config.cpus = scaled_cpus;

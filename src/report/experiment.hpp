@@ -1,39 +1,65 @@
 /// \file experiment.hpp
-/// \brief One fully-specified simulation run of the paper's evaluation:
-/// which archive, which system size, which policy/parameters — and the
-/// machinery to execute it reproducibly.
+/// \brief One fully-specified simulation run of the paper's evaluation —
+/// and the single entry point every example, bench and test uses to
+/// execute it reproducibly.
+///
+/// A RunSpec is declarative and open on every axis:
+///   * workload — any wl::WorkloadSource (canonical archive model, SWF
+///     file, or inline generator spec; workload/source.hpp);
+///   * policy   — any core::PolicySpec resolved by name through
+///     core::PolicyRegistry (core/policy_registry.hpp), so downstream
+///     policy plugins flow through unchanged;
+///   * platform — gear set, power model calibration and the beta time
+///     model, all serializable.
+/// It round-trips through util::Config (parse/to_config) byte-identically,
+/// so a run is savable, diffable and replayable from a file
+/// (`bsldsim --spec run.conf`), and key() doubles as the deduplication key
+/// for report::SweepRunner grids.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <utility>
 
-#include "core/frequency.hpp"
-#include "core/policy_factory.hpp"
+#include "cluster/gears.hpp"
+#include "core/policy_registry.hpp"
 #include "power/power_model.hpp"
 #include "sim/simulation.hpp"
-#include "workload/archives.hpp"
+#include "util/config.hpp"
+#include "workload/source.hpp"
 
 namespace bsld::report {
 
 /// Declarative description of a run.
 struct RunSpec {
-  wl::Archive archive = wl::Archive::kCTC;
-  std::int32_t num_jobs = 5000;      ///< Paper: 5000-job slices.
+  wl::WorkloadSource workload;       ///< Where the trace comes from.
   double size_scale = 1.0;           ///< 1.2 = "20% larger system" (§5.2).
-  core::BasePolicy base = core::BasePolicy::kEasy;
-  std::optional<core::DvfsConfig> dvfs;  ///< nullopt = no-DVFS baseline.
+  core::PolicySpec policy;           ///< Scheduler + DVFS, by name.
+  cluster::GearSet gears = cluster::paper_gear_set();  ///< DVFS operating points.
   double beta = 0.5;                 ///< Paper's beta (Eq. 5).
   power::PowerModelConfig power;     ///< Paper defaults.
-  std::string selector = "FirstFit"; ///< Paper's resource selection policy.
-  /// Extension (paper §7 future work): raise running reduced jobs under
-  /// queue pressure. Only meaningful with base == kEasy.
-  std::optional<core::DynamicRaiseConfig> raise;
   /// Extension (paper §7 future work): per-job beta drawn uniformly from
   /// [first, second] instead of the single platform beta.
   std::optional<std::pair<double, double>> per_job_beta;
 
-  /// "CTC x1.0 EASY BSLD<=2,WQ<=0" — for tables and logs.
+  /// Reads a spec from its serialized form. Accepts partial configs —
+  /// missing keys keep their defaults. Throws bsld::Error on unknown
+  /// workload kinds, archive names, or unregistered policy names.
+  static RunSpec parse(const util::Config& config);
+
+  /// Canonical serialized form: parse(to_config()) == *this and
+  /// re-serializing the parsed spec is byte-identical.
+  [[nodiscard]] util::Config to_config() const;
+
+  /// to_config() rendered as text — the spec's identity. SweepRunner uses
+  /// it to deduplicate identical runs inside a grid.
+  [[nodiscard]] std::string key() const;
+
+  /// "CTC x1.2 EASY BSLD<=2,WQ<=0" — derived from the spec's components
+  /// (wl::source_label + core::policy_label), for tables and logs.
   [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
 };
 
 /// Spec + everything the run produced.
@@ -42,10 +68,18 @@ struct RunResult {
   sim::SimulationResult sim;
 };
 
-/// Executes one spec: generates the canonical archive trace, builds the
-/// gear set / power / time models and the policy, simulates, returns the
-/// result. Deterministic: equal specs yield identical results.
+/// Executes one spec: materializes the workload from its source, builds
+/// the gear set / power / time models and the policy (via the registry),
+/// simulates, returns the result. Deterministic: equal specs yield
+/// identical results.
 RunResult run_one(const RunSpec& spec);
+
+/// Lower-level entry point for callers that already hold a workload (e.g.
+/// hand-written job lists): applies `spec`'s machine scaling, per-job beta
+/// sampling, platform models and policy to `workload`. This is the only
+/// place the library wires a sim::Simulation; run_one() is
+/// wl::load_source + run_workload.
+RunResult run_workload(wl::Workload workload, const RunSpec& spec);
 
 /// Energy of `run` normalized to `baseline` (paper's Figs. 3/7/8 y-axis).
 struct NormalizedEnergy {

@@ -32,18 +32,16 @@ OriginalSizeGrid original_size_grid(std::int32_t num_jobs) {
     for (const double bsld : paper_bsld_thresholds()) {
       for (const auto& wq : paper_wq_thresholds()) {
         RunSpec spec;
-        spec.archive = archive;
-        spec.num_jobs = num_jobs;
+        spec.workload = wl::WorkloadSource::from_archive(archive, num_jobs);
         core::DvfsConfig dvfs;
         dvfs.bsld_threshold = bsld;
         dvfs.wq_threshold = wq;
-        spec.dvfs = dvfs;
+        spec.policy.dvfs = dvfs;
         grid.dvfs_specs.push_back(spec);
       }
     }
     RunSpec baseline;
-    baseline.archive = archive;
-    baseline.num_jobs = num_jobs;
+    baseline.workload = wl::WorkloadSource::from_archive(archive, num_jobs);
     grid.baseline_specs.push_back(baseline);
   }
   return grid;
@@ -55,18 +53,16 @@ EnlargedGrid enlarged_grid(const std::optional<std::int64_t>& wq_threshold,
   for (const wl::Archive archive : wl::all_archives()) {
     for (const double scale : paper_size_scales()) {
       RunSpec spec;
-      spec.archive = archive;
-      spec.num_jobs = num_jobs;
+      spec.workload = wl::WorkloadSource::from_archive(archive, num_jobs);
       spec.size_scale = scale;
       core::DvfsConfig dvfs;
       dvfs.bsld_threshold = 2.0;  // paper: "the medium used value 2"
       dvfs.wq_threshold = wq_threshold;
-      spec.dvfs = dvfs;
+      spec.policy.dvfs = dvfs;
       grid.dvfs_specs.push_back(spec);
     }
     RunSpec baseline;
-    baseline.archive = archive;
-    baseline.num_jobs = num_jobs;
+    baseline.workload = wl::WorkloadSource::from_archive(archive, num_jobs);
     grid.baseline_specs.push_back(baseline);
   }
   return grid;
@@ -95,7 +91,10 @@ GridResults run_grid(const std::vector<RunSpec>& dvfs_specs,
 
 const RunResult& baseline_for(const GridResults& results, wl::Archive archive) {
   for (const RunResult& result : results.baselines) {
-    if (result.spec.archive == archive) return result;
+    if (result.spec.workload.kind == wl::WorkloadSource::Kind::kArchive &&
+        result.spec.workload.archive == archive) {
+      return result;
+    }
   }
   throw Error("baseline_for(): no baseline for archive " +
               wl::archive_name(archive));

@@ -1,0 +1,52 @@
+#include "report/sinks.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace bsld::report {
+
+std::vector<std::string> result_row_headers() {
+  return {"index",        "run",       "cpus",        "avg_bsld",
+          "avg_wait_s",   "reduced",   "boosted",     "energy_comp_j",
+          "energy_total_j", "makespan_s", "utilization"};
+}
+
+std::vector<std::string> result_row(std::size_t index,
+                                    const RunResult& result) {
+  const sim::SimulationResult& sim = result.sim;
+  return {std::to_string(index),
+          result.spec.label(),
+          std::to_string(sim.cpus),
+          util::fmt_double(sim.avg_bsld, 4),
+          util::fmt_double(sim.avg_wait, 1),
+          std::to_string(sim.reduced_jobs),
+          std::to_string(sim.boosted_jobs),
+          util::fmt_double(sim.energy.computational_joules, 0),
+          util::fmt_double(sim.energy.total_joules, 0),
+          std::to_string(sim.makespan),
+          util::fmt_double(sim.utilization, 4)};
+}
+
+CsvResultSink::CsvResultSink(std::ostream& out) : out_(out) {
+  util::CsvWriter(out_).write_row(result_row_headers());
+}
+
+void CsvResultSink::on_result(std::size_t index, const RunResult& result) {
+  util::CsvWriter(out_).write_row(result_row(index, result));
+}
+
+util::Table TableResultSink::table() const {
+  util::Table table(result_row_headers());
+  for (std::size_t c = 2; c < result_row_headers().size(); ++c) {
+    table.set_align(c, util::Align::kRight);
+  }
+  for (const auto& [_, row] : rows_) table.add_row(row);
+  return table;
+}
+
+void TableResultSink::on_result(std::size_t index, const RunResult& result) {
+  rows_[index] = result_row(index, result);
+}
+
+}  // namespace bsld::report

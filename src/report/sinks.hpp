@@ -1,0 +1,50 @@
+/// \file sinks.hpp
+/// \brief Ready-made SweepRunner result sinks: stream a grid's headline
+/// metrics to CSV as runs complete, or collect them into an aligned table
+/// for terminal output. Both render one row per grid slot with the spec's
+/// derived label, so any grid — paper figure or ad-hoc sweep — gets
+/// uniform, diffable output without per-binary wiring.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "report/sweep.hpp"
+#include "util/table.hpp"
+
+namespace bsld::report {
+
+/// The shared column set of both sinks.
+std::vector<std::string> result_row_headers();
+
+/// Renders one result as cells matching result_row_headers().
+std::vector<std::string> result_row(std::size_t index, const RunResult& result);
+
+/// Streams results as CSV rows in completion order (the `index` column
+/// recovers grid order). The header row is written up front.
+class CsvResultSink final : public ResultSink {
+ public:
+  /// Writes into `out`; the stream must outlive the sink.
+  explicit CsvResultSink(std::ostream& out);
+
+  void on_result(std::size_t index, const RunResult& result) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Collects results and renders them as a util::Table in grid order.
+class TableResultSink final : public ResultSink {
+ public:
+  /// The accumulated table; call after SweepRunner::run returns.
+  [[nodiscard]] util::Table table() const;
+
+  void on_result(std::size_t index, const RunResult& result) override;
+
+ private:
+  std::map<std::size_t, std::vector<std::string>> rows_;  ///< grid order.
+};
+
+}  // namespace bsld::report

@@ -4,22 +4,61 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 namespace bsld::report {
 
-std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
-                               unsigned threads) {
+SweepRunner::SweepRunner(Options options) : options_(options) {}
+
+void SweepRunner::add_sink(ResultSink& sink) { sinks_.push_back(&sink); }
+
+void SweepRunner::on_progress(ProgressCallback callback) {
+  callback_ = std::move(callback);
+}
+
+std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
+  progress_ = Progress{};
+  progress_.total = specs.size();
+
+  std::vector<RunResult> results(specs.size());
+  if (specs.empty()) {
+    for (ResultSink* sink : sinks_) sink->on_done(0);
+    return results;
+  }
+
+  // Distinct simulations: `unique[u]` is the representative spec index,
+  // `fanout[u]` every grid slot its result serves.
+  std::vector<std::size_t> unique;
+  std::vector<std::vector<std::size_t>> fanout;
+  if (options_.dedup) {
+    std::unordered_map<std::string, std::size_t> by_key;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto [it, inserted] = by_key.emplace(specs[i].key(), unique.size());
+      if (inserted) {
+        unique.push_back(i);
+        fanout.emplace_back();
+      }
+      fanout[it->second].push_back(i);
+    }
+  } else {
+    unique.resize(specs.size());
+    fanout.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      unique[i] = i;
+      fanout[i] = {i};
+    }
+  }
+
+  unsigned threads = options_.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = std::min<unsigned>(threads, std::max<std::size_t>(specs.size(), 1));
-
-  std::vector<RunResult> results(specs.size());
-  if (specs.empty()) return results;
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<std::size_t>(unique.size(), 1)));
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::mutex mutex;  // results fan-out, progress, sinks, first_error.
 
   {
     std::vector<std::jthread> pool;
@@ -27,12 +66,31 @@ std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
     for (unsigned t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
         while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= specs.size()) return;
+          const std::size_t u = next.fetch_add(1);
+          if (u >= unique.size()) return;
+          RunResult result;
           try {
-            results[i] = run_one(specs[i]);
+            result = run_one(specs[unique[u]]);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const std::lock_guard<std::mutex> lock(mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+          const std::lock_guard<std::mutex> lock(mutex);
+          for (const std::size_t slot : fanout[u]) {
+            results[slot] = result;
+          }
+          progress_.executed += 1;
+          progress_.completed += fanout[u].size();
+          progress_.deduplicated += fanout[u].size() - 1;
+          try {
+            for (ResultSink* sink : sinks_) {
+              for (const std::size_t slot : fanout[u]) {
+                sink->on_result(slot, results[slot]);
+              }
+            }
+            if (callback_) callback_(progress_, specs[unique[u]]);
+          } catch (...) {
             if (!first_error) first_error = std::current_exception();
             return;
           }
@@ -42,7 +100,15 @@ std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
   }  // join
 
   if (first_error) std::rethrow_exception(first_error);
+  for (ResultSink* sink : sinks_) sink->on_done(specs.size());
   return results;
+}
+
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned threads) {
+  SweepRunner::Options options;
+  options.threads = threads;
+  return SweepRunner(options).run(specs);
 }
 
 }  // namespace bsld::report

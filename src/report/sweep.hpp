@@ -6,17 +6,90 @@
 /// and are dispatched over a worker pool of std::jthread. Results come back
 /// in input order regardless of completion order, so parallel and serial
 /// execution are bit-identical (covered by tests).
+///
+/// SweepRunner is the full-featured engine: streaming result sinks that
+/// observe runs as they complete, progress callbacks, and spec-keyed
+/// deduplication (identical specs inside a grid — e.g. a shared baseline —
+/// simulate once and fan the result out). run_all() remains as the thin
+/// compatibility wrapper most call sites need.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "report/experiment.hpp"
 
 namespace bsld::report {
 
-/// Runs all specs, `threads` at a time (0 = hardware concurrency).
-/// Exceptions from any run are rethrown on the calling thread after the
-/// pool drains.
+/// Observer of a sweep's results as they complete (streaming).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once per grid slot, in completion order, serialized under the
+  /// runner's lock. `index` is the slot's position in the submitted grid;
+  /// with dedup on, one simulation may fan out to several indices.
+  virtual void on_result(std::size_t index, const RunResult& result) = 0;
+
+  /// Called once after the whole grid drained successfully.
+  virtual void on_done(std::size_t total) { (void)total; }
+};
+
+/// Runs RunSpec grids over a jthread pool.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency (clamped to the number of
+    /// distinct simulations).
+    unsigned threads = 0;
+    /// Simulate spec-identical grid entries once (keyed on RunSpec::key())
+    /// and copy the result to every duplicate slot. Runs are deterministic,
+    /// so this is observationally equivalent and strictly cheaper.
+    bool dedup = true;
+  };
+
+  /// Counters reported to progress callbacks and kept after run().
+  struct Progress {
+    std::size_t completed = 0;  ///< Grid slots with a result so far.
+    std::size_t total = 0;      ///< Grid size.
+    std::size_t executed = 0;   ///< Simulations actually run so far.
+    std::size_t deduplicated = 0;  ///< Slots served from an identical run.
+  };
+
+  /// Invoked after every completed simulation, serialized under the
+  /// runner's lock; `finished` is the spec that just ran.
+  using ProgressCallback =
+      std::function<void(const Progress& progress, const RunSpec& finished)>;
+
+  SweepRunner() : SweepRunner(Options{}) {}
+  explicit SweepRunner(Options options);
+
+  /// Registers a non-owning streaming sink. Must outlive run().
+  void add_sink(ResultSink& sink);
+
+  /// Registers the progress callback (replacing any previous one).
+  void on_progress(ProgressCallback callback);
+
+  /// Runs all specs and returns results in input order. Exceptions from
+  /// any run are rethrown on the calling thread after the pool drains;
+  /// sinks only see results that completed before the failure and their
+  /// on_done() is not called on error.
+  std::vector<RunResult> run(const std::vector<RunSpec>& specs);
+
+  /// Counters of the most recent run().
+  [[nodiscard]] const Progress& progress() const { return progress_; }
+
+ private:
+  Options options_;
+  std::vector<ResultSink*> sinks_;
+  ProgressCallback callback_;
+  Progress progress_;
+};
+
+/// Compatibility wrapper: runs all specs, `threads` at a time (0 = hardware
+/// concurrency), no sinks, dedup on. Exceptions from any run are rethrown
+/// on the calling thread after the pool drains.
 std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
                                unsigned threads = 0);
 

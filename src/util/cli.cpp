@@ -57,6 +57,12 @@ std::string Cli::get(const std::string& name) const {
   return it->second.value.value_or(it->second.default_value);
 }
 
+bool Cli::given(const std::string& name) const {
+  const auto it = flags_.find(name);
+  BSLD_REQUIRE(it != flags_.end(), "Cli: flag --" + name + " not registered");
+  return it->second.value.has_value();
+}
+
 double Cli::get_double(const std::string& name) const {
   const std::string value = get(name);
   try {

@@ -29,6 +29,11 @@ class Cli {
   bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
+
+  /// True when the flag was explicitly passed on the command line (as
+  /// opposed to falling back to its default). Lets callers layer CLI
+  /// overrides on top of a config-file baseline. Throws on unknown flags.
+  [[nodiscard]] bool given(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -156,6 +157,23 @@ std::string Config::to_string() const {
     os << key << " = " << value << '\n';
   }
   return os.str();
+}
+
+std::string config_double(double value) {
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  BSLD_REQUIRE(ec == std::errc{}, "config_double(): value not representable");
+  return std::string(buffer, end);
+}
+
+std::string config_double_list(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += config_double(values[i]);
+  }
+  return out;
 }
 
 }  // namespace bsld::util

@@ -58,4 +58,12 @@ class Config {
   std::map<std::string, std::string> values_;
 };
 
+/// Shortest decimal form of `value` that parses back to the identical
+/// double (std::to_chars): the canonical value format for serialized
+/// configs, where byte-identical round-trips matter.
+std::string config_double(double value);
+
+/// Comma-separated config_double list ("0.8, 1.1, 1.4").
+std::string config_double_list(const std::vector<double>& values);
+
 }  // namespace bsld::util

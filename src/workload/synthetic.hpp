@@ -45,6 +45,8 @@ struct ArrivalModel {
   double daily_amplitude = 0.5;
   /// Hour of day (0-24) at which the arrival rate peaks.
   double peak_hour = 14.0;
+
+  friend bool operator==(const ArrivalModel&, const ArrivalModel&) = default;
 };
 
 /// Job-size distribution parameters.
@@ -55,6 +57,8 @@ struct SizeModel {
   double log2_mean = 3.0;         ///< Mean of log2(size) for parallel jobs.
   double log2_sigma = 1.5;        ///< Stddev of log2(size).
   double p_power_of_two = 0.6;    ///< Probability of snapping to 2^k.
+
+  friend bool operator==(const SizeModel&, const SizeModel&) = default;
 };
 
 /// One lognormal runtime class of the mixture.
@@ -62,6 +66,8 @@ struct RuntimeClass {
   double weight = 1.0;  ///< Mixture weight (normalized internally).
   double mu = 6.0;      ///< Mean of ln(runtime seconds).
   double sigma = 1.0;   ///< Stddev of ln(runtime seconds).
+
+  friend bool operator==(const RuntimeClass&, const RuntimeClass&) = default;
 };
 
 /// Runtime mixture parameters.
@@ -70,6 +76,8 @@ struct RuntimeModel {
   std::vector<RuntimeClass> classes = std::vector<RuntimeClass>(1);
   Time min_runtime = 1;
   Time max_runtime = 36 * 3600;
+
+  friend bool operator==(const RuntimeModel&, const RuntimeModel&) = default;
 };
 
 /// Requested-time (user estimate) model.
@@ -79,6 +87,8 @@ struct EstimateModel {
   double factor_sigma = 0.9;    ///< ln of the overestimation factor: stddev.
   bool round_to_nice = true;    ///< Round estimates up to human-ish values.
   Time max_requested = 36 * 3600;  ///< Site limit on estimates.
+
+  friend bool operator==(const EstimateModel&, const EstimateModel&) = default;
 };
 
 /// Complete generator profile.
@@ -90,6 +100,8 @@ struct WorkloadSpec {
   SizeModel size;
   RuntimeModel runtime;
   EstimateModel estimate;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
 /// Generates a workload from `spec` with deterministic randomness derived

@@ -41,12 +41,11 @@ TEST(PerJobBetaTest, NegativeBetaFallsBackToModel) {
 
 TEST(PerJobBetaTest, RunSpecSamplesDeterministically) {
   report::RunSpec spec;
-  spec.archive = wl::Archive::kLLNLThunder;
-  spec.num_jobs = 300;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kLLNLThunder, 300);
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 2.0;
   dvfs.wq_threshold = std::nullopt;
-  spec.dvfs = dvfs;
+  spec.policy.dvfs = dvfs;
   spec.per_job_beta = {{0.2, 0.8}};
   const auto a = report::run_one(spec);
   const auto b = report::run_one(spec);
@@ -58,12 +57,12 @@ TEST(PerJobBetaTest, SpreadBracketsTheUniformCase) {
   // Mean-preserving beta spread keeps energy near the uniform-beta run
   // (coef is linear in beta, so only scheduling feedback differs).
   report::RunSpec uniform;
-  uniform.archive = wl::Archive::kLLNLThunder;
-  uniform.num_jobs = 800;
+  uniform.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kLLNLThunder, 800);
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 2.0;
   dvfs.wq_threshold = std::nullopt;
-  uniform.dvfs = dvfs;
+  uniform.policy.dvfs = dvfs;
 
   report::RunSpec spread = uniform;
   spread.per_job_beta = {{0.2, 0.8}};
@@ -76,17 +75,17 @@ TEST(PerJobBetaTest, SpreadBracketsTheUniformCase) {
 
 TEST(DynamicRaiseSpecTest, RaiseThroughRunSpec) {
   report::RunSpec plain;
-  plain.archive = wl::Archive::kLLNLThunder;
-  plain.num_jobs = 1000;
+  plain.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kLLNLThunder, 1000);
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 2.0;
   dvfs.wq_threshold = std::nullopt;
-  plain.dvfs = dvfs;
+  plain.policy.dvfs = dvfs;
 
   report::RunSpec raised = plain;
   core::DynamicRaiseConfig raise;
   raise.queue_limit = 4;
-  raised.raise = raise;
+  raised.policy.raise = raise;
 
   const auto results = report::run_all({plain, raised});
   // Raising can only help performance and costs some of the savings.
@@ -98,15 +97,15 @@ TEST(DynamicRaiseSpecTest, RaiseThroughRunSpec) {
 
 TEST(DynamicRaiseSpecTest, NoBoostsWithoutPressure) {
   report::RunSpec spec;
-  spec.archive = wl::Archive::kLLNLAtlas;
-  spec.num_jobs = 300;
+  spec.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kLLNLAtlas, 300);
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 2.0;
   dvfs.wq_threshold = 0;
-  spec.dvfs = dvfs;
+  spec.policy.dvfs = dvfs;
   core::DynamicRaiseConfig raise;
   raise.queue_limit = 1000000;  // unreachable
-  spec.raise = raise;
+  spec.policy.raise = raise;
   const auto result = report::run_one(spec);
   EXPECT_EQ(result.sim.boosted_jobs, 0);
 }

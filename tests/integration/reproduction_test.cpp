@@ -13,19 +13,17 @@ namespace {
 RunSpec dvfs_spec(wl::Archive archive, double threshold,
                   std::optional<std::int64_t> wq, std::int32_t jobs = 1500) {
   RunSpec spec;
-  spec.archive = archive;
-  spec.num_jobs = jobs;
+  spec.workload = wl::WorkloadSource::from_archive(archive, jobs);
   core::DvfsConfig config;
   config.bsld_threshold = threshold;
   config.wq_threshold = wq;
-  spec.dvfs = config;
+  spec.policy.dvfs = config;
   return spec;
 }
 
 RunSpec baseline_spec(wl::Archive archive, std::int32_t jobs = 1500) {
   RunSpec spec;
-  spec.archive = archive;
-  spec.num_jobs = jobs;
+  spec.workload = wl::WorkloadSource::from_archive(archive, jobs);
   return spec;
 }
 

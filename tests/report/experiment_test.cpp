@@ -2,32 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "util/error.hpp"
+#include "workload/swf.hpp"
 
 namespace bsld::report {
 namespace {
 
 TEST(RunSpecTest, LabelFormats) {
   RunSpec spec;
-  spec.archive = wl::Archive::kCTC;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kCTC);
   EXPECT_EQ(spec.label(), "CTC x1 EASY noDVFS");
 
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 1.5;
   dvfs.wq_threshold = 16;
-  spec.dvfs = dvfs;
+  spec.policy.dvfs = dvfs;
   spec.size_scale = 1.2;
   EXPECT_EQ(spec.label(), "CTC x1.2 EASY BSLD<=1.5,WQ<=16");
 
-  spec.dvfs->wq_threshold = std::nullopt;
-  spec.base = core::BasePolicy::kFcfs;
+  spec.policy.dvfs->wq_threshold = std::nullopt;
+  spec.policy.name = "fcfs";
   EXPECT_EQ(spec.label(), "CTC x1.2 FCFS BSLD<=1.5,WQ<=NO");
+
+  // Derived, not hand-formatted: the dynamic-raise extension and non-archive
+  // sources flow through the same components.
+  spec.policy.name = "easy";
+  core::DynamicRaiseConfig raise;
+  raise.queue_limit = 16;
+  spec.policy.raise = raise;
+  EXPECT_EQ(spec.label(), "CTC x1.2 EASY+raise>16 BSLD<=1.5,WQ<=NO");
 }
 
 TEST(RunOneTest, DeterministicForEqualSpecs) {
   RunSpec spec;
-  spec.archive = wl::Archive::kSDSC;
-  spec.num_jobs = 400;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 400);
   const RunResult a = run_one(spec);
   const RunResult b = run_one(spec);
   EXPECT_DOUBLE_EQ(a.sim.avg_bsld, b.sim.avg_bsld);
@@ -36,16 +46,15 @@ TEST(RunOneTest, DeterministicForEqualSpecs) {
 
 TEST(RunOneTest, SizeScaleChangesMachine) {
   RunSpec spec;
-  spec.archive = wl::Archive::kSDSC;  // 128 CPUs
-  spec.num_jobs = 300;
+  spec.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 300);  // 128 CPUs
   spec.size_scale = 1.5;
   EXPECT_EQ(run_one(spec).sim.cpus, 192);
 }
 
 TEST(RunOneTest, ShrunkenMachineClampsJobSizes) {
   RunSpec spec;
-  spec.archive = wl::Archive::kSDSC;
-  spec.num_jobs = 300;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 300);
   spec.size_scale = 0.25;  // 32 CPUs; the trace has larger jobs
   const RunResult result = run_one(spec);
   EXPECT_EQ(result.sim.cpus, 32);
@@ -56,13 +65,13 @@ TEST(RunOneTest, ShrunkenMachineClampsJobSizes) {
 
 TEST(RunOneTest, BetaZeroMeansNoDilation) {
   RunSpec spec;
-  spec.archive = wl::Archive::kLLNLThunder;
-  spec.num_jobs = 300;
+  spec.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kLLNLThunder, 300);
   spec.beta = 0.0;
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = 3.0;
   dvfs.wq_threshold = std::nullopt;
-  spec.dvfs = dvfs;
+  spec.policy.dvfs = dvfs;
   const RunResult result = run_one(spec);
   for (const sim::JobOutcome& job : result.sim.jobs) {
     EXPECT_EQ(job.scaled_runtime, job.run_time_top);
@@ -70,6 +79,57 @@ TEST(RunOneTest, BetaZeroMeansNoDilation) {
   // With beta = 0 reduction is free: everything runs at the lowest gear.
   EXPECT_EQ(result.sim.reduced_jobs,
             static_cast<std::int64_t>(result.sim.jobs.size()));
+}
+
+TEST(RunOneTest, AcceptsAllThreeWorkloadSources) {
+  // Archive.
+  RunSpec archive;
+  archive.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 200);
+  const RunResult from_archive = run_one(archive);
+  EXPECT_EQ(from_archive.sim.jobs.size(), 200u);
+
+  // SWF file: write the same trace to disk and replay it.
+  const std::string path = ::testing::TempDir() + "experiment_test_sdsc.swf";
+  wl::save_swf_file(path, wl::load_source(archive.workload));
+  RunSpec swf;
+  swf.workload = wl::WorkloadSource::from_swf(path);
+  const RunResult from_swf = run_one(swf);
+  std::remove(path.c_str());
+  EXPECT_EQ(from_swf.sim.jobs.size(), from_archive.sim.jobs.size());
+  EXPECT_DOUBLE_EQ(from_swf.sim.avg_bsld, from_archive.sim.avg_bsld);
+
+  // Inline generator spec.
+  wl::WorkloadSpec profile;
+  profile.cpus = 32;
+  profile.num_jobs = 100;
+  RunSpec inline_spec;
+  inline_spec.workload = wl::WorkloadSource::from_spec(profile, 5);
+  const RunResult from_inline = run_one(inline_spec);
+  EXPECT_EQ(from_inline.sim.jobs.size(), 100u);
+  EXPECT_EQ(from_inline.sim.cpus, 32);
+}
+
+TEST(RunWorkloadTest, HandBuiltWorkloadSharesTheMachinery) {
+  wl::Workload load;
+  load.name = "tiny";
+  load.cpus = 4;
+  load.jobs = {{1, 0, 100, 120, 2, 0, -1.0}, {2, 0, 100, 120, 2, 0, -1.0}};
+  const RunResult result = run_workload(load, RunSpec{});
+  EXPECT_EQ(result.sim.cpus, 4);
+  EXPECT_EQ(result.sim.jobs.size(), 2u);
+  EXPECT_GT(result.sim.energy.total_joules, 0.0);
+}
+
+TEST(RunWorkloadTest, SizeScaleAppliesToHandBuiltWorkloads) {
+  wl::Workload load;
+  load.name = "tiny";
+  load.cpus = 8;
+  load.jobs = {{1, 0, 100, 120, 8, 0, -1.0}};
+  RunSpec spec;
+  spec.size_scale = 0.5;  // 4 CPUs; the job must be clamped
+  const RunResult result = run_workload(load, spec);
+  EXPECT_EQ(result.sim.cpus, 4);
+  EXPECT_EQ(result.sim.jobs[0].size, 4);
 }
 
 TEST(RunOneTest, InvalidScaleRejected) {

@@ -1,0 +1,138 @@
+/// \file spec_io_test.cpp
+/// \brief RunSpec serialization: parse/format round-trips must be
+/// byte-identical, parsed specs must equal their source specs, and a spec
+/// replayed from its serialized form must reproduce the original results
+/// bit-for-bit — the property that makes run configs savable, diffable and
+/// replayable.
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "util/error.hpp"
+
+namespace bsld::report {
+namespace {
+
+std::vector<RunSpec> representative_specs() {
+  std::vector<RunSpec> specs;
+
+  specs.emplace_back();  // all defaults
+
+  {
+    RunSpec spec;
+    spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 300, 9);
+    spec.size_scale = 1.5;
+    core::DvfsConfig dvfs;
+    dvfs.bsld_threshold = 1.5;
+    dvfs.wq_threshold = 16;
+    spec.policy.dvfs = dvfs;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;
+    spec.policy.name = "conservative";
+    spec.policy.selector = "LastFit";
+    core::DvfsConfig dvfs;
+    dvfs.wq_threshold = std::nullopt;
+    dvfs.backfill_requires_bsld_at_top = false;
+    spec.policy.dvfs = dvfs;
+    spec.beta = 0.3;
+    spec.power.top_active_power_watts = 120.0;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;  // dynamic raise + per-job beta + custom gears
+    core::DvfsConfig dvfs;
+    spec.policy.dvfs = dvfs;
+    core::DynamicRaiseConfig raise;
+    raise.queue_limit = 8;
+    spec.policy.raise = raise;
+    spec.per_job_beta = {{0.25, 0.75}};
+    spec.gears = cluster::GearSet({{1.0, 1.0}, {2.0, 1.25}, {3.0, 1.5}});
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;
+    spec.workload = wl::WorkloadSource::from_swf("traces/real.swf", 2000, 512);
+    spec.policy.name = "fcfs";
+    specs.push_back(spec);
+  }
+  {
+    wl::WorkloadSpec workload;
+    workload.name = "inline";
+    workload.cpus = 48;
+    workload.num_jobs = 200;
+    workload.runtime.classes = {{0.5, 4.0, 0.5}, {0.5, 7.5, 1.5}};
+    RunSpec spec;
+    spec.workload = wl::WorkloadSource::from_spec(workload, 3);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+TEST(SpecIoTest, ParseFormatRoundTripIsByteIdentical) {
+  for (const RunSpec& spec : representative_specs()) {
+    const std::string text = spec.to_config().to_string();
+    const RunSpec parsed = RunSpec::parse(util::Config::parse(text));
+    EXPECT_EQ(parsed, spec) << text;
+    EXPECT_EQ(parsed.to_config().to_string(), text);
+    EXPECT_EQ(parsed.key(), spec.key());
+    EXPECT_EQ(parsed.label(), spec.label());
+  }
+}
+
+TEST(SpecIoTest, PartialConfigKeepsDefaults) {
+  const RunSpec parsed = RunSpec::parse(util::Config::parse(
+      "workload.archive = SDSCBlue\npolicy.name = fcfs\n"));
+  RunSpec expected;
+  expected.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSCBlue);
+  expected.policy.name = "fcfs";
+  EXPECT_EQ(parsed, expected);
+}
+
+TEST(SpecIoTest, ReplayedSpecReproducesResults) {
+  RunSpec spec;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 250);
+  core::DvfsConfig dvfs;
+  dvfs.bsld_threshold = 2.0;
+  dvfs.wq_threshold = 4;
+  spec.policy.dvfs = dvfs;
+
+  const RunSpec replayed =
+      RunSpec::parse(util::Config::parse(spec.to_config().to_string()));
+  const RunResult original = run_one(spec);
+  const RunResult replay = run_one(replayed);
+  EXPECT_DOUBLE_EQ(original.sim.avg_bsld, replay.sim.avg_bsld);
+  EXPECT_DOUBLE_EQ(original.sim.energy.total_joules,
+                   replay.sim.energy.total_joules);
+  EXPECT_EQ(original.sim.makespan, replay.sim.makespan);
+  EXPECT_EQ(original.sim.reduced_jobs, replay.sim.reduced_jobs);
+}
+
+TEST(SpecIoTest, EqualSpecsShareTheKey) {
+  RunSpec a;
+  RunSpec b;
+  EXPECT_EQ(a.key(), b.key());
+  b.size_scale = 1.2;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(SpecIoTest, MalformedPerJobBetaRejected) {
+  EXPECT_THROW((void)RunSpec::parse(
+                   util::Config::parse("beta.per_job = 0.5\n")),
+               Error);
+}
+
+TEST(SpecIoTest, UnknownPolicyRejected) {
+  EXPECT_THROW((void)RunSpec::parse(
+                   util::Config::parse("policy.name = round-robin\n")),
+               Error);
+}
+
+TEST(SpecIoTest, UnknownWorkloadKindRejected) {
+  EXPECT_THROW((void)RunSpec::parse(
+                   util::Config::parse("workload.source = database\n")),
+               Error);
+}
+
+}  // namespace
+}  // namespace bsld::report

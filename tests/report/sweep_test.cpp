@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "report/figures.hpp"
+#include "report/sinks.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace bsld::report {
@@ -14,12 +19,11 @@ std::vector<RunSpec> small_grid() {
        {wl::Archive::kCTC, wl::Archive::kSDSC, wl::Archive::kSDSCBlue}) {
     for (const double threshold : {1.5, 2.0}) {
       RunSpec spec;
-      spec.archive = archive;
-      spec.num_jobs = 250;
+      spec.workload = wl::WorkloadSource::from_archive(archive, 250);
       core::DvfsConfig dvfs;
       dvfs.bsld_threshold = threshold;
       dvfs.wq_threshold = 4;
-      spec.dvfs = dvfs;
+      spec.policy.dvfs = dvfs;
       specs.push_back(spec);
     }
   }
@@ -44,9 +48,9 @@ TEST(SweepTest, ResultsComeBackInInputOrder) {
   const auto results = run_all(specs, 3);
   ASSERT_EQ(results.size(), specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    EXPECT_EQ(results[i].spec.archive, specs[i].archive);
-    EXPECT_DOUBLE_EQ(results[i].spec.dvfs->bsld_threshold,
-                     specs[i].dvfs->bsld_threshold);
+    EXPECT_EQ(results[i].spec.workload.archive, specs[i].workload.archive);
+    EXPECT_DOUBLE_EQ(results[i].spec.policy.dvfs->bsld_threshold,
+                     specs[i].policy.dvfs->bsld_threshold);
   }
 }
 
@@ -57,8 +61,7 @@ TEST(SweepTest, EmptyInput) {
 TEST(SweepTest, MoreThreadsThanWork) {
   std::vector<RunSpec> specs;
   RunSpec spec;
-  spec.archive = wl::Archive::kSDSC;
-  spec.num_jobs = 200;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 200);
   specs.push_back(spec);
   const auto results = run_all(specs, 16);
   ASSERT_EQ(results.size(), 1u);
@@ -80,8 +83,7 @@ TEST(SweepTest, ThreadCountFarAboveSpecCountMatchesSerial) {
   std::vector<RunSpec> specs;
   for (const wl::Archive archive : {wl::Archive::kCTC, wl::Archive::kSDSC}) {
     RunSpec spec;
-    spec.archive = archive;
-    spec.num_jobs = 150;
+    spec.workload = wl::WorkloadSource::from_archive(archive, 150);
     specs.push_back(spec);
   }
   const auto serial = run_all(specs, 1);
@@ -101,6 +103,132 @@ TEST(SweepTest, ExceptionsPropagate) {
   EXPECT_THROW((void)run_all(specs, 4), Error);
 }
 
+TEST(SweepRunnerTest, DedupExecutesIdenticalSpecsOnce) {
+  // A grid with heavy duplication: 3 distinct specs, each submitted 3x.
+  std::vector<RunSpec> distinct = small_grid();
+  distinct.resize(3);
+  std::vector<RunSpec> specs;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    specs.insert(specs.end(), distinct.begin(), distinct.end());
+  }
+
+  SweepRunner::Options dedup_on;
+  dedup_on.threads = 2;
+  SweepRunner runner(dedup_on);
+  const auto deduped = runner.run(specs);
+  EXPECT_EQ(runner.progress().total, 9u);
+  EXPECT_EQ(runner.progress().completed, 9u);
+  EXPECT_EQ(runner.progress().executed, 3u);
+  EXPECT_EQ(runner.progress().deduplicated, 6u);
+
+  SweepRunner::Options dedup_off;
+  dedup_off.threads = 2;
+  dedup_off.dedup = false;
+  SweepRunner full(dedup_off);
+  const auto all = full.run(specs);
+  EXPECT_EQ(full.progress().executed, 9u);
+  EXPECT_EQ(full.progress().deduplicated, 0u);
+
+  ASSERT_EQ(deduped.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(deduped[i].spec, all[i].spec);
+    EXPECT_DOUBLE_EQ(deduped[i].sim.avg_bsld, all[i].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(deduped[i].sim.energy.total_joules,
+                     all[i].sim.energy.total_joules);
+    EXPECT_EQ(deduped[i].sim.makespan, all[i].sim.makespan);
+  }
+}
+
+TEST(SweepRunnerTest, ProgressCallbackObservesEveryCompletion) {
+  const std::vector<RunSpec> specs = small_grid();
+  SweepRunner runner(SweepRunner::Options{.threads = 3, .dedup = true});
+  std::size_t calls = 0;
+  std::size_t last_completed = 0;
+  runner.on_progress([&](const SweepRunner::Progress& progress,
+                         const RunSpec& finished) {
+    ++calls;
+    EXPECT_GT(progress.completed, last_completed);  // monotone under the lock
+    last_completed = progress.completed;
+    EXPECT_EQ(progress.total, specs.size());
+    EXPECT_FALSE(finished.label().empty());
+  });
+  (void)runner.run(specs);
+  EXPECT_EQ(calls, specs.size());  // small_grid has no duplicates
+  EXPECT_EQ(last_completed, specs.size());
+}
+
+TEST(SweepRunnerTest, SinksSeeEverySlotExactlyOnce) {
+  // Duplicate the first spec so dedup fans one run out to two slots.
+  std::vector<RunSpec> specs = small_grid();
+  specs.resize(3);
+  specs.push_back(specs[0]);
+
+  class CountingSink final : public ResultSink {
+   public:
+    std::vector<int> seen;
+    std::size_t done_total = 0;
+    void on_result(std::size_t index, const RunResult& result) override {
+      ASSERT_LT(index, seen.size());
+      ++seen[index];
+      EXPECT_GT(result.sim.avg_bsld, 0.0);
+    }
+    void on_done(std::size_t total) override { done_total = total; }
+  };
+  CountingSink sink;
+  sink.seen.assign(specs.size(), 0);
+
+  SweepRunner runner(SweepRunner::Options{.threads = 2, .dedup = true});
+  runner.add_sink(sink);
+  (void)runner.run(specs);
+  for (const int count : sink.seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(sink.done_total, specs.size());
+}
+
+TEST(SweepRunnerTest, CsvSinkStreamsHeaderAndRows) {
+  std::vector<RunSpec> specs = small_grid();
+  specs.resize(2);
+  std::ostringstream out;
+  CsvResultSink sink(out);
+  SweepRunner runner(SweepRunner::Options{.threads = 2, .dedup = true});
+  runner.add_sink(sink);
+  (void)runner.run(specs);
+
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 3u);  // header + one row per spec
+  EXPECT_EQ(rows[0], result_row_headers());
+  // Completion order is nondeterministic; the index column recovers it.
+  std::vector<std::string> indices = {rows[1][0], rows[2][0]};
+  std::sort(indices.begin(), indices.end());
+  EXPECT_EQ(indices, (std::vector<std::string>{"0", "1"}));
+}
+
+TEST(SweepRunnerTest, TableSinkCollectsInGridOrder) {
+  std::vector<RunSpec> specs = small_grid();
+  specs.resize(3);
+  TableResultSink sink;
+  SweepRunner runner(SweepRunner::Options{.threads = 3, .dedup = true});
+  runner.add_sink(sink);
+  const auto results = runner.run(specs);
+  const util::Table table = sink.table();
+  EXPECT_EQ(table.rows(), specs.size());
+  const std::string rendered = table.to_string();
+  for (const auto& result : results) {
+    EXPECT_NE(rendered.find(result.spec.label()), std::string::npos);
+  }
+}
+
+TEST(SweepRunnerTest, RunAllIsAThinWrapper) {
+  std::vector<RunSpec> specs = small_grid();
+  specs.resize(2);
+  const auto wrapped = run_all(specs, 2);
+  SweepRunner runner(SweepRunner::Options{.threads = 2, .dedup = true});
+  const auto direct = runner.run(specs);
+  ASSERT_EQ(wrapped.size(), direct.size());
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wrapped[i].sim.avg_bsld, direct[i].sim.avg_bsld);
+  }
+}
+
 TEST(FiguresTest, PaperGridsHaveExpectedShapes) {
   EXPECT_EQ(paper_bsld_thresholds().size(), 3u);
   EXPECT_EQ(paper_wq_thresholds().size(), 4u);
@@ -115,9 +243,9 @@ TEST(FiguresTest, PaperGridsHaveExpectedShapes) {
   const EnlargedGrid enlarged = enlarged_grid(std::nullopt, 100);
   EXPECT_EQ(enlarged.dvfs_specs.size(), 5u * 7u);
   for (const RunSpec& spec : enlarged.dvfs_specs) {
-    ASSERT_TRUE(spec.dvfs.has_value());
-    EXPECT_DOUBLE_EQ(spec.dvfs->bsld_threshold, 2.0);
-    EXPECT_FALSE(spec.dvfs->wq_threshold.has_value());
+    ASSERT_TRUE(spec.policy.dvfs.has_value());
+    EXPECT_DOUBLE_EQ(spec.policy.dvfs->bsld_threshold, 2.0);
+    EXPECT_FALSE(spec.policy.dvfs->wq_threshold.has_value());
   }
 }
 
@@ -131,7 +259,7 @@ TEST(FiguresTest, RunGridSplitsAndBaselineLookupWorks) {
   const GridResults results = run_grid(dvfs, baselines, 4);
   EXPECT_EQ(results.dvfs.size(), 4u);
   EXPECT_EQ(results.baselines.size(), 1u);
-  EXPECT_EQ(baseline_for(results, wl::Archive::kCTC).spec.archive,
+  EXPECT_EQ(baseline_for(results, wl::Archive::kCTC).spec.workload.archive,
             wl::Archive::kCTC);
   EXPECT_THROW((void)baseline_for(results, wl::Archive::kSDSC), Error);
 }
