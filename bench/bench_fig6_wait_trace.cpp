@@ -3,14 +3,20 @@
 /// and without frequency scaling (BSLDthreshold = 2, WQthreshold = 16).
 ///
 /// The paper plots wait time (seconds) over a window of the trace and shows
-/// the DVFS line sitting well above the original. This bench prints summary
-/// statistics of both series, a bucketed view of the zoom window, and
-/// writes the full two-column series to fig6_wait_trace.csv for plotting.
+/// the DVFS line sitting well above the original. The wait series is
+/// captured where it happens — by the sim::WaitQueueTrace instrument
+/// attached through RunSpec::instruments — so the runs stream in
+/// retain_jobs=false mode and never retain per-job outcome vectors. This
+/// bench prints summary statistics of both series, a bucketed view of the
+/// zoom window, and writes the full two-column series to
+/// fig6_wait_trace.csv for plotting.
 #include <fstream>
 #include <iostream>
 
-#include "report/figures.hpp"
+#include "report/sweep.hpp"
+#include "sim/instruments.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +25,8 @@ using namespace bsld;
 int main() {
   report::RunSpec orig;
   orig.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSCBlue);
+  orig.instruments = {"wait-trace"};
+  orig.retain_jobs = false;  // the instrument is the only per-job view
 
   report::RunSpec dvfs = orig;
   core::DvfsConfig config;
@@ -27,15 +35,21 @@ int main() {
   dvfs.policy.dvfs = config;
 
   const std::vector<report::RunResult> results = report::run_all({orig, dvfs});
-  const auto& orig_jobs = results[0].sim.jobs;
-  const auto& dvfs_jobs = results[1].sim.jobs;
+  const auto* orig_trace =
+      report::instrument_as<sim::WaitQueueTrace>(results[0], "wait-trace");
+  const auto* dvfs_trace =
+      report::instrument_as<sim::WaitQueueTrace>(results[1], "wait-trace");
+  BSLD_REQUIRE(orig_trace != nullptr && dvfs_trace != nullptr,
+               "fig6: wait-trace instrument missing from results");
+  const auto& orig_waits = orig_trace->waits();
+  const auto& dvfs_waits = dvfs_trace->waits();
 
   std::cout << "Figure 6 — SDSCBlue wait-time behaviour: Orig vs DVFS(2,16)\n\n";
 
   util::RunningStats orig_stats;
   util::RunningStats dvfs_stats;
-  for (const auto& job : orig_jobs) orig_stats.add(static_cast<double>(job.wait()));
-  for (const auto& job : dvfs_jobs) dvfs_stats.add(static_cast<double>(job.wait()));
+  for (const auto& job : orig_waits) orig_stats.add(static_cast<double>(job.wait));
+  for (const auto& job : dvfs_waits) dvfs_stats.add(static_cast<double>(job.wait));
 
   util::Table summary({"Series", "Mean wait (s)", "Max wait (s)", "Stddev"});
   for (std::size_t c = 1; c < 4; ++c) summary.set_align(c, util::Align::kRight);
@@ -49,8 +63,8 @@ int main() {
 
   // Zoom: the middle of the trace, bucketed for terminal display (the
   // paper's figure zooms a comparable slice).
-  const std::size_t lo = orig_jobs.size() * 2 / 5;
-  const std::size_t hi = orig_jobs.size() * 3 / 5;
+  const std::size_t lo = orig_waits.size() * 2 / 5;
+  const std::size_t hi = orig_waits.size() * 3 / 5;
   constexpr std::size_t kBuckets = 20;
   util::Table zoom({"Jobs", "Orig mean wait (s)", "DVFS_2_16 mean wait (s)"});
   zoom.set_align(1, util::Align::kRight);
@@ -62,8 +76,8 @@ int main() {
     util::RunningStats orig_bucket;
     util::RunningStats dvfs_bucket;
     for (std::size_t i = start; i < end; ++i) {
-      orig_bucket.add(static_cast<double>(orig_jobs[i].wait()));
-      dvfs_bucket.add(static_cast<double>(dvfs_jobs[i].wait()));
+      orig_bucket.add(static_cast<double>(orig_waits[i].wait));
+      dvfs_bucket.add(static_cast<double>(dvfs_waits[i].wait));
     }
     zoom.add_row({std::to_string(start) + "-" + std::to_string(end - 1),
                   util::fmt_double(orig_bucket.mean(), 0),
@@ -75,10 +89,10 @@ int main() {
   std::ofstream csv_file("fig6_wait_trace.csv");
   util::CsvWriter csv(csv_file);
   csv.write_row({"job_index", "submit_s", "wait_orig_s", "wait_dvfs_2_16_s"});
-  for (std::size_t i = 0; i < orig_jobs.size(); ++i) {
-    csv.write_row({std::to_string(i), std::to_string(orig_jobs[i].submit),
-                   std::to_string(orig_jobs[i].wait()),
-                   std::to_string(dvfs_jobs[i].wait())});
+  for (std::size_t i = 0; i < orig_waits.size(); ++i) {
+    csv.write_row({std::to_string(i), std::to_string(orig_waits[i].submit),
+                   std::to_string(orig_waits[i].wait),
+                   std::to_string(dvfs_waits[i].wait)});
   }
   std::cout << "Full series written to fig6_wait_trace.csv\n"
             << "Shape check: the DVFS series sits above the original.\n";

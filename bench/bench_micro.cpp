@@ -113,6 +113,35 @@ void BM_SweepThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// Streaming vs retained measurement on a large synthetic workload:
+/// Arg(1) keeps the full JobOutcome vector (the default), Arg(0) runs the
+/// aggregate-only observer set. The `retained_kb` counter reports the
+/// per-run memory the streaming mode avoids; SimulationResult aggregates
+/// are bit-identical either way (covered by the integration suite).
+void BM_RetainJobsMode(benchmark::State& state) {
+  const bool retain = state.range(0) != 0;
+  constexpr std::int32_t kJobs = 60'000;
+  report::RunSpec spec;
+  spec.workload =
+      wl::WorkloadSource::from_archive(wl::Archive::kLLNLThunder, kJobs);
+  core::DvfsConfig dvfs;
+  dvfs.bsld_threshold = 2.0;
+  dvfs.wq_threshold = 16;
+  spec.policy.dvfs = dvfs;
+  spec.retain_jobs = retain;
+  double retained_kb = 0.0;
+  for (auto _ : state) {
+    const report::RunResult result = report::run_one(spec);
+    benchmark::DoNotOptimize(result.sim.avg_bsld);
+    retained_kb = static_cast<double>(result.sim.jobs.capacity() *
+                                      sizeof(sim::JobOutcome)) /
+                  1024.0;
+  }
+  state.counters["retained_kb"] = retained_kb;
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_RetainJobsMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

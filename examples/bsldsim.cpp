@@ -9,6 +9,10 @@
 ///      ./bsldsim --workload trace.swf --policy conservative --platform p.conf
 ///      ./bsldsim --spec run.conf                # replay a saved spec
 ///      ./bsldsim --workload CTC --save-spec run.conf   # save for later
+///      ./bsldsim --instruments wait-trace,utilization --instruments-out .
+///      ./bsldsim --format jsonl                 # one JSON object, machine-readable
+///      ./bsldsim --list-policies                # registry contents
+///      ./bsldsim --list-instruments
 ///
 /// With --spec, the file provides the baseline and explicitly-passed flags
 /// override it; --save-spec writes the effective spec in its canonical
@@ -24,8 +28,10 @@
 #include <iostream>
 
 #include "report/experiment.hpp"
+#include "report/sinks.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 #include <fstream>
@@ -56,7 +62,41 @@ int main(int argc, char** argv) try {
                "dynamic-raise queue limit (-1 = off; extension, easy only)");
   cli.add_flag("scale", "1.0", "machine size multiplier (1.2 = +20%)");
   cli.add_flag("out", "", "write per-job outcomes to this CSV file");
+  cli.add_flag("instruments", "",
+               "comma-separated extra instruments (see --list-instruments), "
+               "e.g. wait-trace,utilization");
+  cli.add_flag("instruments-out", "",
+               "write each instrument's CSV to <dir>/<name>.csv instead of "
+               "printing a summary");
+  cli.add_flag("retain-jobs", "true",
+               "keep per-job outcomes in memory; false = streaming "
+               "aggregate-only run (O(1) memory, disables --out)");
+  cli.add_flag("format", "table",
+               "result output format: table, csv, or jsonl");
+  cli.add_flag("list-policies", "false",
+               "print the policy/assigner registry contents and exit");
+  cli.add_flag("list-instruments", "false",
+               "print the instrument registry contents and exit");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_bool("list-policies")) {
+    const core::PolicyRegistry& registry = core::PolicyRegistry::global();
+    std::cout << "policies:";
+    for (const std::string& name : registry.policy_names())
+      std::cout << ' ' << name;
+    std::cout << "\nassigners:";
+    for (const std::string& name : registry.assigner_names())
+      std::cout << ' ' << name;
+    std::cout << '\n';
+    return 0;
+  }
+  if (cli.get_bool("list-instruments")) {
+    std::cout << "instruments:";
+    for (const std::string& name : sim::InstrumentRegistry::global().names())
+      std::cout << ' ' << name;
+    std::cout << '\n';
+    return 0;
+  }
 
   // Baseline spec: the --spec file when given, defaults otherwise.
   const bool from_file = !cli.get("spec").empty();
@@ -120,42 +160,87 @@ int main(int argc, char** argv) try {
     }
   }
   if (overrides("scale")) spec.size_scale = cli.get_double("scale");
+  if (overrides("instruments")) {
+    // Same trimming/splitting as the `instruments` spec-file key.
+    util::Config list;
+    list.set("instruments", cli.get("instruments"));
+    spec.instruments = list.get_string_list("instruments", {});
+  }
+  // Validate before --save-spec so a typo cannot persist an unreplayable
+  // spec file; the registry error lists what is registered.
+  for (const std::string& name : spec.instruments) {
+    sim::InstrumentRegistry::global().require(name);
+  }
+  if (overrides("retain-jobs")) spec.retain_jobs = cli.get_bool("retain-jobs");
+
+  const std::string format = cli.get("format");
+  BSLD_REQUIRE(format == "table" || format == "csv" || format == "jsonl",
+               "bsldsim: --format must be table, csv, or jsonl");
+  // Machine-readable formats keep stdout pure; notices go to stderr.
+  std::ostream& notice = format == "table" ? std::cout : std::cerr;
 
   if (!cli.get("save-spec").empty()) {
     std::ofstream file(cli.get("save-spec"));
     file << spec.to_config().to_string();
-    std::cout << "Spec written to " << cli.get("save-spec") << '\n';
+    notice << "Spec written to " << cli.get("save-spec") << '\n';
   }
 
   const report::RunResult run = report::run_one(spec);
   const sim::SimulationResult& result = run.sim;
 
-  std::cout << "bsldsim — " << spec.label() << " (" << result.jobs.size()
-            << " jobs) on " << result.cpus << " CPUs, policy "
-            << result.policy << "\n\n";
-  util::Table table({"Metric", "Value"});
-  table.set_align(1, util::Align::kRight);
-  table.add_row({"Average BSLD", util::fmt_double(result.avg_bsld, 2)});
-  table.add_row({"Average wait (s)", util::fmt_double(result.avg_wait, 0)});
-  table.add_row({"Makespan (s)", std::to_string(result.makespan)});
-  table.add_row({"Utilization", util::fmt_double(result.utilization, 3)});
-  table.add_row({"Jobs at reduced frequency", std::to_string(result.reduced_jobs)});
-  table.add_row({"Jobs boosted mid-flight", std::to_string(result.boosted_jobs)});
-  table.add_row({"Energy, idle=0 (GJ)",
-                 util::fmt_double(result.energy.computational_joules / 1e9, 3)});
-  table.add_row({"Energy, idle=low (GJ)",
-                 util::fmt_double(result.energy.total_joules / 1e9, 3)});
-  table.add_row({"Events processed", std::to_string(result.events_processed)});
-  std::cout << table;
+  if (format == "csv") {
+    report::CsvResultSink sink(std::cout);
+    sink.on_result(0, run);
+  } else if (format == "jsonl") {
+    report::JsonlResultSink sink(std::cout);
+    sink.on_result(0, run);
+  } else {
+    std::cout << "bsldsim — " << spec.label() << " (" << result.job_count
+              << " jobs) on " << result.cpus << " CPUs, policy "
+              << result.policy << "\n\n";
+    util::Table table({"Metric", "Value"});
+    table.set_align(1, util::Align::kRight);
+    table.add_row({"Average BSLD", util::fmt_double(result.avg_bsld, 2)});
+    table.add_row({"Average wait (s)", util::fmt_double(result.avg_wait, 0)});
+    table.add_row({"Makespan (s)", std::to_string(result.makespan)});
+    table.add_row({"Utilization", util::fmt_double(result.utilization, 3)});
+    table.add_row({"Jobs at reduced frequency", std::to_string(result.reduced_jobs)});
+    table.add_row({"Jobs boosted mid-flight", std::to_string(result.boosted_jobs)});
+    table.add_row({"Energy, idle=0 (GJ)",
+                   util::fmt_double(result.energy.computational_joules / 1e9, 3)});
+    table.add_row({"Energy, idle=low (GJ)",
+                   util::fmt_double(result.energy.total_joules / 1e9, 3)});
+    table.add_row({"Events processed", std::to_string(result.events_processed)});
+    std::cout << table;
 
-  std::cout << "\nJobs per gear:";
-  for (std::size_t g = 0; g < result.jobs_per_gear.size(); ++g) {
-    std::cout << "  " << spec.gears[static_cast<GearIndex>(g)].frequency_ghz
-              << "GHz:" << result.jobs_per_gear[g];
+    std::cout << "\nJobs per gear:";
+    for (std::size_t g = 0; g < result.jobs_per_gear.size(); ++g) {
+      std::cout << "  " << spec.gears[static_cast<GearIndex>(g)].frequency_ghz
+                << "GHz:" << result.jobs_per_gear[g];
+    }
+    std::cout << '\n';
   }
-  std::cout << '\n';
+
+  for (const auto& instrument : run.instruments) {
+    if (!cli.get("instruments-out").empty()) {
+      const std::string path =
+          cli.get("instruments-out") + "/" + instrument->name() + ".csv";
+      std::ofstream file(path);
+      BSLD_REQUIRE(file.good(), "bsldsim: cannot write " + path);
+      instrument->write_csv(file);
+      notice << "Instrument " << instrument->name() << " written to " << path
+             << '\n';
+    } else {
+      notice << "Instrument " << instrument->name() << ": "
+             << instrument->rows()
+             << " rows captured (use --instruments-out DIR for the CSV)\n";
+    }
+  }
 
   if (!cli.get("out").empty()) {
+    BSLD_REQUIRE(spec.retain_jobs,
+                 "bsldsim: --out needs per-job outcomes; drop "
+                 "--retain-jobs=false");
     std::ofstream file(cli.get("out"));
     util::CsvWriter csv(file);
     csv.write_row({"id", "submit", "start", "end", "size", "gear_ghz",
@@ -169,7 +254,7 @@ int main(int argc, char** argv) try {
                      std::to_string(job.wait()),
                      util::fmt_double(job.bsld, 3)});
     }
-    std::cout << "Per-job outcomes written to " << cli.get("out") << '\n';
+    notice << "Per-job outcomes written to " << cli.get("out") << '\n';
   }
   return 0;
 } catch (const std::exception& error) {

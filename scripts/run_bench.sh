@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite and emits BENCH_micro.json (google-benchmark
-# JSON format) to seed the performance trajectory.
+# JSON format) to seed the performance trajectory. Extra arguments are
+# forwarded to bench_micro (e.g. --benchmark_min_time=0.01s for CI smokes).
 #
-# Usage: scripts/run_bench.sh [build-dir] [output.json]
+# Usage: scripts/run_bench.sh [build-dir] [output.json] [bench args...]
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_micro.json}"
+# Drop the two fixed arguments; ${1+"$@"} below forwards the rest safely
+# even under `set -u` on old bash (empty "${@:3}" trips bash <= 4.3).
+if [[ $# -ge 2 ]]; then shift 2; elif [[ $# -eq 1 ]]; then shift 1; fi
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 cd "$repo_root"
@@ -18,6 +22,7 @@ fi
 
 "$build_dir/bench/bench_micro" \
   --benchmark_out="$out" \
-  --benchmark_out_format=json
+  --benchmark_out_format=json \
+  ${1+"$@"}
 
 echo "Wrote $out"

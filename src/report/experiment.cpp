@@ -23,6 +23,11 @@ RunSpec RunSpec::parse(const util::Config& config) {
                  "RunSpec: beta.per_job expects `low, high`");
     spec.per_job_beta = {range[0], range[1]};
   }
+  spec.instruments = config.get_string_list("instruments", {});
+  for (const std::string& name : spec.instruments) {
+    sim::InstrumentRegistry::global().require(name);
+  }
+  spec.retain_jobs = config.get_bool("retain_jobs", true);
   return spec;
 }
 
@@ -50,6 +55,10 @@ util::Config RunSpec::to_config() const {
                util::config_double_list(
                    {per_job_beta->first, per_job_beta->second}));
   }
+  if (!instruments.empty()) {
+    config.set("instruments", util::config_string_list(instruments));
+  }
+  if (!retain_jobs) config.set("retain_jobs", "false");
   return config;
 }
 
@@ -94,15 +103,47 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
     }
   }
 
-  const power::PowerModel power_model(spec.gears, spec.power);
-  const power::BetaTimeModel time_model(spec.gears, spec.beta);
+  // The platform models are heap-allocated and co-owned by every
+  // instrument handed back on the result: EnergyProbe and UtilizationTrace
+  // hold references into them (the models own their GearSet by value), so
+  // they must live as long as the last instrument, not just this frame.
+  struct Platform {
+    power::PowerModel power;
+    power::BetaTimeModel time;
+  };
+  const auto platform = std::shared_ptr<Platform>(
+      new Platform{power::PowerModel(spec.gears, spec.power),
+                   power::BetaTimeModel(spec.gears, spec.beta)});
   const auto policy = core::PolicyRegistry::global().make(spec.policy);
 
   sim::SimulationConfig config;
   config.cpus = scaled_cpus;
-  RunResult result{spec, sim::run_simulation(workload, *policy, power_model,
-                                             time_model, config)};
+  config.retain_jobs = spec.retain_jobs;
+  sim::Simulation simulation(workload, *policy, platform->power,
+                             platform->time, config);
+
+  // Extra views of the run's event stream, by registry name, in spec order.
+  const sim::InstrumentContext context{platform->power, platform->time};
+  std::vector<std::shared_ptr<sim::Instrument>> instruments;
+  instruments.reserve(spec.instruments.size());
+  for (const std::string& name : spec.instruments) {
+    auto built = sim::InstrumentRegistry::global().make(name, context);
+    instruments.emplace_back(built.release(),
+                             [platform](sim::Instrument* instrument) {
+                               delete instrument;
+                             });
+    simulation.add_observer(*instruments.back());
+  }
+
+  RunResult result{spec, simulation.run(), std::move(instruments)};
   return result;
+}
+
+const sim::Instrument* RunResult::instrument(std::string_view name) const {
+  for (const auto& instrument : instruments) {
+    if (instrument && instrument->name() == name) return instrument.get();
+  }
+  return nullptr;
 }
 
 NormalizedEnergy normalized_energy(const sim::SimulationResult& run,

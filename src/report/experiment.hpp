@@ -10,20 +10,26 @@
 ///     core::PolicyRegistry (core/policy_registry.hpp), so downstream
 ///     policy plugins flow through unchanged;
 ///   * platform — gear set, power model calibration and the beta time
-///     model, all serializable.
+///     model, all serializable;
+///   * measurement — extra instruments by sim::InstrumentRegistry name
+///     plus a retain_jobs switch for streaming aggregate-only runs.
 /// It round-trips through util::Config (parse/to_config) byte-identically,
 /// so a run is savable, diffable and replayable from a file
 /// (`bsldsim --spec run.conf`), and key() doubles as the deduplication key
 /// for report::SweepRunner grids.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "cluster/gears.hpp"
 #include "core/policy_registry.hpp"
 #include "power/power_model.hpp"
+#include "sim/instrument_registry.hpp"
 #include "sim/simulation.hpp"
 #include "util/config.hpp"
 #include "workload/source.hpp"
@@ -41,6 +47,15 @@ struct RunSpec {
   /// Extension (paper §7 future work): per-job beta drawn uniformly from
   /// [first, second] instead of the single platform beta.
   std::optional<std::pair<double, double>> per_job_beta;
+  /// Extra measurement instruments attached to the run, by
+  /// sim::InstrumentRegistry name (e.g. "wait-trace", "utilization").
+  /// Serialized as the `instruments` config key; unknown names fail at
+  /// parse time, listing what is registered.
+  std::vector<std::string> instruments;
+  /// Keep the per-job JobOutcome vector in the result (sim::SimulationConfig
+  /// equivalent). Off = streaming aggregate-only runs with O(1) memory;
+  /// serialized as `retain_jobs = false` only when disabled.
+  bool retain_jobs = true;
 
   /// Reads a spec from its serialized form. Accepts partial configs —
   /// missing keys keep their defaults. Throws bsld::Error on unknown
@@ -66,7 +81,23 @@ struct RunSpec {
 struct RunResult {
   RunSpec spec;
   sim::SimulationResult sim;
+  /// The instruments spec.instruments named, in spec order, holding their
+  /// captured measurement. Shared (not copied) across grid slots a
+  /// deduplicated SweepRunner run fans out to.
+  std::vector<std::shared_ptr<sim::Instrument>> instruments;
+
+  /// The instrument registered under `name`, or nullptr. Use
+  /// instrument_as<T>() for the concrete type.
+  [[nodiscard]] const sim::Instrument* instrument(
+      std::string_view name) const;
 };
+
+/// Typed instrument lookup: the WaitQueueTrace of a run is
+/// `instrument_as<sim::WaitQueueTrace>(result, "wait-trace")`.
+template <typename T>
+const T* instrument_as(const RunResult& result, std::string_view name) {
+  return dynamic_cast<const T*>(result.instrument(name));
+}
 
 /// Executes one spec: materializes the workload from its source, builds
 /// the gear set / power / time models and the policy (via the registry),

@@ -1,9 +1,9 @@
 /// \file sinks.hpp
 /// \brief Ready-made SweepRunner result sinks: stream a grid's headline
-/// metrics to CSV as runs complete, or collect them into an aligned table
-/// for terminal output. Both render one row per grid slot with the spec's
-/// derived label, so any grid — paper figure or ad-hoc sweep — gets
-/// uniform, diffable output without per-binary wiring.
+/// metrics to CSV or JSON Lines as runs complete, or collect them into an
+/// aligned table for terminal output. All render one record per grid slot
+/// with the spec's derived label, so any grid — paper figure or ad-hoc
+/// sweep — gets uniform, diffable output without per-binary wiring.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +28,22 @@ class CsvResultSink final : public ResultSink {
  public:
   /// Writes into `out`; the stream must outlive the sink.
   explicit CsvResultSink(std::ostream& out);
+
+  void on_result(std::size_t index, const RunResult& result) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streams results as JSON Lines: one self-contained JSON object per
+/// completed run, in completion order (the "index" field recovers grid
+/// order). Numbers are emitted in shortest round-trip form; attached
+/// instruments are listed by name so downstream tooling knows which views
+/// were captured.
+class JsonlResultSink final : public ResultSink {
+ public:
+  /// Writes into `out`; the stream must outlive the sink.
+  explicit JsonlResultSink(std::ostream& out);
 
   void on_result(std::size_t index, const RunResult& result) override;
 

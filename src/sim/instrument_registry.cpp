@@ -1,0 +1,95 @@
+#include "sim/instrument_registry.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace bsld::sim {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+void register_builtins(InstrumentRegistry& registry) {
+  registry.add("jobs", [](const InstrumentContext&) {
+    return std::make_unique<JobRecorder>();
+  });
+  registry.add("aggregates", [](const InstrumentContext&) {
+    return std::make_unique<AggregateAccumulator>();
+  });
+  registry.add("energy", [](const InstrumentContext& context) {
+    return std::make_unique<EnergyProbe>(context.power_model);
+  });
+  registry.add("wait-trace", [](const InstrumentContext&) {
+    return std::make_unique<WaitQueueTrace>();
+  });
+  registry.add("utilization", [](const InstrumentContext& context) {
+    return std::make_unique<UtilizationTrace>(context.power_model);
+  });
+}
+
+}  // namespace
+
+InstrumentRegistry& InstrumentRegistry::global() {
+  static InstrumentRegistry* registry = [] {
+    auto* r = new InstrumentRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void InstrumentRegistry::add(const std::string& name, Factory factory) {
+  BSLD_REQUIRE(!name.empty(), "InstrumentRegistry: empty instrument name");
+  BSLD_REQUIRE(factory != nullptr, "InstrumentRegistry: null factory");
+  const std::unique_lock lock(mutex_);
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  BSLD_REQUIRE(inserted,
+               "InstrumentRegistry: instrument `" + name +
+                   "` is already registered");
+}
+
+bool InstrumentRegistry::has(const std::string& name) const {
+  const std::shared_lock lock(mutex_);
+  return factories_.contains(name);
+}
+
+void InstrumentRegistry::require(const std::string& name) const {
+  BSLD_REQUIRE(has(name),
+               "InstrumentRegistry: unknown instrument `" + name +
+                   "` (registered: " + join(names()) + ")");
+}
+
+std::vector<std::string> InstrumentRegistry::names() const {
+  const std::shared_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Instrument> InstrumentRegistry::make(
+    const std::string& name, const InstrumentContext& context) const {
+  Factory factory;
+  {
+    const std::shared_lock lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (factory == nullptr) require(name);  // throws, listing the registry
+  auto instrument = factory(context);
+  BSLD_REQUIRE(instrument != nullptr,
+               "InstrumentRegistry: factory for `" + name +
+                   "` returned null");
+  return instrument;
+}
+
+}  // namespace bsld::sim

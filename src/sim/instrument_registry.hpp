@@ -1,0 +1,72 @@
+/// \file instrument_registry.hpp
+/// \brief String-keyed construction of measurement instruments — the open
+/// counterpart of the fixed default observer set, mirroring
+/// core::PolicyRegistry.
+///
+/// A report::RunSpec names its extra instruments ("wait-trace",
+/// "utilization", ...) and the registry resolves names to factories, so a
+/// serialized spec selects views of the event stream the same way it
+/// selects policies. Downstream code registers additional instruments
+/// under new names without touching sim — bsldsim --instruments=... and
+/// SweepRunner grids pick them up automatically.
+///
+/// Registration must happen before experiment grids start executing (the
+/// registry is read concurrently by sweep worker threads; a shared mutex
+/// guards registration against lookup races).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "power/time_model.hpp"
+#include "sim/instruments.hpp"
+
+namespace bsld::sim {
+
+/// Per-run context handed to instrument factories: the platform models of
+/// the run being instrumented (both outlive the instrument).
+struct InstrumentContext {
+  const power::PowerModel& power_model;
+  const power::BetaTimeModel& time_model;
+};
+
+/// Name -> factory resolution for instruments.
+class InstrumentRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Instrument>(const InstrumentContext&)>;
+
+  /// The process-wide registry, pre-loaded with the built-ins: "jobs",
+  /// "aggregates", "energy", "wait-trace", "utilization".
+  static InstrumentRegistry& global();
+
+  /// Registers an instrument factory. Throws bsld::Error on a duplicate
+  /// name.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Validates that `name` is registered without constructing it: throws
+  /// the same discoverable bsld::Error make() raises on unknown names —
+  /// the one shared check behind RunSpec::parse and CLI flag validation.
+  void require(const std::string& name) const;
+
+  /// Registered names in sorted order (for error messages and --help).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the named instrument. Throws bsld::Error on unknown names,
+  /// listing what is registered.
+  [[nodiscard]] std::unique_ptr<Instrument> make(
+      const std::string& name, const InstrumentContext& context) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace bsld::sim

@@ -1,0 +1,256 @@
+#include "sim/instruments.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace bsld::sim {
+
+// ---------------------------------------------------------------------------
+// JobRecorder
+// ---------------------------------------------------------------------------
+
+void JobRecorder::on_run_begin(const RunBeginEvent& event) {
+  jobs_.assign(event.workload.jobs.size(), JobOutcome{});
+}
+
+void JobRecorder::on_finish(const FinishEvent& event) {
+  jobs_[event.trace_index] = event.outcome;
+}
+
+void JobRecorder::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.write_row({"id", "submit_s", "start_s", "end_s", "size", "gear",
+                 "final_gear", "boosted", "wait_s", "scaled_runtime_s",
+                 "bsld"});
+  for (const JobOutcome& job : jobs_) {
+    csv.write_row({std::to_string(job.id), std::to_string(job.submit),
+                   std::to_string(job.start), std::to_string(job.end),
+                   std::to_string(job.size), std::to_string(job.gear),
+                   std::to_string(job.final_gear), job.boosted ? "1" : "0",
+                   std::to_string(job.wait()),
+                   std::to_string(job.scaled_runtime),
+                   util::fmt_double(job.bsld, 6)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AggregateAccumulator
+// ---------------------------------------------------------------------------
+
+void AggregateAccumulator::on_run_begin(const RunBeginEvent& event) {
+  count_ = 0;
+  bsld_sum_ = 0.0;
+  wait_sum_ = 0;
+  reduced_ = 0;
+  boosted_ = 0;
+  jobs_per_gear_.assign(event.gear_count, 0);
+  top_gear_ = static_cast<GearIndex>(event.gear_count) - 1;
+  makespan_ = 0;
+  next_index_ = 0;
+  pending_bsld_.clear();
+}
+
+void AggregateAccumulator::on_finish(const FinishEvent& event) {
+  const JobOutcome& outcome = event.outcome;
+  ++count_;
+  wait_sum_ += outcome.wait();
+  ++jobs_per_gear_[static_cast<std::size_t>(outcome.gear)];
+  if (outcome.gear != top_gear_) ++reduced_;
+  if (outcome.boosted) ++boosted_;
+  makespan_ = std::max(makespan_, outcome.end);
+
+  // Drain the reorder buffer in trace order so the naive double sum is
+  // bit-identical to iterating a retained JobOutcome vector.
+  if (event.trace_index == next_index_) {
+    bsld_sum_ += outcome.bsld;
+    ++next_index_;
+    auto it = pending_bsld_.begin();
+    while (it != pending_bsld_.end() && it->first == next_index_) {
+      bsld_sum_ += it->second;
+      ++next_index_;
+      it = pending_bsld_.erase(it);
+    }
+  } else {
+    pending_bsld_.emplace(event.trace_index, outcome.bsld);
+  }
+}
+
+double AggregateAccumulator::avg_bsld() const {
+  BSLD_REQUIRE(pending_bsld_.empty(),
+               "AggregateAccumulator: BSLD reorder buffer not drained — "
+               "some jobs never finished");
+  return count_ == 0 ? 0.0 : bsld_sum_ / static_cast<double>(count_);
+}
+
+double AggregateAccumulator::avg_wait() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(wait_sum_) /
+                           static_cast<double>(count_);
+}
+
+void AggregateAccumulator::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  std::vector<std::string> headers{"jobs",    "avg_bsld", "avg_wait_s",
+                                   "reduced", "boosted",  "makespan_s"};
+  std::vector<std::string> row{
+      std::to_string(count_),   util::fmt_double(avg_bsld(), 6),
+      util::fmt_double(avg_wait(), 3), std::to_string(reduced_),
+      std::to_string(boosted_), std::to_string(makespan_)};
+  for (std::size_t g = 0; g < jobs_per_gear_.size(); ++g) {
+    headers.push_back("jobs_gear" + std::to_string(g));
+    row.push_back(std::to_string(jobs_per_gear_[g]));
+  }
+  csv.write_row(headers);
+  csv.write_row(row);
+}
+
+// ---------------------------------------------------------------------------
+// EnergyProbe
+// ---------------------------------------------------------------------------
+
+EnergyProbe::EnergyProbe(const power::PowerModel& model) : model_(model) {
+  meter_.emplace(model_);
+}
+
+void EnergyProbe::on_run_begin(const RunBeginEvent& event) {
+  (void)event;
+  meter_.emplace(model_);
+  report_ = power::EnergyReport{};
+  utilization_ = 0.0;
+}
+
+void EnergyProbe::on_gear_change(const GearChangeEvent& event) {
+  meter_->add_execution(event.size, event.from, event.segment_seconds);
+}
+
+void EnergyProbe::on_finish(const FinishEvent& event) {
+  meter_->add_execution(event.outcome.size, event.outcome.final_gear,
+                        event.final_segment_seconds);
+}
+
+void EnergyProbe::on_run_end(const RunEndEvent& event) {
+  report_ = meter_->report(event.cpus, event.horizon);
+  utilization_ = report_.busy_core_seconds /
+                 (static_cast<double>(event.cpus) *
+                  static_cast<double>(event.horizon));
+}
+
+void EnergyProbe::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.write_row({"computational_j", "total_j", "idle_j", "busy_core_s",
+                 "idle_core_s", "horizon_s", "utilization"});
+  csv.write_row({util::fmt_double(report_.computational_joules, 0),
+                 util::fmt_double(report_.total_joules, 0),
+                 util::fmt_double(report_.idle_joules, 0),
+                 util::fmt_double(report_.busy_core_seconds, 0),
+                 util::fmt_double(report_.idle_core_seconds, 0),
+                 std::to_string(report_.horizon),
+                 util::fmt_double(utilization_, 6)});
+}
+
+// ---------------------------------------------------------------------------
+// WaitQueueTrace
+// ---------------------------------------------------------------------------
+
+void WaitQueueTrace::on_run_begin(const RunBeginEvent& event) {
+  waits_.assign(event.workload.jobs.size(), JobWait{});
+  depth_.clear();
+  queued_ = 0;
+}
+
+void WaitQueueTrace::on_submit(const SubmitEvent& event) {
+  ++queued_;
+  sample(event.time);
+  waits_[event.trace_index].submit = event.job.submit;
+  waits_[event.trace_index].depth_after_submit = queued_;
+}
+
+void WaitQueueTrace::on_start(const StartEvent& event) {
+  --queued_;
+  sample(event.time);
+  JobWait& wait = waits_[event.trace_index];
+  wait.start = event.time;
+  wait.wait = event.time - event.job.submit;
+}
+
+void WaitQueueTrace::sample(Time time) {
+  if (!depth_.empty() && depth_.back().time == time) {
+    depth_.back().depth = queued_;
+  } else {
+    depth_.push_back(DepthSample{time, queued_});
+  }
+}
+
+void WaitQueueTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.write_row({"job_index", "submit_s", "start_s", "wait_s",
+                 "queue_depth_after_submit"});
+  for (std::size_t i = 0; i < waits_.size(); ++i) {
+    csv.write_row({std::to_string(i), std::to_string(waits_[i].submit),
+                   std::to_string(waits_[i].start),
+                   std::to_string(waits_[i].wait),
+                   std::to_string(waits_[i].depth_after_submit)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UtilizationTrace
+// ---------------------------------------------------------------------------
+
+UtilizationTrace::UtilizationTrace(const power::PowerModel& model)
+    : model_(model) {}
+
+void UtilizationTrace::on_run_begin(const RunBeginEvent& event) {
+  samples_.clear();
+  busy_ = 0;
+  power_ = 0.0;
+  cpus_ = event.cpus;
+}
+
+void UtilizationTrace::on_start(const StartEvent& event) {
+  busy_ += event.job.size;
+  power_ += static_cast<double>(event.job.size) *
+            model_.active_power(event.gear);
+  sample(event.time);
+}
+
+void UtilizationTrace::on_gear_change(const GearChangeEvent& event) {
+  power_ += static_cast<double>(event.size) *
+            (model_.active_power(event.to) - model_.active_power(event.from));
+  sample(event.time);
+}
+
+void UtilizationTrace::on_finish(const FinishEvent& event) {
+  busy_ -= event.outcome.size;
+  power_ -= static_cast<double>(event.outcome.size) *
+            model_.active_power(event.outcome.final_gear);
+  sample(event.outcome.end);
+}
+
+void UtilizationTrace::sample(Time time) {
+  const Sample next{time, busy_,
+                    cpus_ > 0 ? static_cast<double>(busy_) / cpus_ : 0.0,
+                    power_};
+  if (!samples_.empty() && samples_.back().time == time) {
+    samples_.back() = next;
+  } else {
+    samples_.push_back(next);
+  }
+}
+
+void UtilizationTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.write_row({"time_s", "busy_cores", "utilization", "power_watts"});
+  for (const Sample& sample : samples_) {
+    csv.write_row({std::to_string(sample.time),
+                   std::to_string(sample.busy_cores),
+                   util::fmt_double(sample.utilization, 6),
+                   util::fmt_double(sample.power_watts, 1)});
+  }
+}
+
+}  // namespace bsld::sim

@@ -1,0 +1,220 @@
+/// \file instruments.hpp
+/// \brief Composable measurement instruments built on sim::SimObserver.
+///
+/// Every number the pre-observer Simulation assembled inline is produced
+/// here instead, as independent observers over the event stream:
+///
+///  * JobRecorder           — the per-job JobOutcome vector, in trace order;
+///  * AggregateAccumulator  — avg BSLD/wait, reduced/boosted counts,
+///    jobs-per-gear, makespan — incrementally, with no per-job storage;
+///  * EnergyProbe           — the power::EnergyMeter fed per gear segment;
+///  * WaitQueueTrace        — Fig. 6's per-job wait series plus the wait
+///    queue depth over time;
+///  * UtilizationTrace      — busy cores / utilization / active power over
+///    time (piecewise-constant between events).
+///
+/// An Instrument is an observer with a name and a CSV rendering, so the
+/// sim::InstrumentRegistry can construct them by string key and sinks can
+/// stream their output without knowing concrete types; typed accessors
+/// remain available via instrument_as<T>().
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.hpp"
+#include "power/power_model.hpp"
+#include "sim/observer.hpp"
+
+namespace bsld::sim {
+
+/// A named observer whose captured measurement renders to CSV. The
+/// string-keyed counterpart of core::SchedulingPolicy: the unit the
+/// InstrumentRegistry constructs and report::RunSpec::instruments selects.
+class Instrument : public SimObserver {
+ public:
+  /// Registry key / display name ("jobs", "wait-trace", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serializes the captured measurement as CSV (header row + data rows).
+  virtual void write_csv(std::ostream& out) const = 0;
+
+  /// Data rows the instrument captured (the CSV body size), for cheap
+  /// summaries without rendering. Override when the count is known;
+  /// defaults to 0 ("unreported").
+  [[nodiscard]] virtual std::size_t rows() const { return 0; }
+};
+
+/// Retains the full JobOutcome vector in trace (submit) order — the
+/// pre-observer SimulationResult::jobs, now opt-out via retain_jobs=false.
+class JobRecorder final : public Instrument {
+ public:
+  [[nodiscard]] std::string name() const override { return "jobs"; }
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return jobs_.size(); }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_finish(const FinishEvent& event) override;
+
+  [[nodiscard]] const std::vector<JobOutcome>& jobs() const { return jobs_; }
+  /// Moves the recorded vector out (for SimulationResult assembly).
+  [[nodiscard]] std::vector<JobOutcome> take() { return std::move(jobs_); }
+
+ private:
+  std::vector<JobOutcome> jobs_;  ///< Indexed by trace position.
+};
+
+/// Incremental aggregates with O(1) per-job work and no per-job storage.
+///
+/// Bit-identity contract: avg_bsld() reproduces the trace-order naive
+/// double summation of the retained-jobs path exactly, even though jobs
+/// finish out of trace order — finished BSLDs pass through a small reorder
+/// buffer and are added in trace order (the buffer holds one double per
+/// job finished while an earlier-submitted job still runs; typically a
+/// handful). Wait times are integral seconds and are summed exactly in an
+/// int64, which equals the double summation for any realistic horizon.
+class AggregateAccumulator final : public Instrument {
+ public:
+  [[nodiscard]] std::string name() const override { return "aggregates"; }
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return 1; }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_finish(const FinishEvent& event) override;
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double avg_bsld() const;
+  [[nodiscard]] double avg_wait() const;
+  [[nodiscard]] std::int64_t reduced_jobs() const { return reduced_; }
+  [[nodiscard]] std::int64_t boosted_jobs() const { return boosted_; }
+  [[nodiscard]] const std::vector<std::int64_t>& jobs_per_gear() const {
+    return jobs_per_gear_;
+  }
+  [[nodiscard]] Time makespan() const { return makespan_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double bsld_sum_ = 0.0;
+  std::int64_t wait_sum_ = 0;
+  std::int64_t reduced_ = 0;
+  std::int64_t boosted_ = 0;
+  std::vector<std::int64_t> jobs_per_gear_;
+  GearIndex top_gear_ = 0;
+  Time makespan_ = 0;
+  /// Trace-order reorder buffer for the BSLD sum.
+  std::size_t next_index_ = 0;
+  std::map<std::size_t, double> pending_bsld_;
+};
+
+/// Drives a power::EnergyMeter from gear segments (start..boost..finish)
+/// and takes the EnergyReport over the run's horizon at on_run_end.
+class EnergyProbe final : public Instrument {
+ public:
+  /// `model` must outlive the probe.
+  explicit EnergyProbe(const power::PowerModel& model);
+
+  [[nodiscard]] std::string name() const override { return "energy"; }
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return 1; }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_gear_change(const GearChangeEvent& event) override;
+  void on_finish(const FinishEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
+
+  /// Valid after on_run_end.
+  [[nodiscard]] const power::EnergyReport& report() const { return report_; }
+  /// Busy share of cpus * horizon; valid after on_run_end.
+  [[nodiscard]] double utilization() const { return utilization_; }
+  [[nodiscard]] const power::EnergyMeter& meter() const { return *meter_; }
+
+ private:
+  const power::PowerModel& model_;
+  std::optional<power::EnergyMeter> meter_;  ///< Recreated per run.
+  power::EnergyReport report_;
+  double utilization_ = 0.0;
+};
+
+/// Fig. 6's instrument: the per-job wait series in trace order, plus the
+/// wait-queue depth over time (one sample per submit/start timestamp;
+/// same-time changes coalesce into the final depth at that instant).
+class WaitQueueTrace final : public Instrument {
+ public:
+  struct JobWait {
+    Time submit = 0;
+    Time start = 0;
+    Time wait = 0;
+    std::int64_t depth_after_submit = 0;  ///< Queue depth incl. this job.
+  };
+  struct DepthSample {
+    Time time = 0;
+    std::int64_t depth = 0;
+  };
+
+  [[nodiscard]] std::string name() const override { return "wait-trace"; }
+  /// One row per job in trace order: job_index, submit_s, start_s, wait_s,
+  /// queue_depth_after_submit. The finer-grained depth() series (sampled
+  /// at starts too) stays a typed accessor.
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return waits_.size(); }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_submit(const SubmitEvent& event) override;
+  void on_start(const StartEvent& event) override;
+
+  /// Per-job waits, indexed by trace position (complete after the run).
+  [[nodiscard]] const std::vector<JobWait>& waits() const { return waits_; }
+  /// Queue depth over time, one sample per distinct event timestamp.
+  [[nodiscard]] const std::vector<DepthSample>& depth() const {
+    return depth_;
+  }
+
+ private:
+  void sample(Time time);
+
+  std::vector<JobWait> waits_;
+  std::vector<DepthSample> depth_;
+  std::int64_t queued_ = 0;
+};
+
+/// Utilization / active power over time: piecewise-constant between
+/// events, one sample per distinct start/boost/finish timestamp.
+class UtilizationTrace final : public Instrument {
+ public:
+  struct Sample {
+    Time time = 0;
+    std::int64_t busy_cores = 0;
+    double utilization = 0.0;    ///< busy_cores / machine size.
+    double power_watts = 0.0;    ///< Active power of the busy cores.
+  };
+
+  /// `model` must outlive the trace.
+  explicit UtilizationTrace(const power::PowerModel& model);
+
+  [[nodiscard]] std::string name() const override { return "utilization"; }
+  /// One row per sample: time_s, busy_cores, utilization, power_watts.
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return samples_.size(); }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_start(const StartEvent& event) override;
+  void on_gear_change(const GearChangeEvent& event) override;
+  void on_finish(const FinishEvent& event) override;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void sample(Time time);
+
+  const power::PowerModel& model_;
+  std::vector<Sample> samples_;
+  std::int64_t busy_ = 0;
+  double power_ = 0.0;
+  std::int32_t cpus_ = 0;
+};
+
+}  // namespace bsld::sim

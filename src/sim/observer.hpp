@@ -1,0 +1,127 @@
+/// \file observer.hpp
+/// \brief The measurement seam of the simulator: sim::SimObserver.
+///
+/// The paper's whole evaluation (Figs. 3-9, Tables 1-3) is observational —
+/// different views of one event stream. A SimObserver receives that stream
+/// at the exact points sim::Simulation changes job state:
+///
+///   on_run_begin  once, before the first event;
+///   on_submit     a job entered the system (before the policy sees it);
+///   on_start      a job began executing at a gear;
+///   on_gear_change a running job was raised mid-flight (boost_job);
+///   on_finish     a job completed, with its fully-populated JobOutcome;
+///   on_run_end    once, after the event queue drained.
+///
+/// All built-in measurement (per-job recording, aggregate BSLD/wait
+/// statistics, energy metering, time-series traces) is implemented as
+/// observers over this interface — see instruments.hpp — and downstream
+/// code adds its own views via Simulation::add_observer without touching
+/// the core loop. Observers are invoked synchronously on the simulation
+/// thread, in registration order (defaults first), so a run's observation
+/// sequence is deterministic: parallel sweeps over independent simulations
+/// observe bit-identical streams per run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace bsld::sim {
+
+/// Everything recorded about one job's execution. Built by the simulator
+/// when the job finishes and delivered through SimObserver::on_finish; the
+/// JobRecorder instrument retains these as SimulationResult::jobs.
+struct JobOutcome {
+  JobId id = kNoJob;
+  Time submit = 0;
+  std::int32_t size = 0;
+  Time run_time_top = 0;       ///< Trace runtime (at Ftop).
+  Time start = kNoTime;
+  Time end = kNoTime;
+  GearIndex gear = 0;          ///< Gear assigned at start (Fig. 4 counts this).
+  GearIndex final_gear = 0;    ///< Gear at completion (differs when boosted).
+  bool boosted = false;        ///< Raised mid-flight (future-work extension).
+  Time scaled_runtime = 0;     ///< Actual runtime (end - start).
+  Time scaled_requested = 0;   ///< Requested time dilated by the start gear.
+  double bsld = 1.0;           ///< Penalized BSLD (Eq. 6).
+
+  [[nodiscard]] Time wait() const { return start - submit; }
+};
+
+/// Payload of SimObserver::on_run_begin.
+struct RunBeginEvent {
+  const wl::Workload& workload;  ///< Trace about to be simulated.
+  std::int32_t cpus = 0;         ///< Effective machine size.
+  std::size_t gear_count = 0;    ///< Size of the DVFS gear set.
+  Time bsld_floor = 0;           ///< Th of the BSLD metric in force.
+};
+
+/// Payload of SimObserver::on_submit, fired before the policy reacts.
+struct SubmitEvent {
+  const wl::Job& job;            ///< Trace record of the submitted job.
+  std::size_t trace_index = 0;   ///< Position in workload.jobs.
+  Time time = 0;                 ///< == job.submit.
+};
+
+/// Payload of SimObserver::on_start.
+struct StartEvent {
+  const wl::Job& job;            ///< Trace record of the started job.
+  std::size_t trace_index = 0;   ///< Position in workload.jobs.
+  Time time = 0;                 ///< Start time (now).
+  GearIndex gear = 0;            ///< Gear engaged at start.
+  Time scaled_runtime = 0;       ///< Expected runtime at `gear`.
+  Time scaled_requested = 0;     ///< Requested time dilated by `gear`.
+};
+
+/// Payload of SimObserver::on_gear_change (mid-flight boost). The closed
+/// segment [time - segment_seconds, time) ran at `from`; execution
+/// continues at `to`.
+struct GearChangeEvent {
+  JobId id = kNoJob;
+  std::size_t trace_index = 0;   ///< Position in workload.jobs.
+  std::int32_t size = 0;         ///< CPUs held by the job.
+  Time time = 0;                 ///< When the new gear was engaged.
+  GearIndex from = 0;
+  GearIndex to = 0;
+  Time segment_seconds = 0;      ///< Wall seconds spent at `from`.
+};
+
+/// Payload of SimObserver::on_finish. `outcome` is complete (including the
+/// penalized BSLD); the final gear segment [outcome.end -
+/// final_segment_seconds, outcome.end) ran at outcome.final_gear.
+struct FinishEvent {
+  const JobOutcome& outcome;
+  std::size_t trace_index = 0;   ///< Position in workload.jobs.
+  Time final_segment_seconds = 0;
+};
+
+/// Payload of SimObserver::on_run_end.
+struct RunEndEvent {
+  Time first_submit = 0;         ///< Submit time of the first trace job.
+  Time makespan = 0;             ///< Last completion time.
+  Time horizon = 0;              ///< max(makespan - first_submit, 1).
+  std::int32_t cpus = 0;         ///< Effective machine size.
+  std::size_t jobs = 0;          ///< Jobs simulated.
+  std::uint64_t events_processed = 0;
+};
+
+/// Passive view over one simulation run. All hooks default to no-ops so
+/// concrete observers override only what they measure. Observers are
+/// single-run: Simulation::run() delivers exactly one on_run_begin /
+/// on_run_end pair (built-in instruments reset themselves on on_run_begin,
+/// so reusing one across runs observes only the latest).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_run_begin(const RunBeginEvent& event) { (void)event; }
+  virtual void on_submit(const SubmitEvent& event) { (void)event; }
+  virtual void on_start(const StartEvent& event) { (void)event; }
+  virtual void on_gear_change(const GearChangeEvent& event) { (void)event; }
+  virtual void on_finish(const FinishEvent& event) { (void)event; }
+  virtual void on_run_end(const RunEndEvent& event) { (void)event; }
+};
+
+}  // namespace bsld::sim

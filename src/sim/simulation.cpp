@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/instruments.hpp"
 #include "util/error.hpp"
 
 namespace bsld::sim {
@@ -17,12 +18,10 @@ Simulation::Simulation(const wl::Workload& workload,
       power_model_(power_model),
       time_model_(time_model),
       config_(config),
-      machine_(config.cpus > 0 ? config.cpus : workload.cpus),
-      meter_(power_model) {
+      machine_(config.cpus > 0 ? config.cpus : workload.cpus) {
   BSLD_REQUIRE(!workload_.jobs.empty(), "Simulation: empty workload");
   BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
                "Simulation: power and time models must share one gear set");
-  outcomes_.reserve(workload_.jobs.size());
   index_.reserve(workload_.jobs.size());
   for (const wl::Job& job : workload_.jobs) {
     BSLD_REQUIRE(job.size >= 1 && job.size <= machine_.cpu_count(),
@@ -31,32 +30,24 @@ Simulation::Simulation(const wl::Workload& workload,
     BSLD_REQUIRE(job.run_time >= 0 && job.requested_time >= 1,
                  "Simulation: invalid job durations");
     BSLD_REQUIRE(!index_.contains(job.id), "Simulation: duplicate job id");
-    JobOutcome outcome;
-    outcome.id = job.id;
-    outcome.submit = job.submit;
-    outcome.size = job.size;
-    outcome.run_time_top = job.run_time;
-    index_.emplace(job.id, outcomes_.size());
-    outcomes_.push_back(outcome);
+    index_.emplace(job.id, index_.size());
   }
+  started_.assign(workload_.jobs.size(), 0);
+}
+
+void Simulation::add_observer(SimObserver& observer) {
+  BSLD_REQUIRE(!ran_, "Simulation: add_observer() must precede run()");
+  observers_.push_back(&observer);
 }
 
 const wl::Job& Simulation::job(JobId id) const {
-  const auto it = index_.find(id);
-  BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
-  return workload_.jobs[it->second];
+  return workload_.jobs[trace_index(id)];
 }
 
-JobOutcome& Simulation::outcome(JobId id) {
+std::size_t Simulation::trace_index(JobId id) const {
   const auto it = index_.find(id);
   BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
-  return outcomes_[it->second];
-}
-
-const JobOutcome& Simulation::outcome(JobId id) const {
-  const auto it = index_.find(id);
-  BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
-  return outcomes_[it->second];
+  return it->second;
 }
 
 Simulation::Running& Simulation::running(JobId id) {
@@ -67,23 +58,17 @@ Simulation::Running& Simulation::running(JobId id) {
 
 void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
                            GearIndex gear) {
-  const wl::Job& trace = job(id);
-  JobOutcome& record = outcome(id);
-  BSLD_REQUIRE(record.start == kNoTime, "Simulation: job started twice");
+  const std::size_t index = trace_index(id);
+  const wl::Job& trace = workload_.jobs[index];
+  BSLD_REQUIRE(!started_[index], "Simulation: job started twice");
   BSLD_REQUIRE(static_cast<std::int32_t>(cpus.size()) == trace.size,
                "Simulation: allocation size mismatch");
   BSLD_REQUIRE(engine_.now() >= trace.submit,
                "Simulation: job started before submission");
+  started_[index] = 1;
 
-  record.start = engine_.now();
-  record.gear = gear;
-  record.final_gear = gear;
   const Time scaled_runtime =
       time_model_.scale_duration_with_beta(trace.run_time, gear, trace.beta);
-  record.scaled_requested = std::max(
-      time_model_.scale_duration_with_beta(trace.requested_time, gear,
-                                           trace.beta),
-      scaled_runtime);
 
   Running state;
   state.cpus = cpus;
@@ -92,10 +77,21 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
   state.remaining_run_top = static_cast<double>(trace.run_time);
   state.remaining_req_top = static_cast<double>(trace.requested_time);
   state.pending_end = engine_.now() + scaled_runtime;
+  state.start = engine_.now();
+  state.start_gear = gear;
+  state.scaled_requested = std::max(
+      time_model_.scale_duration_with_beta(trace.requested_time, gear,
+                                           trace.beta),
+      scaled_runtime);
 
-  machine_.assign(id, cpus, engine_.now() + record.scaled_requested);
+  machine_.assign(id, cpus, engine_.now() + state.scaled_requested);
   engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+
+  const StartEvent event{trace,          index,
+                         engine_.now(),  gear,
+                         scaled_runtime, state.scaled_requested};
   running_.emplace(id, std::move(state));
+  notify([&](SimObserver& observer) { observer.on_start(event); });
 }
 
 std::vector<JobId> Simulation::running_jobs() const {
@@ -123,25 +119,27 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
 
   const Time now = engine_.now();
   const Time elapsed = now - state.segment_start;
+  const wl::Job& trace = job(id);
   const double old_coefficient =
-      time_model_.coefficient_with_beta(state.gear, job(id).beta);
+      time_model_.coefficient_with_beta(state.gear, trace.beta);
   const double progress_top = static_cast<double>(elapsed) / old_coefficient;
 
-  // Close the old gear segment in the energy ledger.
-  JobOutcome& record = outcome(id);
-  meter_.add_execution(record.size, state.gear, elapsed);
+  // Close the old gear segment: observers (the energy probe in particular)
+  // account it before the new gear takes over.
+  const GearChangeEvent event{id,    trace_index(id), trace.size, now,
+                              state.gear, gear,       elapsed};
+  notify([&](SimObserver& observer) { observer.on_gear_change(event); });
   state.remaining_run_top =
       std::max(0.0, state.remaining_run_top - progress_top);
   state.remaining_req_top =
       std::max(0.0, state.remaining_req_top - progress_top);
   state.gear = gear;
   state.segment_start = now;
-  record.final_gear = gear;
-  record.boosted = true;
+  state.boosted = true;
 
   // Re-time completion and the machine's expected end at the new gear.
   const double new_coefficient =
-      time_model_.coefficient_with_beta(gear, job(id).beta);
+      time_model_.coefficient_with_beta(gear, trace.beta);
   const Time run_left = static_cast<Time>(
       std::llround(state.remaining_run_top * new_coefficient));
   const Time req_left = std::max(
@@ -154,18 +152,52 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
 
 void Simulation::finish_job(JobId id) {
   Running& state = running(id);
-  JobOutcome& record = outcome(id);
-  record.end = engine_.now();
-  record.scaled_runtime = record.end - record.start;
-  meter_.add_execution(record.size, state.gear,
-                       engine_.now() - state.segment_start);
+  const std::size_t index = trace_index(id);
+  const wl::Job& trace = workload_.jobs[index];
+
+  JobOutcome outcome;
+  outcome.id = id;
+  outcome.submit = trace.submit;
+  outcome.size = trace.size;
+  outcome.run_time_top = trace.run_time;
+  outcome.start = state.start;
+  outcome.end = engine_.now();
+  outcome.gear = state.start_gear;
+  outcome.final_gear = state.gear;
+  outcome.boosted = state.boosted;
+  outcome.scaled_runtime = outcome.end - outcome.start;
+  outcome.scaled_requested = state.scaled_requested;
+  outcome.bsld = core::penalized_bsld(outcome.wait(), outcome.scaled_runtime,
+                                      outcome.run_time_top,
+                                      config_.bsld_floor);
+
+  const FinishEvent event{outcome, index, engine_.now() - state.segment_start};
+  notify([&](SimObserver& observer) { observer.on_finish(event); });
+
   machine_.release(id, state.cpus);
   running_.erase(id);
+  ++finished_;
+  last_end_ = std::max(last_end_, outcome.end);
 }
 
 SimulationResult Simulation::run() {
   BSLD_REQUIRE(!ran_, "Simulation: run() is single-shot");
   ran_ = true;
+
+  // Default observer set: everything SimulationResult reports. The
+  // recorder joins only when per-job retention is on.
+  JobRecorder recorder;
+  AggregateAccumulator aggregates;
+  EnergyProbe energy(power_model_);
+  chain_.clear();
+  if (config_.retain_jobs) chain_.push_back(&recorder);
+  chain_.push_back(&aggregates);
+  chain_.push_back(&energy);
+  chain_.insert(chain_.end(), observers_.begin(), observers_.end());
+
+  const RunBeginEvent begin{workload_, machine_.cpu_count(),
+                            power_model_.gears().size(), config_.bsld_floor};
+  notify([&](SimObserver& observer) { observer.on_run_begin(begin); });
 
   for (const wl::Job& trace : workload_.jobs) {
     engine_.schedule(Event{trace.submit, EventKind::kJobSubmit, 0, trace.id});
@@ -173,9 +205,14 @@ SimulationResult Simulation::run() {
 
   while (auto event = engine_.pop()) {
     switch (event->kind) {
-      case EventKind::kJobSubmit:
+      case EventKind::kJobSubmit: {
+        const std::size_t index = trace_index(event->job);
+        const SubmitEvent submitted{workload_.jobs[index], index,
+                                    event->time};
+        notify([&](SimObserver& observer) { observer.on_submit(submitted); });
         policy_.on_submit(*this, event->job);
         break;
+      }
       case EventKind::kJobEnd: {
         // A boost re-schedules the completion; the superseded event stays
         // in the heap and is skipped here by timestamp mismatch.
@@ -194,42 +231,32 @@ SimulationResult Simulation::run() {
                "Simulation: drained event queue but jobs are still waiting");
   BSLD_REQUIRE(running_.empty(),
                "Simulation: drained event queue but jobs are still running");
+  BSLD_REQUIRE(finished_ == workload_.jobs.size(),
+               "Simulation: job never ran");
+
+  const Time first_submit = workload_.jobs.front().submit;
+  const Time horizon = std::max<Time>(last_end_ - first_submit, 1);
+  const RunEndEvent end{first_submit,          last_end_,
+                        horizon,               machine_.cpu_count(),
+                        workload_.jobs.size(), engine_.processed()};
+  notify([&](SimObserver& observer) { observer.on_run_end(end); });
 
   SimulationResult result;
   result.workload = workload_.name;
   result.policy = policy_.name();
   result.cpus = machine_.cpu_count();
-  result.jobs_per_gear.assign(power_model_.gears().size(), 0);
-  const GearIndex top = power_model_.gears().top_index();
-
-  Time first_submit = workload_.jobs.front().submit;
-  Time last_end = 0;
-  double bsld_sum = 0.0;
-  double wait_sum = 0.0;
-  for (JobOutcome& record : outcomes_) {
-    BSLD_REQUIRE(record.start != kNoTime && record.end != kNoTime,
-                 "Simulation: job never ran");
-    record.bsld = core::penalized_bsld(record.wait(), record.scaled_runtime,
-                                       record.run_time_top, config_.bsld_floor);
-    bsld_sum += record.bsld;
-    wait_sum += static_cast<double>(record.wait());
-    ++result.jobs_per_gear[static_cast<std::size_t>(record.gear)];
-    if (record.gear != top) ++result.reduced_jobs;
-    if (record.boosted) ++result.boosted_jobs;
-    last_end = std::max(last_end, record.end);
-  }
-  const auto n = static_cast<double>(outcomes_.size());
-  result.avg_bsld = bsld_sum / n;
-  result.avg_wait = wait_sum / n;
-  result.makespan = last_end;
-
-  const Time horizon = std::max<Time>(last_end - first_submit, 1);
-  result.energy = meter_.report(machine_.cpu_count(), horizon);
-  result.utilization =
-      result.energy.busy_core_seconds /
-      (static_cast<double>(machine_.cpu_count()) * static_cast<double>(horizon));
+  result.job_count = aggregates.count();
+  result.avg_bsld = aggregates.avg_bsld();
+  result.avg_wait = aggregates.avg_wait();
+  result.reduced_jobs = aggregates.reduced_jobs();
+  result.boosted_jobs = aggregates.boosted_jobs();
+  result.jobs_per_gear = aggregates.jobs_per_gear();
+  result.makespan = aggregates.makespan();
+  result.energy = energy.report();
+  result.utilization = energy.utilization();
   result.events_processed = engine_.processed();
-  result.jobs = std::move(outcomes_);
+  if (config_.retain_jobs) result.jobs = recorder.take();
+  chain_.clear();
   return result;
 }
 

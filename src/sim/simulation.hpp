@@ -1,6 +1,15 @@
 /// \file simulation.hpp
-/// \brief Drives one workload through one scheduling policy on one machine
-/// and produces every number the paper's evaluation reports.
+/// \brief Drives one workload through one scheduling policy on one machine.
+///
+/// Measurement is decoupled from the driver: the Simulation owns the
+/// machine, the clock and job mechanics, and emits a sim::SimObserver
+/// event stream (observer.hpp) at every state change. All numbers the
+/// paper's evaluation reports are produced by observers over that stream
+/// (instruments.hpp); run() attaches the default set — AggregateAccumulator
+/// + EnergyProbe, plus a JobRecorder unless retain_jobs is off — and
+/// assembles their output into SimulationResult. Additional views
+/// (time-series instruments, downstream custom observers) attach via
+/// add_observer() without touching this class.
 #pragma once
 
 #include <string>
@@ -14,6 +23,7 @@
 #include "power/power_model.hpp"
 #include "power/time_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/observer.hpp"
 #include "workload/job.hpp"
 
 namespace bsld::sim {
@@ -25,32 +35,22 @@ struct SimulationConfig {
   std::int32_t cpus = 0;
   /// Th of the BSLD metric (Eqs. 1/6).
   Time bsld_floor = core::kDefaultBsldFloor;
+  /// Retain the per-job JobOutcome vector in the result. Switching this
+  /// off drops the O(jobs) storage — aggregate-only sweeps over very large
+  /// synthetic workloads run in O(1) memory per worker; SimulationResult
+  /// aggregates are bit-identical either way.
+  bool retain_jobs = true;
 };
 
-/// Everything recorded about one job's execution.
-struct JobOutcome {
-  JobId id = kNoJob;
-  Time submit = 0;
-  std::int32_t size = 0;
-  Time run_time_top = 0;       ///< Trace runtime (at Ftop).
-  Time start = kNoTime;
-  Time end = kNoTime;
-  GearIndex gear = 0;          ///< Gear assigned at start (Fig. 4 counts this).
-  GearIndex final_gear = 0;    ///< Gear at completion (differs when boosted).
-  bool boosted = false;        ///< Raised mid-flight (future-work extension).
-  Time scaled_runtime = 0;     ///< Actual runtime (end - start).
-  Time scaled_requested = 0;   ///< Requested time dilated by the start gear.
-  double bsld = 1.0;           ///< Penalized BSLD (Eq. 6).
-
-  [[nodiscard]] Time wait() const { return start - submit; }
-};
-
-/// Aggregate results of one run.
+/// Aggregate results of one run — the product of the default observer set.
 struct SimulationResult {
   std::string workload;
   std::string policy;
   std::int32_t cpus = 0;
-  std::vector<JobOutcome> jobs;         ///< In trace (submit) order.
+  std::int64_t job_count = 0;           ///< Jobs simulated (valid always).
+  std::vector<JobOutcome> jobs;         ///< Trace order; empty when
+                                        ///< SimulationConfig::retain_jobs
+                                        ///< is off.
   double avg_bsld = 0.0;                ///< Mean penalized BSLD (paper Fig. 5/9).
   double avg_wait = 0.0;                ///< Mean wait, seconds (Table 3).
   std::int64_t reduced_jobs = 0;        ///< Jobs started below Ftop (Fig. 4).
@@ -63,8 +63,8 @@ struct SimulationResult {
 };
 
 /// One simulation run. The Simulation is the policy's SchedulerContext; it
-/// owns the machine, the clock and the measurement instruments, while the
-/// policy owns the wait queue and all decisions.
+/// owns the machine and the clock, while the policy owns the wait queue
+/// and all decisions, and observers own every measurement.
 class Simulation final : public core::SchedulerContext {
  public:
   /// All references must outlive run(). Throws bsld::Error on an empty
@@ -73,6 +73,11 @@ class Simulation final : public core::SchedulerContext {
              const power::PowerModel& power_model,
              const power::BetaTimeModel& time_model,
              SimulationConfig config = {});
+
+  /// Registers a non-owning observer of this run's event stream, invoked
+  /// after the default instruments, in registration order. Must be called
+  /// before run() and outlive it.
+  void add_observer(SimObserver& observer);
 
   /// Runs to completion and returns the full result. Single-shot: a second
   /// call throws.
@@ -105,12 +110,22 @@ class Simulation final : public core::SchedulerContext {
     double remaining_run_top = 0;   ///< Runtime work left, top-gear seconds.
     double remaining_req_top = 0;   ///< Requested work left, top-gear seconds.
     Time pending_end = kNoTime;     ///< Valid completion event time.
+    Time start = kNoTime;           ///< When the job began executing.
+    GearIndex start_gear = 0;       ///< Gear engaged at start.
+    bool boosted = false;           ///< Raised mid-flight.
+    Time scaled_requested = 0;      ///< Requested time dilated at start.
   };
 
-  [[nodiscard]] JobOutcome& outcome(JobId id);
-  [[nodiscard]] const JobOutcome& outcome(JobId id) const;
+  [[nodiscard]] std::size_t trace_index(JobId id) const;
   [[nodiscard]] Running& running(JobId id);
   void finish_job(JobId id);
+
+  /// Invokes `hook` on every attached observer (defaults first, then
+  /// add_observer order).
+  template <typename Hook>
+  void notify(Hook&& hook) {
+    for (SimObserver* observer : chain_) hook(*observer);
+  }
 
   const wl::Workload& workload_;
   core::SchedulingPolicy& policy_;
@@ -120,10 +135,13 @@ class Simulation final : public core::SchedulerContext {
 
   cluster::Machine machine_;
   Engine engine_;
-  power::EnergyMeter meter_;
-  std::vector<JobOutcome> outcomes_;               ///< Trace order.
-  std::unordered_map<JobId, std::size_t> index_;   ///< JobId -> outcome slot.
+  std::unordered_map<JobId, std::size_t> index_;   ///< JobId -> trace slot.
+  std::vector<char> started_;                      ///< By trace slot.
   std::unordered_map<JobId, Running> running_;
+  std::vector<SimObserver*> observers_;            ///< add_observer order.
+  std::vector<SimObserver*> chain_;                ///< Full set during run().
+  std::size_t finished_ = 0;
+  Time last_end_ = 0;
   bool ran_ = false;
 };
 

@@ -144,6 +144,20 @@ std::vector<double> Config::get_double_list(
   return out;
 }
 
+std::vector<std::string> Config::get_string_list(
+    const std::string& key, const std::vector<std::string>& fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::vector<std::string> out;
+  std::istringstream in(*value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::string trimmed = trim(item);
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
 std::vector<std::string> Config::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());
@@ -172,6 +186,15 @@ std::string config_double_list(const std::vector<double>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i != 0) out += ", ";
     out += config_double(values[i]);
+  }
+  return out;
+}
+
+std::string config_string_list(const std::vector<std::string>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += values[i];
   }
   return out;
 }

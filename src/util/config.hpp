@@ -46,6 +46,11 @@ class Config {
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& key, const std::vector<double>& fallback) const;
 
+  /// Parses a comma-separated list of strings, e.g. "wait-trace, energy";
+  /// items are trimmed, empties dropped, order preserved.
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& key, const std::vector<std::string>& fallback) const;
+
   /// All keys in sorted order (for diagnostics and round-trip tests).
   [[nodiscard]] std::vector<std::string> keys() const;
 
@@ -65,5 +70,9 @@ std::string config_double(double value);
 
 /// Comma-separated config_double list ("0.8, 1.1, 1.4").
 std::string config_double_list(const std::vector<double>& values);
+
+/// Comma-separated string list ("wait-trace, energy") — the serialized form
+/// get_string_list parses back, item for item.
+std::string config_string_list(const std::vector<std::string>& values);
 
 }  // namespace bsld::util

@@ -57,6 +57,12 @@ std::vector<RunSpec> representative_specs() {
     specs.push_back(spec);
   }
   {
+    RunSpec spec;  // instrumented streaming run
+    spec.instruments = {"wait-trace", "utilization", "energy"};
+    spec.retain_jobs = false;
+    specs.push_back(spec);
+  }
+  {
     wl::WorkloadSpec workload;
     workload.name = "inline";
     workload.cpus = 48;
@@ -132,6 +138,26 @@ TEST(SpecIoTest, UnknownWorkloadKindRejected) {
   EXPECT_THROW((void)RunSpec::parse(
                    util::Config::parse("workload.source = database\n")),
                Error);
+}
+
+TEST(SpecIoTest, UnknownInstrumentRejectedListingRegistry) {
+  try {
+    (void)RunSpec::parse(util::Config::parse("instruments = wait-trase\n"));
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    // Typos fail discoverably: the message names the registered set.
+    EXPECT_NE(std::string(error.what()).find("wait-trace"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SpecIoTest, DefaultInstrumentFieldsKeepLegacySerialization) {
+  // Specs without instruments/retain_jobs must serialize exactly as before
+  // the measurement fields existed — saved spec files stay byte-stable.
+  const RunSpec spec;
+  const std::string text = spec.to_config().to_string();
+  EXPECT_EQ(text.find("instruments"), std::string::npos);
+  EXPECT_EQ(text.find("retain_jobs"), std::string::npos);
 }
 
 }  // namespace
