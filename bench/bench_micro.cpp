@@ -5,7 +5,11 @@
 /// through report::SweepRunner (dedup off vs on).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <unistd.h>
+
 #include "cluster/first_fit.hpp"
+#include "report/result_cache.hpp"
 #include "report/sweep.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -141,6 +145,54 @@ void BM_RetainJobsMode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kJobs);
 }
 BENCHMARK(BM_RetainJobsMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Warm-sweep throughput through the persistent result cache: the grid of
+/// BM_SweepThroughput pre-stored once, then every iteration served entirely
+/// from disk (progress.executed == 0). This is the "repeated sweeps are
+/// free" headline — compare against BM_SweepThroughput/1 (the same grid,
+/// simulated).
+void BM_CacheHitSweep(benchmark::State& state) {
+  std::vector<report::RunSpec> specs;
+  for (const double threshold : {1.5, 2.0, 3.0}) {
+    for (const bool wq_limited : {true, false}) {
+      report::RunSpec spec;
+      spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kCTC, 400);
+      core::DvfsConfig dvfs;
+      dvfs.bsld_threshold = threshold;
+      if (wq_limited) dvfs.wq_threshold = 4;
+      else dvfs.wq_threshold = std::nullopt;
+      spec.policy.dvfs = dvfs;
+      specs.push_back(spec);
+    }
+  }
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("bsld-bench-cache-" + std::to_string(static_cast<long>(::getpid())));
+  report::ResultCache cache(root);
+  {
+    report::SweepRunner::Options options;
+    options.threads = 2;
+    options.cache = &cache;
+    report::SweepRunner warmup(options);
+    (void)warmup.run(specs);  // populate the store once.
+  }
+
+  std::size_t executed = 0;
+  for (auto _ : state) {
+    report::SweepRunner::Options options;
+    options.threads = 2;
+    options.cache = &cache;
+    report::SweepRunner runner(options);
+    benchmark::DoNotOptimize(runner.run(specs));
+    executed += runner.progress().executed;
+  }
+  state.counters["simulated"] = static_cast<double>(executed);  // expect 0.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_CacheHitSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

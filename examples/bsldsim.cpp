@@ -3,7 +3,10 @@
 /// A thin CLI over report::RunSpec — every seam of the library (workload
 /// source, platform file, policy registry, DVFS thresholds, the
 /// dynamic-raise extension, machine scaling) is a field of the spec, and
-/// the run itself is one report::run_one() call.
+/// the run itself is one report::run_one() call. Grids go through
+/// report::expand_grid + report::SweepRunner, with optional persistent
+/// caching (report::ResultCache) and deterministic sharding across
+/// processes.
 ///
 /// Run: ./bsldsim --workload SDSCBlue --bsld 2 --wq 16
 ///      ./bsldsim --workload trace.swf --policy conservative --platform p.conf
@@ -13,6 +16,20 @@
 ///      ./bsldsim --format jsonl                 # one JSON object, machine-readable
 ///      ./bsldsim --list-policies                # registry contents
 ///      ./bsldsim --list-instruments
+///
+/// Sweeps, caching, sharding:
+///      ./bsldsim --sweep grid.conf --format csv > grid.csv
+///      ./bsldsim --sweep grid.conf --cache      # warm re-runs are free
+///      ./bsldsim --sweep grid.conf --shard-count 2 --shard-index 0 > s0.csv
+///      ./bsldsim --merge-shards s0.csv,s1.csv > grid.csv
+///      ./bsldsim --cache-stats                  # store contents
+///      ./bsldsim --cache-clear                  # drop every entry
+///
+/// A sweep grid file is a RunSpec config plus `sweep.*` axes
+/// (see report/grid.hpp); sweep output is emitted in grid order, so a
+/// merged set of shard outputs is byte-identical to the serial run.
+/// --cache-stats/--cache-clear/--cache-trim-mb/--absorb-cache are
+/// maintenance commands: they operate on the store and exit.
 ///
 /// With --spec, the file provides the baseline and explicitly-passed flags
 /// override it; --save-spec writes the effective spec in its canonical
@@ -25,18 +42,234 @@
 ///   power.static_fraction_at_top = 0.25
 ///   power.top_active_power_watts = 95
 ///   time.beta = 0.5
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
 
 #include "report/experiment.hpp"
+#include "report/grid.hpp"
+#include "report/result_cache.hpp"
 #include "report/sinks.hpp"
+#include "report/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/table.hpp"
 
-#include <fstream>
-
 using namespace bsld;
+
+namespace {
+
+/// The store selected by --cache-dir (explicit) or --cache (conventional
+/// location); nullptr when caching is off.
+std::unique_ptr<report::ResultCache> open_cache(const util::Cli& cli) {
+  const std::string dir = cli.get("cache-dir");
+  if (!dir.empty()) return std::make_unique<report::ResultCache>(dir);
+  if (cli.get_bool("cache")) {
+    return std::make_unique<report::ResultCache>(
+        report::ResultCache::default_root());
+  }
+  return nullptr;
+}
+
+/// Comma-separated list -> trimmed items (the `instruments` flag splitting).
+std::vector<std::string> split_list(const std::string& text) {
+  util::Config list;
+  list.set("items", text);
+  return list.get_string_list("items", {});
+}
+
+/// --merge-shards: folds shard CSV/JSONL outputs into the serial result
+/// set. Shard outputs are emitted in grid order with the grid index as the
+/// leading column/field, and every grid slot lives in exactly one shard,
+/// so re-sorting the union of verbatim rows by index reproduces the serial
+/// run byte for byte.
+int merge_shards(const std::string& list) {
+  const std::vector<std::string> files = split_list(list);
+  BSLD_REQUIRE(!files.empty(), "bsldsim: --merge-shards needs files");
+
+  bool format_known = false;
+  bool is_csv = false;
+  std::string header;
+  std::map<std::uint64_t, std::string> rows;  // grid index -> verbatim line.
+
+  for (const std::string& file : files) {
+    const std::optional<std::string> bytes = util::read_file_bytes(file);
+    BSLD_REQUIRE(bytes.has_value(), "bsldsim: cannot read shard file " + file);
+    std::vector<std::string> lines;
+    std::istringstream in(*bytes);
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    if (lines.empty()) continue;  // an empty shard contributes nothing.
+
+    std::size_t first_row = 0;
+    const bool file_is_csv = lines[0].rfind("index,", 0) == 0;
+    if (!format_known) {
+      format_known = true;
+      is_csv = file_is_csv;
+      if (is_csv) header = lines[0];
+    }
+    if (is_csv) {
+      BSLD_REQUIRE(file_is_csv && lines[0] == header,
+                   "bsldsim: shard file " + file +
+                       " has a different CSV header than the first shard");
+      first_row = 1;
+    } else {
+      BSLD_REQUIRE(!file_is_csv, "bsldsim: shard file " + file +
+                                     " is CSV but the first shard was JSONL");
+    }
+
+    for (std::size_t i = first_row; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      if (line.empty()) continue;
+      std::uint64_t index = 0;
+      std::size_t pos = 0;
+      if (is_csv) {
+        pos = 0;  // index is the first CSV column.
+      } else {
+        const std::string prefix = "{\"index\":";
+        BSLD_REQUIRE(line.rfind(prefix, 0) == 0,
+                     "bsldsim: shard file " + file +
+                         " has a malformed JSONL row: " + line);
+        pos = prefix.size();
+      }
+      std::size_t digits = 0;
+      while (pos + digits < line.size() && line[pos + digits] >= '0' &&
+             line[pos + digits] <= '9') {
+        ++digits;
+      }
+      BSLD_REQUIRE(digits > 0, "bsldsim: shard file " + file +
+                                   " has a row without a grid index: " + line);
+      index = std::stoull(line.substr(pos, digits));
+      const auto [it, inserted] = rows.emplace(index, line);
+      BSLD_REQUIRE(inserted,
+                   "bsldsim: grid index " + std::to_string(index) +
+                       " appears in more than one shard file (overlapping "
+                       "shards?)");
+      (void)it;
+    }
+  }
+
+  // Grid indices are dense 0..N-1 and every slot lives in exactly one
+  // shard, so a gap means a shard file is missing or was cut short — a
+  // silently truncated "serial-identical" result would be worse than an
+  // error.
+  if (!rows.empty()) {
+    const std::uint64_t highest = rows.rbegin()->first;
+    BSLD_REQUIRE(highest + 1 == rows.size(),
+                 "bsldsim: merged shards cover " + std::to_string(rows.size()) +
+                     " of " + std::to_string(highest + 1) +
+                     " grid slots — missing or truncated shard file?");
+  }
+
+  if (is_csv && !header.empty()) std::cout << header << '\n';
+  for (const auto& [index, line] : rows) std::cout << line << '\n';
+  return 0;
+}
+
+/// Maintenance commands: --absorb-cache, --cache-clear, --cache-trim-mb,
+/// --cache-stats — operate on the store and exit.
+int run_cache_maintenance(const util::Cli& cli) {
+  std::unique_ptr<report::ResultCache> cache = open_cache(cli);
+  if (!cache) {
+    cache = std::make_unique<report::ResultCache>(
+        report::ResultCache::default_root());
+  }
+
+  if (!cli.get("absorb-cache").empty()) {
+    for (const std::string& other : split_list(cli.get("absorb-cache"))) {
+      const std::size_t copied = cache->absorb(other);
+      std::cout << "absorbed " << copied << " entries from " << other << '\n';
+    }
+  }
+  if (cli.get_bool("cache-clear")) {
+    std::cout << "cleared " << cache->clear() << " entries from "
+              << cache->root().string() << '\n';
+  }
+  if (cli.get_int("cache-trim-mb") >= 0) {
+    const auto max_bytes =
+        static_cast<std::uintmax_t>(cli.get_int("cache-trim-mb")) * 1024 *
+        1024;
+    const std::size_t evicted = cache->trim(max_bytes);
+    std::cout << "evicted " << evicted << " entries (oldest first)\n";
+  }
+  if (cli.get_bool("cache-stats")) {
+    const report::ResultCache::DiskStats stats = cache->disk_stats();
+    std::cout << "cache " << cache->root().string() << " (epoch "
+              << report::ResultCache::kSchemaEpoch << "): " << stats.entries
+              << " entries, " << stats.bytes << " bytes";
+    if (stats.stale_entries != 0) {
+      std::cout << ", " << stats.stale_entries
+                << " stale-epoch entries (reclaim with --cache-clear)";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+/// --sweep: expand the grid file and stream it through SweepRunner in grid
+/// order. Single-run flags (--workload, --bsld, ...) do not apply — the
+/// grid file is self-contained.
+int run_sweep(const util::Cli& cli, const std::string& format) {
+  const std::vector<report::RunSpec> specs =
+      report::expand_grid(util::Config::load_file(cli.get("sweep")));
+
+  std::unique_ptr<report::ResultCache> cache = open_cache(cli);
+  report::SweepRunner::Options options;
+  options.threads = static_cast<unsigned>(cli.get_int("threads"));
+  options.cache = cache.get();
+  options.shard_index = static_cast<unsigned>(cli.get_int("shard-index"));
+  options.shard_count = static_cast<unsigned>(cli.get_int("shard-count"));
+  report::SweepRunner runner(options);
+
+  std::optional<report::CsvResultSink> csv;
+  std::optional<report::JsonlResultSink> jsonl;
+  std::optional<report::ReorderingSink> ordered;
+  report::TableResultSink table;
+  if (format == "csv") {
+    csv.emplace(std::cout);
+    ordered.emplace(*csv);
+    runner.add_sink(*ordered);
+  } else if (format == "jsonl") {
+    jsonl.emplace(std::cout);
+    ordered.emplace(*jsonl);
+    runner.add_sink(*ordered);
+  } else {
+    runner.add_sink(table);
+  }
+
+  (void)runner.run(specs);
+  if (format == "table") std::cout << table.table();
+
+  const report::SweepRunner::Progress& progress = runner.progress();
+  std::ostream& notice = format == "table" ? std::cout : std::cerr;
+  notice << "sweep: " << progress.total << " specs, " << progress.executed
+         << " executed, " << progress.deduplicated << " deduplicated, "
+         << progress.cache_hits << " cache hits";
+  if (options.shard_count > 1) {
+    notice << ", " << progress.shard_skipped << " on other shards (shard "
+           << options.shard_index << "/" << options.shard_count << ")";
+  }
+  notice << '\n';
+  if (cache) {
+    const report::ResultCache::Counters counters = cache->counters();
+    notice << "cache " << cache->root().string() << ": " << counters.hits
+           << " hits, " << counters.misses << " misses, " << counters.stores
+           << " stores";
+    if (counters.corrupt != 0) {
+      notice << ", " << counters.corrupt << " corrupt entries dropped";
+    }
+    notice << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   util::Cli cli("bsldsim", "config-driven power-aware scheduling simulation");
@@ -77,6 +310,36 @@ int main(int argc, char** argv) try {
                "print the policy/assigner registry contents and exit");
   cli.add_flag("list-instruments", "false",
                "print the instrument registry contents and exit");
+  cli.add_flag("sweep", "",
+               "sweep grid file (RunSpec config + sweep.* axes); runs the "
+               "whole grid and emits results in grid order");
+  cli.add_flag("threads", "0",
+               "sweep worker threads (0 = hardware concurrency)");
+  cli.add_flag("cache", "false",
+               "persist/reuse results in the default cache directory "
+               "($BSLD_CACHE_DIR, else ~/.cache/bsldsim)");
+  cli.add_flag("cache-dir", "",
+               "persist/reuse results in this cache directory (implies "
+               "--cache)");
+  cli.add_flag("cache-stats", "false",
+               "print the result store's contents and exit");
+  cli.add_flag("cache-clear", "false",
+               "remove every cached result (all epochs) and exit");
+  cli.add_flag("cache-trim-mb", "-1",
+               "evict oldest cached results until the store is at most this "
+               "many MiB, then exit");
+  cli.add_flag("absorb-cache", "",
+               "comma-separated cache directories to copy entries from "
+               "(sharded-sweep merge), then exit");
+  cli.add_flag("shard-index", "0",
+               "with --sweep: this process's shard (0-based)");
+  cli.add_flag("shard-count", "1",
+               "with --sweep: total shards; specs are partitioned by the "
+               "stable hash of their key");
+  cli.add_flag("merge-shards", "",
+               "comma-separated shard output files (CSV or JSONL, as "
+               "written by --sweep); prints the merged serial result set "
+               "and exits");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_bool("list-policies")) {
@@ -97,6 +360,20 @@ int main(int argc, char** argv) try {
     std::cout << '\n';
     return 0;
   }
+
+  if (!cli.get("merge-shards").empty()) {
+    return merge_shards(cli.get("merge-shards"));
+  }
+  if (cli.get_bool("cache-stats") || cli.get_bool("cache-clear") ||
+      cli.get_int("cache-trim-mb") >= 0 || !cli.get("absorb-cache").empty()) {
+    return run_cache_maintenance(cli);
+  }
+
+  const std::string format = cli.get("format");
+  BSLD_REQUIRE(format == "table" || format == "csv" || format == "jsonl",
+               "bsldsim: --format must be table, csv, or jsonl");
+
+  if (!cli.get("sweep").empty()) return run_sweep(cli, format);
 
   // Baseline spec: the --spec file when given, defaults otherwise.
   const bool from_file = !cli.get("spec").empty();
@@ -162,9 +439,7 @@ int main(int argc, char** argv) try {
   if (overrides("scale")) spec.size_scale = cli.get_double("scale");
   if (overrides("instruments")) {
     // Same trimming/splitting as the `instruments` spec-file key.
-    util::Config list;
-    list.set("instruments", cli.get("instruments"));
-    spec.instruments = list.get_string_list("instruments", {});
+    spec.instruments = split_list(cli.get("instruments"));
   }
   // Validate before --save-spec so a typo cannot persist an unreplayable
   // spec file; the registry error lists what is registered.
@@ -173,9 +448,6 @@ int main(int argc, char** argv) try {
   }
   if (overrides("retain-jobs")) spec.retain_jobs = cli.get_bool("retain-jobs");
 
-  const std::string format = cli.get("format");
-  BSLD_REQUIRE(format == "table" || format == "csv" || format == "jsonl",
-               "bsldsim: --format must be table, csv, or jsonl");
   // Machine-readable formats keep stdout pure; notices go to stderr.
   std::ostream& notice = format == "table" ? std::cout : std::cerr;
 
@@ -185,7 +457,21 @@ int main(int argc, char** argv) try {
     notice << "Spec written to " << cli.get("save-spec") << '\n';
   }
 
-  const report::RunResult run = report::run_one(spec);
+  // Single runs go through the cache too when one is selected: a repeated
+  // run replays instead of simulating.
+  std::unique_ptr<report::ResultCache> cache = open_cache(cli);
+  std::optional<report::RunResult> cached;
+  if (cache) cached = cache->lookup(spec);
+  const report::RunResult run = cached ? std::move(*cached)
+                                       : report::run_one(spec);
+  if (cache) {
+    if (cached) {
+      notice << "cache hit (" << cache->root().string() << ")\n";
+    } else {
+      cache->store(run);
+      notice << "cache miss, stored (" << cache->root().string() << ")\n";
+    }
+  }
   const sim::SimulationResult& result = run.sim;
 
   if (format == "csv") {

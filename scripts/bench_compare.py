@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate and compare google-benchmark JSON outputs.
+
+Two modes, both stdlib-only:
+
+  bench_compare.py --check FRESH.json
+      Structural validation: the file must parse as JSON and carry a
+      non-empty `benchmarks` array. Exit 1 otherwise. Used by
+      scripts/run_bench.sh so a crashed or truncated benchmark run can
+      never masquerade as a benchmark artifact.
+
+  bench_compare.py FRESH.json BASELINE.json --max-regression-pct 25 \
+      --guard bench/bench_guard.list
+      The CI bench-regression gate: for every benchmark named in the guard
+      list, compare throughput (items_per_second when reported, else
+      1/real_time) between the fresh run and the checked-in baseline, and
+      exit 1 when any guarded benchmark regressed by more than the
+      threshold. Guarded names missing from the fresh run fail (a deleted
+      benchmark must be removed from the guard list deliberately); names
+      missing from the baseline are skipped with a note (new benchmarks
+      enter the gate when the baseline is refreshed).
+
+The baseline lives in bench/BENCH_baseline.json and is refreshed with
+`scripts/run_bench.sh --update-baseline` on quiet hardware. To land a PR
+with a known, accepted regression, apply the `bench-regression-override`
+label (see .github/workflows/ci.yml) — the gate job is skipped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench_compare: cannot read {path}: {error}")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        sys.exit(f"bench_compare: {path} has no `benchmarks` array "
+                 "(truncated or not a google-benchmark JSON file)")
+    return data
+
+
+def throughput(entry):
+    """Higher is better: items/s when reported, else inverse wall time."""
+    items = entry.get("items_per_second")
+    if isinstance(items, (int, float)) and items > 0:
+        return float(items)
+    real = entry.get("real_time")
+    if isinstance(real, (int, float)) and real > 0:
+        return 1.0 / float(real)
+    return None
+
+
+def by_name(data):
+    table = {}
+    for entry in data["benchmarks"]:
+        # Skip aggregate rows (mean/median/stddev) — compare raw runs.
+        if entry.get("run_type") == "aggregate":
+            continue
+        rate = throughput(entry)
+        if entry.get("name") and rate is not None:
+            table[entry["name"]] = rate
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_micro.json")
+    parser.add_argument("baseline", nargs="?",
+                        help="checked-in baseline to gate against")
+    parser.add_argument("--check", action="store_true",
+                        help="only validate `fresh` structurally")
+    parser.add_argument("--max-regression-pct", type=float, default=25.0,
+                        help="fail when a guarded benchmark's throughput "
+                             "drops by more than this percentage")
+    parser.add_argument("--guard",
+                        help="file listing guarded benchmark names, one per "
+                             "line (# comments); default: every benchmark "
+                             "present in both runs")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    if args.check:
+        print(f"bench_compare: {args.fresh} OK "
+              f"({len(fresh['benchmarks'])} benchmarks)")
+        return
+    if not args.baseline:
+        sys.exit("bench_compare: baseline file required unless --check")
+
+    baseline = load(args.baseline)
+    fresh_rates = by_name(fresh)
+    baseline_rates = by_name(baseline)
+
+    if args.guard:
+        try:
+            with open(args.guard, "r", encoding="utf-8") as handle:
+                guarded = [line.strip() for line in handle
+                           if line.strip() and not line.startswith("#")]
+        except OSError as error:
+            sys.exit(f"bench_compare: cannot read guard list: {error}")
+    else:
+        guarded = sorted(set(fresh_rates) & set(baseline_rates))
+
+    failures = []
+    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    for name in guarded:
+        if name not in fresh_rates:
+            failures.append(f"{name}: missing from {args.fresh} (remove it "
+                            "from the guard list if it was deleted)")
+            continue
+        if name not in baseline_rates:
+            print(f"{name:40s} {'(new)':>12s} {fresh_rates[name]:12.3g} "
+                  f"{'n/a':>8s}  # enters the gate on the next baseline "
+                  "refresh")
+            continue
+        base = baseline_rates[name]
+        now = fresh_rates[name]
+        delta_pct = (now - base) / base * 100.0
+        print(f"{name:40s} {base:12.3g} {now:12.3g} {delta_pct:+7.1f}%")
+        if delta_pct < -args.max_regression_pct:
+            failures.append(
+                f"{name}: throughput {base:.3g} -> {now:.3g} "
+                f"({delta_pct:+.1f}%, limit -{args.max_regression_pct:g}%)")
+
+    if failures:
+        print("\nbench_compare: FAIL — throughput regression over "
+              f"{args.max_regression_pct:g}%:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("  (accepted regression? apply the bench-regression-override "
+              "PR label, or refresh the baseline with "
+              "`scripts/run_bench.sh --update-baseline`)", file=sys.stderr)
+        sys.exit(1)
+    print("bench_compare: OK")
+
+
+if __name__ == "__main__":
+    main()

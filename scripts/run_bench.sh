@@ -1,10 +1,44 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite and emits BENCH_micro.json (google-benchmark
-# JSON format) to seed the performance trajectory. Extra arguments are
-# forwarded to bench_micro (e.g. --benchmark_min_time=0.01s for CI smokes).
+# JSON format) to seed the performance trajectory. Fails loudly (non-zero
+# exit) when bench_micro is missing, fails to run, or emits invalid JSON —
+# an empty artifact must never be mistaken for a benchmark run.
 #
-# Usage: scripts/run_bench.sh [build-dir] [output.json] [bench args...]
+# Usage:
+#   scripts/run_bench.sh [options] [build-dir] [output.json] [bench args...]
+#
+# Options (must come first):
+#   --compare BASELINE.json   After running, diff the fresh JSON against the
+#                             baseline with scripts/bench_compare.py and exit
+#                             non-zero on >BENCH_MAX_REGRESSION_PCT (default
+#                             25) percent throughput regression in the
+#                             benchmarks named in bench/bench_guard.list.
+#   --update-baseline         After running, copy the fresh JSON over
+#                             bench/BENCH_baseline.json (run on quiet
+#                             hardware; commit the result).
+#
+# Extra arguments are forwarded to bench_micro (e.g.
+# --benchmark_min_time=0.01s for CI smokes).
 set -euo pipefail
+
+compare_baseline=""
+update_baseline=0
+while [[ $# -ge 1 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "run_bench.sh: --compare needs a baseline file" >&2; exit 2; }
+      compare_baseline="$2"
+      shift 2
+      ;;
+    --update-baseline)
+      update_baseline=1
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
 build_dir="${1:-build}"
 out="${2:-BENCH_micro.json}"
@@ -19,10 +53,35 @@ if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
   cmake -B "$build_dir" -S .
   cmake --build "$build_dir" --target bench_micro -j
 fi
+if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
+  echo "run_bench.sh: $build_dir/bench/bench_micro is missing after the build" >&2
+  exit 1
+fi
 
 "$build_dir/bench/bench_micro" \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   ${1+"$@"}
 
+if [[ ! -s "$out" ]]; then
+  echo "run_bench.sh: bench_micro wrote no output to $out" >&2
+  exit 1
+fi
+# A valid run always carries a non-empty `benchmarks` array; anything else
+# (truncated file, crash mid-write, HTML error page from a wrapper) fails.
+python3 scripts/bench_compare.py --check "$out"
+
 echo "Wrote $out"
+
+# Compare before any baseline refresh: `--compare X --update-baseline`
+# must gate against the *old* baseline, not the file just overwritten.
+if [[ -n "$compare_baseline" ]]; then
+  python3 scripts/bench_compare.py "$out" "$compare_baseline" \
+    --max-regression-pct "${BENCH_MAX_REGRESSION_PCT:-25}" \
+    --guard bench/bench_guard.list
+fi
+
+if [[ $update_baseline -eq 1 ]]; then
+  cp "$out" bench/BENCH_baseline.json
+  echo "Updated bench/BENCH_baseline.json"
+fi

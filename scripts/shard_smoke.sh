@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Shard/merge and cache parity smoke: proves on every PR (and in ctest, as
+# examples.shard_merge_parity) that
+#   1. running a sweep as 2 shards + `bsldsim --merge-shards` is
+#      byte-identical to the serial run, for both CSV and JSONL output;
+#   2. re-running the sweep against a populated cache is a 100% hit run
+#      with byte-identical output.
+#
+# Usage: scripts/shard_smoke.sh <bsldsim-binary> <sweep-grid.conf>
+set -euo pipefail
+
+bsldsim="$1"
+grid="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+for format in csv jsonl; do
+  "$bsldsim" --sweep "$grid" --format "$format" --threads 2 \
+    > "$workdir/serial.$format" 2>/dev/null
+  "$bsldsim" --sweep "$grid" --format "$format" --threads 2 \
+    --shard-count 2 --shard-index 0 > "$workdir/s0.$format" 2>/dev/null
+  "$bsldsim" --sweep "$grid" --format "$format" --threads 2 \
+    --shard-count 2 --shard-index 1 > "$workdir/s1.$format" 2>/dev/null
+  "$bsldsim" --merge-shards "$workdir/s0.$format,$workdir/s1.$format" \
+    > "$workdir/merged.$format"
+  diff "$workdir/serial.$format" "$workdir/merged.$format" \
+    || { echo "shard_smoke: $format merge differs from the serial run" >&2; exit 1; }
+  echo "shard_smoke: $format shard/merge parity OK"
+done
+
+cache="$workdir/cache"
+"$bsldsim" --sweep "$grid" --format csv --threads 2 --cache-dir "$cache" \
+  > "$workdir/cold.csv" 2>"$workdir/cold.log"
+"$bsldsim" --sweep "$grid" --format csv --threads 2 --cache-dir "$cache" \
+  > "$workdir/warm.csv" 2>"$workdir/warm.log"
+diff "$workdir/cold.csv" "$workdir/warm.csv" \
+  || { echo "shard_smoke: warm cache output differs from cold run" >&2; exit 1; }
+grep -q ", 0 executed," "$workdir/warm.log" \
+  || { echo "shard_smoke: warm run still executed simulations:" >&2; cat "$workdir/warm.log" >&2; exit 1; }
+echo "shard_smoke: cache warm-run parity OK (100% hits)"

@@ -1,0 +1,94 @@
+#include "report/grid.hpp"
+
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+#include "workload/source.hpp"
+
+namespace bsld::report {
+
+namespace {
+
+std::optional<std::int64_t> parse_wq(const std::string& token) {
+  if (token == "NO") return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(token, &consumed);
+    BSLD_REQUIRE(consumed == token.size() && value >= 0,
+                 "expand_grid: bad sweep.wq_thresholds item `" + token + "`");
+    return value;
+  } catch (const std::logic_error&) {
+    BSLD_REQUIRE(false, "expand_grid: bad sweep.wq_thresholds item `" + token +
+                            "` (expect an integer or NO)");
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace
+
+std::vector<RunSpec> expand_grid(const util::Config& config) {
+  const RunSpec base = RunSpec::parse(config);
+  const std::vector<std::string> workloads =
+      config.get_string_list("sweep.workloads", {});
+  const std::vector<double> bslds =
+      config.get_double_list("sweep.bsld_thresholds", {});
+  const std::vector<std::string> wqs =
+      config.get_string_list("sweep.wq_thresholds", {});
+  const std::vector<double> scales = config.get_double_list("sweep.scales", {});
+
+  // Each absent axis contributes its base value once, so the cross-product
+  // below is uniform: workloads outermost, then BSLD, then WQ, then scale.
+  std::vector<wl::WorkloadSource> workload_axis;
+  if (workloads.empty()) {
+    workload_axis.push_back(base.workload);
+  } else {
+    for (const std::string& name : workloads) {
+      workload_axis.push_back(wl::resolve_source(name, base.workload.jobs,
+                                                 base.workload.seed));
+    }
+  }
+  std::vector<std::optional<double>> bsld_axis;
+  if (bslds.empty()) {
+    bsld_axis.push_back(std::nullopt);  // keep the base policy's DVFS state.
+  } else {
+    for (const double threshold : bslds) bsld_axis.push_back(threshold);
+  }
+  std::vector<std::optional<std::optional<std::int64_t>>> wq_axis;
+  if (wqs.empty()) {
+    wq_axis.push_back(std::nullopt);
+  } else {
+    for (const std::string& token : wqs) wq_axis.push_back(parse_wq(token));
+  }
+  std::vector<double> scale_axis =
+      scales.empty() ? std::vector<double>{base.size_scale} : scales;
+
+  std::vector<RunSpec> specs;
+  specs.reserve(workload_axis.size() * bsld_axis.size() * wq_axis.size() *
+                scale_axis.size());
+  for (const wl::WorkloadSource& workload : workload_axis) {
+    for (const std::optional<double>& bsld : bsld_axis) {
+      for (const auto& wq : wq_axis) {
+        for (const double scale : scale_axis) {
+          RunSpec spec = base;
+          spec.workload = workload;
+          if (bsld || wq) {
+            // A threshold axis implies the DVFS algorithm: refine the base
+            // DVFS config (or the default one when the base is a no-DVFS
+            // baseline).
+            core::DvfsConfig dvfs =
+                spec.policy.dvfs.value_or(core::DvfsConfig{});
+            if (bsld) dvfs.bsld_threshold = *bsld;
+            if (wq) dvfs.wq_threshold = *wq;
+            spec.policy.dvfs = dvfs;
+          }
+          spec.size_scale = scale;
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace bsld::report

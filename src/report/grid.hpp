@@ -1,0 +1,36 @@
+/// \file grid.hpp
+/// \brief Declarative sweep grids: one config file that expands into a
+/// cross-product of RunSpecs.
+///
+/// A grid config is an ordinary RunSpec config (every key RunSpec::parse
+/// accepts, all optional) plus multi-valued `sweep.*` axes:
+///
+///   sweep.workloads       = CTC, SDSC, SDSCBlue   # archive names/SWF paths
+///   sweep.bsld_thresholds = 1.5, 2, 3             # enables DVFS per value
+///   sweep.wq_thresholds   = 0, 4, 16, NO          # NO = no limit
+///   sweep.scales          = 1, 1.2, 1.5           # machine size multipliers
+///
+/// expand_grid() returns the full cross-product in a fixed, documented
+/// order — workloads outermost, then BSLD thresholds, then WQ thresholds,
+/// then scales — so a grid file denotes one exact spec sequence everywhere:
+/// the serial run, every shard of a sharded run, and any future re-run
+/// agree on grid indices. Axes left out inherit the base spec's value.
+/// This is the seam bsldsim --sweep consumes; paper figures keep their
+/// hand-built grids in figures.hpp.
+#pragma once
+
+#include <vector>
+
+#include "report/experiment.hpp"
+#include "util/config.hpp"
+
+namespace bsld::report {
+
+/// Expands `config` into the cross-product of its sweep axes over its base
+/// spec. A config with no `sweep.*` keys yields exactly the base spec.
+/// Throws bsld::Error on unparseable axis values (e.g. a WQ threshold that
+/// is neither an integer nor "NO") — same failure surface as
+/// RunSpec::parse.
+std::vector<RunSpec> expand_grid(const util::Config& config);
+
+}  // namespace bsld::report

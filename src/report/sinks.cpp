@@ -108,6 +108,18 @@ void JsonlResultSink::on_result(std::size_t index, const RunResult& result) {
   out_ << line.str() << std::flush;
 }
 
+void ReorderingSink::on_result(std::size_t index, const RunResult& result) {
+  pending_[index] = result;
+}
+
+void ReorderingSink::on_done(std::size_t total) {
+  for (const auto& [index, result] : pending_) {
+    inner_.on_result(index, result);
+  }
+  pending_.clear();
+  inner_.on_done(total);
+}
+
 util::Table TableResultSink::table() const {
   util::Table table(result_row_headers());
   for (std::size_t c = 2; c < result_row_headers().size(); ++c) {

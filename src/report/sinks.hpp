@@ -51,6 +51,25 @@ class JsonlResultSink final : public ResultSink {
   std::ostream& out_;
 };
 
+/// Decorator: buffers results and replays them into `inner` in ascending
+/// grid order at on_done. Turns any streaming sink's completion-order
+/// output into deterministic grid-order output — what bsldsim --sweep
+/// emits, and the property that makes shard outputs mergeable into a
+/// byte-identical serial result set. Costs O(grid) buffered results.
+class ReorderingSink final : public ResultSink {
+ public:
+  /// Replays into `inner`; must outlive this sink. inner.on_done runs
+  /// after the replay, with the same total.
+  explicit ReorderingSink(ResultSink& inner) : inner_(inner) {}
+
+  void on_result(std::size_t index, const RunResult& result) override;
+  void on_done(std::size_t total) override;
+
+ private:
+  ResultSink& inner_;
+  std::map<std::size_t, RunResult> pending_;  ///< ascending grid order.
+};
+
 /// Collects results and renders them as a util::Table in grid order.
 class TableResultSink final : public ResultSink {
  public:

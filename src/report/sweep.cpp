@@ -6,7 +6,17 @@
 #include <thread>
 #include <unordered_map>
 
+#include "report/result_cache.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
 namespace bsld::report {
+
+unsigned shard_of(const RunSpec& spec, unsigned shard_count) {
+  BSLD_REQUIRE(shard_count > 0, "shard_of(): shard_count must be positive");
+  if (shard_count == 1) return 0;
+  return static_cast<unsigned>(util::fnv1a64(spec.key()) % shard_count);
+}
 
 SweepRunner::SweepRunner(Options options) : options_(options) {}
 
@@ -17,10 +27,15 @@ void SweepRunner::on_progress(ProgressCallback callback) {
 }
 
 std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
+  BSLD_REQUIRE(options_.shard_count > 0,
+               "SweepRunner: shard_count must be positive");
+  BSLD_REQUIRE(options_.shard_index < options_.shard_count,
+               "SweepRunner: shard_index must be < shard_count");
   progress_ = Progress{};
   progress_.total = specs.size();
 
   std::vector<RunResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
   if (specs.empty()) {
     for (ResultSink* sink : sinks_) sink->on_done(0);
     return results;
@@ -49,12 +64,30 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
     }
   }
 
+  // Shard partition: this process only executes the distinct specs the
+  // stable key hash assigns to shard_index; the rest are someone else's.
+  std::vector<std::size_t> owned;
+  owned.reserve(unique.size());
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    if (options_.shard_count == 1 ||
+        shard_of(specs[unique[u]], options_.shard_count) ==
+            options_.shard_index) {
+      owned.push_back(u);
+    } else {
+      progress_.shard_skipped += fanout[u].size();
+    }
+  }
+  if (owned.empty()) {
+    for (ResultSink* sink : sinks_) sink->on_done(specs.size());
+    return results;
+  }
+
   unsigned threads = options_.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(unique.size(), 1)));
+      threads, static_cast<unsigned>(std::max<std::size_t>(owned.size(), 1)));
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
@@ -66,11 +99,24 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
     for (unsigned t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
         while (true) {
-          const std::size_t u = next.fetch_add(1);
-          if (u >= unique.size()) return;
+          const std::size_t o = next.fetch_add(1);
+          if (o >= owned.size()) return;
+          const std::size_t u = owned[o];
+          const RunSpec& spec = specs[unique[u]];
           RunResult result;
+          bool from_cache = false;
           try {
-            result = run_one(specs[unique[u]]);
+            if (options_.cache) {
+              if (std::optional<RunResult> cached =
+                      options_.cache->lookup(spec)) {
+                result = std::move(*cached);
+                from_cache = true;
+              }
+            }
+            if (!from_cache) {
+              result = run_one(spec);
+              if (options_.cache) options_.cache->store(result);
+            }
           } catch (...) {
             const std::lock_guard<std::mutex> lock(mutex);
             if (!first_error) first_error = std::current_exception();
@@ -80,7 +126,11 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
           for (const std::size_t slot : fanout[u]) {
             results[slot] = result;
           }
-          progress_.executed += 1;
+          if (from_cache) {
+            progress_.cache_hits += 1;
+          } else {
+            progress_.executed += 1;
+          }
           progress_.completed += fanout[u].size();
           progress_.deduplicated += fanout[u].size() - 1;
           try {
@@ -89,7 +139,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
                 sink->on_result(slot, results[slot]);
               }
             }
-            if (callback_) callback_(progress_, specs[unique[u]]);
+            if (callback_) callback_(progress_, spec);
           } catch (...) {
             if (!first_error) first_error = std::current_exception();
             return;

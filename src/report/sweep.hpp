@@ -8,10 +8,15 @@
 /// execution are bit-identical (covered by tests).
 ///
 /// SweepRunner is the full-featured engine: streaming result sinks that
-/// observe runs as they complete, progress callbacks, and spec-keyed
+/// observe runs as they complete, progress callbacks, spec-keyed
 /// deduplication (identical specs inside a grid — e.g. a shared baseline —
-/// simulate once and fan the result out). run_all() remains as the thin
-/// compatibility wrapper most call sites need.
+/// simulate once and fan the result out), transparent persistence through
+/// an optional report::ResultCache (hit = no simulation), and deterministic
+/// partitioning of a grid across processes/machines (shard_index /
+/// shard_count — each distinct spec belongs to exactly one shard, decided
+/// by the stable hash of its key, so shard outputs merge back into the
+/// serial result set). run_all() remains as the thin compatibility wrapper
+/// most call sites need.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +26,14 @@
 #include "report/experiment.hpp"
 
 namespace bsld::report {
+
+class ResultCache;
+
+/// The shard (in [0, shard_count)) that owns `spec`: the stable FNV-1a
+/// hash of RunSpec::key() modulo shard_count. Deterministic across
+/// platforms and processes — every participant of a sharded sweep
+/// partitions the grid identically.
+[[nodiscard]] unsigned shard_of(const RunSpec& spec, unsigned shard_count);
 
 /// Observer of a sweep's results as they complete (streaming).
 class ResultSink {
@@ -47,14 +60,26 @@ class SweepRunner {
     /// and copy the result to every duplicate slot. Runs are deterministic,
     /// so this is observationally equivalent and strictly cheaper.
     bool dedup = true;
+    /// Persistent result store consulted before every distinct simulation
+    /// and written back after (non-owning; nullptr = no caching). Cached
+    /// results replay sink output byte-identically.
+    ResultCache* cache = nullptr;
+    /// This process's slice of the grid: only specs with
+    /// shard_of(spec, shard_count) == shard_index are executed and streamed
+    /// to sinks; foreign slots are counted as shard_skipped and returned as
+    /// empty results. shard_count == 1 runs everything.
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
   };
 
   /// Counters reported to progress callbacks and kept after run().
   struct Progress {
-    std::size_t completed = 0;  ///< Grid slots with a result so far.
+    std::size_t completed = 0;  ///< Owned grid slots with a result so far.
     std::size_t total = 0;      ///< Grid size.
     std::size_t executed = 0;   ///< Simulations actually run so far.
     std::size_t deduplicated = 0;  ///< Slots served from an identical run.
+    std::size_t cache_hits = 0;    ///< Distinct specs served from the cache.
+    std::size_t shard_skipped = 0;  ///< Slots owned by other shards.
   };
 
   /// Invoked after every completed simulation, serialized under the
@@ -74,7 +99,9 @@ class SweepRunner {
   /// Runs all specs and returns results in input order. Exceptions from
   /// any run are rethrown on the calling thread after the pool drains;
   /// sinks only see results that completed before the failure and their
-  /// on_done() is not called on error.
+  /// on_done() is not called on error. With shard_count > 1, slots owned
+  /// by other shards come back as empty results carrying only their spec.
+  /// Throws bsld::Error when shard_index >= shard_count.
   std::vector<RunResult> run(const std::vector<RunSpec>& specs);
 
   /// Counters of the most recent run().

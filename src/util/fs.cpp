@@ -1,0 +1,87 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+
+std::optional<std::string> read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& bytes) {
+  const std::filesystem::path dir = path.parent_path();
+  std::error_code ec;
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  BSLD_REQUIRE(!ec, "atomic_write_file: cannot create " + dir.string() +
+                        ": " + ec.message());
+
+  // Unique per process so concurrent writers never share a temporary; the
+  // final rename decides who wins, atomically.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (out) out.flush();
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      BSLD_REQUIRE(false, "atomic_write_file: cannot write " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    BSLD_REQUIRE(false, "atomic_write_file: cannot rename " + tmp.string() +
+                            " -> " + path.string() + ": " + ec.message());
+  }
+}
+
+FileLock::FileLock(const std::filesystem::path& path) {
+  const std::filesystem::path dir = path.parent_path();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  BSLD_REQUIRE(fd_ >= 0, "FileLock: cannot open " + path.string() + ": " +
+                             std::strerror(errno));
+  // Retry on signal interruption; the kernel releases the lock if the
+  // holder dies, so blocking here cannot deadlock on crashed peers.
+  int rc;
+  do {
+    rc = ::flock(fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    BSLD_REQUIRE(false, "FileLock: flock(" + path.string() + ") failed: " +
+                            std::strerror(saved));
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+}  // namespace bsld::util

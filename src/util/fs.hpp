@@ -1,0 +1,52 @@
+/// \file fs.hpp
+/// \brief Filesystem primitives for crash-safe persistence: whole-file
+/// read/write, atomic replace (tmp + rename), and an advisory inter-process
+/// file lock.
+///
+/// The report::ResultCache stores every completed run on disk and is read
+/// and written by concurrent sweep workers — possibly in several processes
+/// (sharded sweeps). These helpers give it the two properties that makes
+/// that safe: readers never observe a half-written entry (atomic_write_file
+/// publishes via rename, which POSIX guarantees atomic within a
+/// filesystem), and writers of the same entry serialize through FileLock
+/// (flock-based, released on process death by the kernel).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+namespace bsld::util {
+
+/// Reads the whole file as bytes; std::nullopt when it does not exist or
+/// cannot be opened (never throws — callers treat both as "absent").
+[[nodiscard]] std::optional<std::string> read_file_bytes(
+    const std::filesystem::path& path);
+
+/// Atomically replaces `path` with `bytes`: writes to a sibling temporary
+/// file (unique per process) and renames it over `path`, creating parent
+/// directories as needed. Concurrent readers see either the old complete
+/// content or the new complete content, never a prefix. Throws bsld::Error
+/// when the write or rename fails (the temporary is cleaned up).
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& bytes);
+
+/// Advisory exclusive lock on a dedicated lock file, held for the object's
+/// lifetime. Blocks until acquired; recursive use within one process is
+/// undefined (one FileLock per critical section). The lock file itself is
+/// created on demand and intentionally never deleted (deleting it would
+/// race a concurrent locker). Throws bsld::Error when the lock file cannot
+/// be created.
+class FileLock {
+ public:
+  explicit FileLock(const std::filesystem::path& path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace bsld::util

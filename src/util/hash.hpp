@@ -1,0 +1,25 @@
+/// \file hash.hpp
+/// \brief Stable, platform-independent content hashing.
+///
+/// std::hash is free to differ between standard libraries and even between
+/// runs, so anything persisted to disk or used to partition work across
+/// machines (report::ResultCache entry names, sweep sharding) hashes with
+/// FNV-1a 64 instead: the same bytes map to the same value everywhere,
+/// forever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bsld::util {
+
+/// FNV-1a 64-bit hash of `bytes`. Stable across platforms and releases —
+/// safe to persist and to shard on.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// `value` as 16 lowercase hex digits (zero-padded) — the canonical
+/// rendering of a content hash in file names.
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+}  // namespace bsld::util

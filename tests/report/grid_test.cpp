@@ -1,0 +1,99 @@
+#include "report/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bsld::report {
+namespace {
+
+TEST(GridTest, NoAxesYieldsTheBaseSpec) {
+  util::Config config;
+  config.set("workload.archive", "SDSC");
+  config.set("workload.jobs", "300");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].workload.archive, wl::Archive::kSDSC);
+  EXPECT_EQ(specs[0].workload.jobs, 300);
+  EXPECT_FALSE(specs[0].policy.dvfs.has_value());  // base default: no DVFS.
+}
+
+TEST(GridTest, CrossProductInDocumentedOrder) {
+  util::Config config;
+  config.set("workload.jobs", "100");
+  config.set("sweep.workloads", "CTC, SDSC");
+  config.set("sweep.bsld_thresholds", "1.5, 2");
+  config.set("sweep.wq_thresholds", "4, NO");
+  config.set("sweep.scales", "1, 1.2");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 16u);  // 2 x 2 x 2 x 2.
+
+  // Workloads outermost: first half CTC, second half SDSC.
+  EXPECT_EQ(specs[0].workload.archive, wl::Archive::kCTC);
+  EXPECT_EQ(specs[8].workload.archive, wl::Archive::kSDSC);
+  // The axis propagates the base trace length.
+  EXPECT_EQ(specs[0].workload.jobs, 100);
+  // Then BSLD, then WQ, then scale (innermost).
+  ASSERT_TRUE(specs[0].policy.dvfs.has_value());
+  EXPECT_DOUBLE_EQ(specs[0].policy.dvfs->bsld_threshold, 1.5);
+  EXPECT_EQ(specs[0].policy.dvfs->wq_threshold, 4);
+  EXPECT_DOUBLE_EQ(specs[0].size_scale, 1.0);
+  EXPECT_DOUBLE_EQ(specs[1].size_scale, 1.2);
+  EXPECT_FALSE(specs[2].policy.dvfs->wq_threshold.has_value());  // NO.
+  EXPECT_DOUBLE_EQ(specs[4].policy.dvfs->bsld_threshold, 2.0);
+
+  // Every expanded spec is distinct: the grid is dedup/shard-friendly.
+  std::set<std::string> keys;
+  for (const RunSpec& spec : specs) keys.insert(spec.key());
+  EXPECT_EQ(keys.size(), specs.size());
+}
+
+TEST(GridTest, ThresholdAxesRefineTheBaseDvfsConfig) {
+  util::Config config;
+  config.set("policy.dvfs", "true");
+  config.set("policy.bsld_floor", "30");
+  config.set("sweep.bsld_thresholds", "3");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 1u);
+  ASSERT_TRUE(specs[0].policy.dvfs.has_value());
+  EXPECT_DOUBLE_EQ(specs[0].policy.dvfs->bsld_threshold, 3.0);
+  EXPECT_EQ(specs[0].policy.dvfs->bsld_floor, 30);  // base refinement kept.
+}
+
+TEST(GridTest, WithoutThresholdAxesTheBaselinePolicySurvives) {
+  util::Config config;
+  config.set("sweep.scales", "1, 1.5, 2");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 3u);
+  for (const RunSpec& spec : specs) {
+    EXPECT_FALSE(spec.policy.dvfs.has_value());  // still a no-DVFS baseline.
+  }
+  EXPECT_DOUBLE_EQ(specs[2].size_scale, 2.0);
+}
+
+TEST(GridTest, BadWqTokenThrows) {
+  util::Config config;
+  config.set("sweep.wq_thresholds", "4, sometimes");
+  EXPECT_THROW((void)expand_grid(config), Error);
+
+  util::Config negative;
+  negative.set("sweep.wq_thresholds", "-3");
+  EXPECT_THROW((void)expand_grid(negative), Error);
+}
+
+TEST(GridTest, UnknownWorkloadNameSurfacesAsError) {
+  util::Config config;
+  config.set("sweep.workloads", "CTC, /no/such/trace.swf");
+  // resolve_source treats unknown names as SWF paths; expansion succeeds
+  // and the error surfaces at load time, same as a single mistyped run.
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[1].workload.kind, wl::WorkloadSource::Kind::kSwf);
+  EXPECT_THROW((void)run_one(specs[1]), Error);
+}
+
+}  // namespace
+}  // namespace bsld::report

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "report/figures.hpp"
@@ -226,6 +227,132 @@ TEST(SweepRunnerTest, RunAllIsAThinWrapper) {
   ASSERT_EQ(wrapped.size(), direct.size());
   for (std::size_t i = 0; i < wrapped.size(); ++i) {
     EXPECT_DOUBLE_EQ(wrapped[i].sim.avg_bsld, direct[i].sim.avg_bsld);
+  }
+}
+
+TEST(ShardTest, PartitionIsDeterministicAndComplete) {
+  const std::vector<RunSpec> specs = small_grid();
+  for (const RunSpec& spec : specs) {
+    const unsigned shard = shard_of(spec, 3);
+    EXPECT_LT(shard, 3u);
+    EXPECT_EQ(shard, shard_of(spec, 3));  // stable.
+    EXPECT_EQ(shard_of(spec, 1), 0u);
+  }
+  EXPECT_THROW((void)shard_of(specs[0], 0), Error);
+}
+
+TEST(ShardTest, TwoShardsPartitionSlotsExactlyOnce) {
+  const std::vector<RunSpec> specs = small_grid();
+
+  class IndexSink final : public ResultSink {
+   public:
+    std::vector<std::size_t> indices;
+    void on_result(std::size_t index, const RunResult& result) override {
+      indices.push_back(index);
+      EXPECT_GT(result.sim.avg_bsld, 0.0);
+    }
+  };
+
+  std::vector<std::size_t> seen;
+  std::size_t total_skipped = 0;
+  for (unsigned shard = 0; shard < 2; ++shard) {
+    IndexSink sink;
+    SweepRunner::Options options;
+    options.threads = 2;
+    options.shard_index = shard;
+    options.shard_count = 2;
+    SweepRunner runner(options);
+    runner.add_sink(sink);
+    const auto results = runner.run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    // Owned slots carry real results; foreign slots only their spec.
+    for (const std::size_t index : sink.indices) {
+      EXPECT_EQ(shard_of(specs[index], 2), shard);
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(results[i].spec, specs[i]);
+      if (shard_of(specs[i], 2) != shard) {
+        EXPECT_EQ(results[i].sim.job_count, 0);  // untouched default.
+      }
+    }
+    EXPECT_EQ(runner.progress().completed + runner.progress().shard_skipped,
+              specs.size());
+    total_skipped += runner.progress().shard_skipped;
+    seen.insert(seen.end(), sink.indices.begin(), sink.indices.end());
+  }
+  // Union over both shards: every grid slot exactly once.
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(total_skipped, specs.size());  // each slot skipped by one shard.
+}
+
+TEST(ShardTest, ShardedUnionMatchesSerialRows) {
+  // The C++-level half of the shard/merge parity criterion (the CLI end to
+  // end lives in scripts/shard_smoke.sh, registered as a smoke ctest):
+  // grid-ordered CSV rows of the two shards, interleaved by grid index,
+  // must equal the serial run's byte for byte.
+  const std::vector<RunSpec> specs = small_grid();
+
+  const auto ordered_csv = [&](unsigned shard, unsigned count) {
+    std::ostringstream out;
+    CsvResultSink csv(out);
+    ReorderingSink ordered(csv);
+    SweepRunner::Options options;
+    options.threads = 2;
+    options.shard_index = shard;
+    options.shard_count = count;
+    SweepRunner runner(options);
+    runner.add_sink(ordered);
+    (void)runner.run(specs);
+    return util::parse_csv(out.str());
+  };
+
+  const auto serial = ordered_csv(0, 1);
+  const auto shard0 = ordered_csv(0, 2);
+  const auto shard1 = ordered_csv(1, 2);
+  ASSERT_EQ(serial.size(), specs.size() + 1);  // header + all rows.
+  ASSERT_EQ(shard0.size() + shard1.size(), specs.size() + 2);
+
+  // Merge by the index column (what bsldsim --merge-shards does).
+  std::map<std::size_t, std::vector<std::string>> merged;
+  for (const auto* shard : {&shard0, &shard1}) {
+    for (std::size_t r = 1; r < shard->size(); ++r) {
+      const std::size_t index = std::stoul((*shard)[r][0]);
+      EXPECT_TRUE(merged.emplace(index, (*shard)[r]).second);
+    }
+  }
+  ASSERT_EQ(merged.size(), specs.size());
+  std::size_t row = 1;
+  for (const auto& [index, cells] : merged) {
+    EXPECT_EQ(cells, serial[row]) << "grid index " << index;
+    row += 1;
+  }
+}
+
+TEST(ShardTest, InvalidShardOptionsThrow) {
+  SweepRunner::Options bad_index;
+  bad_index.shard_index = 2;
+  bad_index.shard_count = 2;
+  EXPECT_THROW((void)SweepRunner(bad_index).run(small_grid()), Error);
+
+  SweepRunner::Options zero_count;
+  zero_count.shard_count = 0;
+  EXPECT_THROW((void)SweepRunner(zero_count).run(small_grid()), Error);
+}
+
+TEST(SweepRunnerTest, ReorderingSinkReplaysInGridOrder) {
+  std::vector<RunSpec> specs = small_grid();
+  std::ostringstream out;
+  CsvResultSink csv(out);
+  ReorderingSink ordered(csv);
+  SweepRunner runner(SweepRunner::Options{.threads = 3, .dedup = true});
+  runner.add_sink(ordered);
+  (void)runner.run(specs);
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), specs.size() + 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    EXPECT_EQ(rows[r][0], std::to_string(r - 1));  // ascending indices.
   }
 }
 

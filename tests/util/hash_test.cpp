@@ -1,0 +1,32 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsld::util {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Published FNV-1a 64 test vectors: the offset basis for "", and the
+  // classic single-character probes. These must never change — cache entry
+  // names and shard assignment are persisted/distributed on them.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("workload.archive = CTC\n"),
+            fnv1a64("workload.archive = SDSC\n"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  EXPECT_NE(fnv1a64("x"), fnv1a64(std::string_view("x\0", 2)));
+}
+
+TEST(HashTest, Hex64FormatsFixedWidth) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(hex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(hex64(~0ULL), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace bsld::util
