@@ -25,6 +25,15 @@
 ///      ./bsldsim --cache-stats                  # store contents
 ///      ./bsldsim --cache-clear                  # drop every entry
 ///
+/// Daemon mode (see README "Daemon mode" and src/server/):
+///      ./bsldsim serve --socket /tmp/bsld.sock --cache-dir cache &
+///      ./bsldsim query --socket /tmp/bsld.sock --spec run.conf > run.csv
+///      ./bsldsim query --socket /tmp/bsld.sock --sweep grid.conf > grid.csv
+///      ./bsldsim query --socket /tmp/bsld.sock --workload CTC --bsld 2
+///      ./bsldsim query --socket /tmp/bsld.sock --ping
+///      ./bsldsim query --socket /tmp/bsld.sock --server-stats
+///      ./bsldsim query --socket /tmp/bsld.sock --stop-server
+///
 /// A sweep grid file is a RunSpec config plus `sweep.*` axes
 /// (see report/grid.hpp); sweep output is emitted in grid order, so a
 /// merged set of shard outputs is byte-identical to the serial run.
@@ -42,6 +51,7 @@
 ///   power.static_fraction_at_top = 0.25
 ///   power.top_active_power_watts = 95
 ///   time.beta = 0.5
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -55,16 +65,30 @@
 #include "report/result_cache.hpp"
 #include "report/sinks.hpp"
 #include "report/sweep.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
 #include "util/cli.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
+#include "util/parse.hpp"
+#include "util/socket.hpp"
 #include "util/table.hpp"
 
 using namespace bsld;
 
 namespace {
+
+/// --threads, validated: a negative value must not wrap to a ~2^32-thread
+/// pool, and five-digit pools only exhaust the process.
+unsigned thread_count(const util::Cli& cli) {
+  const std::int64_t threads = cli.get_int("threads");
+  BSLD_REQUIRE(threads >= 0 && threads <= 4096,
+               "bsldsim: --threads must be between 0 (hardware concurrency) "
+               "and 4096, got " + std::to_string(threads));
+  return static_cast<unsigned>(threads);
+}
 
 /// The store selected by --cache-dir (explicit) or --cache (conventional
 /// location); nullptr when caching is off.
@@ -145,7 +169,9 @@ int merge_shards(const std::string& list) {
       }
       BSLD_REQUIRE(digits > 0, "bsldsim: shard file " + file +
                                    " has a row without a grid index: " + line);
-      index = std::stoull(line.substr(pos, digits));
+      index = util::require_uint(line.substr(pos, digits),
+                                 "bsldsim: shard file " + file +
+                                     ", grid index of row `" + line + "`");
       const auto [it, inserted] = rows.emplace(index, line);
       BSLD_REQUIRE(inserted,
                    "bsldsim: grid index " + std::to_string(index) +
@@ -221,7 +247,7 @@ int run_sweep(const util::Cli& cli, const std::string& format) {
 
   std::unique_ptr<report::ResultCache> cache = open_cache(cli);
   report::SweepRunner::Options options;
-  options.threads = static_cast<unsigned>(cli.get_int("threads"));
+  options.threads = thread_count(cli);
   options.cache = cache.get();
   options.shard_index = static_cast<unsigned>(cli.get_int("shard-index"));
   options.shard_count = static_cast<unsigned>(cli.get_int("shard-count"));
@@ -266,6 +292,205 @@ int run_sweep(const util::Cli& cli, const std::string& format) {
     }
     notice << '\n';
   }
+  return 0;
+}
+
+/// Every single-run flag spec_from_flags() consults. Query mode decides
+/// with this same table whether explicit flags must be layered over a
+/// --spec file — add any new spec-affecting flag HERE (and nowhere else)
+/// or `bsldsim query --spec f.conf --newflag ...` will silently drop it.
+constexpr const char* kSpecFlags[] = {
+    "workload", "jobs", "seed",        "platform", "policy",
+    "selector", "dvfs", "bsld",        "wq",       "raise",
+    "scale",    "instruments",         "retain-jobs"};
+
+/// The effective RunSpec of the single-run flags: the --spec file (when
+/// given) as the baseline, explicitly-passed flags layered on top (every
+/// flag consulted here is listed in kSpecFlags). Validates instrument
+/// names before anyone persists or ships the spec.
+report::RunSpec spec_from_flags(const util::Cli& cli) {
+  const bool from_file = !cli.get("spec").empty();
+  report::RunSpec spec =
+      from_file
+          ? report::RunSpec::parse(util::Config::load_file(cli.get("spec")))
+          : report::RunSpec{};
+  // A flag applies when explicitly passed, or always in the no-file mode
+  // (where the registered defaults are the baseline).
+  const auto overrides = [&](const char* flag) {
+    return !from_file || cli.given(flag);
+  };
+
+  if (overrides("workload")) {
+    spec.workload = wl::resolve_source(
+        cli.get("workload"),
+        overrides("jobs") ? static_cast<std::int32_t>(cli.get_int("jobs"))
+                          : spec.workload.jobs,
+        overrides("seed") ? static_cast<std::uint64_t>(cli.get_int("seed"))
+                          : spec.workload.seed);
+  } else {
+    if (overrides("jobs")) {
+      spec.workload.jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+    }
+    if (overrides("seed")) {
+      spec.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    }
+  }
+  if (overrides("platform") && !cli.get("platform").empty()) {
+    const util::Config platform = util::Config::load_file(cli.get("platform"));
+    spec.gears = cluster::gear_set_from_config(platform);
+    spec.power = power::power_config_from(platform);
+    spec.beta = platform.get_double("time.beta", spec.beta);
+  }
+  if (overrides("policy")) spec.policy.name = cli.get("policy");
+  if (overrides("selector")) spec.policy.selector = cli.get("selector");
+  if (overrides("dvfs") || overrides("bsld") || overrides("wq")) {
+    // --bsld/--wq refine an existing DVFS config; only --dvfs switches the
+    // algorithm on or off relative to the spec baseline.
+    const bool dvfs_on = overrides("dvfs") ? cli.get_bool("dvfs")
+                                           : spec.policy.dvfs.has_value();
+    if (dvfs_on) {
+      core::DvfsConfig dvfs = spec.policy.dvfs.value_or(core::DvfsConfig{});
+      if (overrides("bsld")) dvfs.bsld_threshold = cli.get_double("bsld");
+      if (overrides("wq")) {
+        if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
+        else dvfs.wq_threshold = cli.get_int("wq");
+      }
+      spec.policy.dvfs = dvfs;
+    } else {
+      spec.policy.dvfs = std::nullopt;
+    }
+  }
+  if (overrides("raise")) {
+    if (cli.get_int("raise") >= 0) {
+      core::DynamicRaiseConfig raise;
+      raise.queue_limit = cli.get_int("raise");
+      spec.policy.raise = raise;
+    } else {
+      spec.policy.raise = std::nullopt;
+    }
+  }
+  if (overrides("scale")) spec.size_scale = cli.get_double("scale");
+  if (overrides("instruments")) {
+    // Same trimming/splitting as the `instruments` spec-file key.
+    spec.instruments = split_list(cli.get("instruments"));
+  }
+  // Validate before --save-spec so a typo cannot persist an unreplayable
+  // spec file; the registry error lists what is registered.
+  for (const std::string& name : spec.instruments) {
+    sim::InstrumentRegistry::global().require(name);
+  }
+  if (overrides("retain-jobs")) spec.retain_jobs = cli.get_bool("retain-jobs");
+  return spec;
+}
+
+// --- Daemon mode -----------------------------------------------------------
+
+/// The running daemon, for the async-signal-safe SIGTERM/SIGINT handler.
+server::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // shutdown(2): signal-safe.
+}
+
+/// `bsldsim serve`: bind the socket, run the accept loop until SIGTERM /
+/// SIGINT / a client `shutdown` request, then drain and exit 0.
+int run_serve(const util::Cli& cli) {
+  const std::string socket = cli.get("socket");
+  BSLD_REQUIRE(!socket.empty(), "bsldsim: serve needs --socket PATH");
+
+  // The daemon exists to batch queries over the persistent store, so a
+  // cache is always on: --cache-dir picks the location, the conventional
+  // root otherwise.
+  std::unique_ptr<report::ResultCache> cache = open_cache(cli);
+  if (!cache) {
+    cache = std::make_unique<report::ResultCache>(
+        report::ResultCache::default_root());
+  }
+
+  server::Server::Options options;
+  options.socket_path = socket;
+  options.threads = thread_count(cli);
+  options.cache = cache.get();
+  server::Server server(options);
+
+  g_server = &server;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us.
+
+  std::cerr << "bsldsim: serving on " << server.socket_path() << " (cache "
+            << cache->root().string() << ")\n";
+  const int code = server.serve();
+  g_server = nullptr;
+  std::cerr << "bsldsim: drained, exiting\n";
+  return code;
+}
+
+/// `bsldsim query`: one request against a running daemon. Payload bytes
+/// go to stdout verbatim (byte-identical to the direct run); reply
+/// attributes and diagnostics go to stderr.
+int run_query(const util::Cli& cli) {
+  const std::string socket = cli.get("socket");
+  BSLD_REQUIRE(!socket.empty(), "bsldsim: query needs --socket PATH");
+  util::SocketStream stream = util::SocketStream::connect_unix(socket);
+
+  std::string request;
+  if (cli.get_bool("ping")) {
+    request = "ping\n";
+  } else if (cli.get_bool("server-stats")) {
+    request = "stats\n";
+  } else if (cli.get_bool("stop-server")) {
+    request = "shutdown\n";
+  } else {
+    // The server only speaks machine formats; default to csv unless the
+    // user asked for one explicitly.
+    const std::string format = cli.given("format") ? cli.get("format") : "csv";
+    BSLD_REQUIRE(format == "csv" || format == "jsonl",
+                 "bsldsim: query --format must be csv or jsonl");
+    // Single-run override flags layer over a --spec file exactly as in
+    // direct mode; only a flag-less --spec/--sweep ships the file bytes
+    // verbatim (so the server's parse diagnostics are exercised end to
+    // end). --sweep grids ignore single-run flags, as in direct mode.
+    bool spec_flag_given = false;
+    for (const char* flag : kSpecFlags) {
+      if (cli.given(flag)) spec_flag_given = true;
+    }
+    std::string body;
+    if (!cli.get("sweep").empty() ||
+        (!cli.get("spec").empty() && !spec_flag_given)) {
+      const std::string file =
+          !cli.get("sweep").empty() ? cli.get("sweep") : cli.get("spec");
+      const std::optional<std::string> bytes = util::read_file_bytes(file);
+      BSLD_REQUIRE(bytes.has_value(), "bsldsim: cannot read " + file);
+      body = *bytes;
+    } else {
+      body = spec_from_flags(cli).to_config().to_string();
+    }
+    if (!body.empty() && body.back() != '\n') body += '\n';
+    request = "run " + format + "\n" + body + "end\n";
+  }
+  stream.write_all(request);
+
+  const std::optional<std::string> header_line = stream.read_line();
+  BSLD_REQUIRE(header_line.has_value(),
+               "bsldsim: server closed the connection without replying");
+  const server::ReplyHeader header =
+      server::parse_reply_header(*header_line);
+  if (!header.ok) {
+    std::cerr << "bsldsim: server: " << header.error << '\n';
+    return 1;
+  }
+  const std::string payload = stream.read_bytes(header.payload_bytes);
+  const std::optional<std::string> frame_end = stream.read_line();
+  BSLD_REQUIRE(frame_end.has_value() && *frame_end == "end",
+               "bsldsim: truncated reply frame from server");
+
+  std::cout << payload << std::flush;
+  std::cerr << "bsldsim: server reply:";
+  for (const auto& [key, value] : header.attrs) {
+    std::cerr << ' ' << key << '=' << value;
+  }
+  std::cerr << '\n';
   return 0;
 }
 
@@ -340,7 +565,27 @@ int main(int argc, char** argv) try {
                "comma-separated shard output files (CSV or JSONL, as "
                "written by --sweep); prints the merged serial result set "
                "and exits");
+  cli.add_flag("socket", "",
+               "Unix-domain socket path of the daemon (serve/query "
+               "subcommands)");
+  cli.add_flag("ping", "false", "with query: liveness probe");
+  cli.add_flag("server-stats", "false",
+               "with query: print the daemon's cache/store counters");
+  cli.add_flag("stop-server", "false",
+               "with query: ask the daemon to drain and exit");
   if (!cli.parse(argc, argv)) return 0;
+
+  // Subcommands: `bsldsim serve ...` / `bsldsim query ...`.
+  if (!cli.positional().empty()) {
+    BSLD_REQUIRE(cli.positional().size() == 1,
+                 "bsldsim: expected at most one subcommand, got " +
+                     std::to_string(cli.positional().size()));
+    const std::string& command = cli.positional()[0];
+    if (command == "serve") return run_serve(cli);
+    if (command == "query") return run_query(cli);
+    BSLD_REQUIRE(false, "bsldsim: unknown subcommand `" + command +
+                            "` (expected serve or query)");
+  }
 
   if (cli.get_bool("list-policies")) {
     const core::PolicyRegistry& registry = core::PolicyRegistry::global();
@@ -375,78 +620,7 @@ int main(int argc, char** argv) try {
 
   if (!cli.get("sweep").empty()) return run_sweep(cli, format);
 
-  // Baseline spec: the --spec file when given, defaults otherwise.
-  const bool from_file = !cli.get("spec").empty();
-  report::RunSpec spec =
-      from_file
-          ? report::RunSpec::parse(util::Config::load_file(cli.get("spec")))
-          : report::RunSpec{};
-  // A flag applies when explicitly passed, or always in the no-file mode
-  // (where the registered defaults are the baseline).
-  const auto overrides = [&](const char* flag) {
-    return !from_file || cli.given(flag);
-  };
-
-  if (overrides("workload")) {
-    spec.workload = wl::resolve_source(
-        cli.get("workload"),
-        overrides("jobs") ? static_cast<std::int32_t>(cli.get_int("jobs"))
-                          : spec.workload.jobs,
-        overrides("seed") ? static_cast<std::uint64_t>(cli.get_int("seed"))
-                          : spec.workload.seed);
-  } else {
-    if (overrides("jobs")) {
-      spec.workload.jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
-    }
-    if (overrides("seed")) {
-      spec.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    }
-  }
-  if (overrides("platform") && !cli.get("platform").empty()) {
-    const util::Config platform = util::Config::load_file(cli.get("platform"));
-    spec.gears = cluster::gear_set_from_config(platform);
-    spec.power = power::power_config_from(platform);
-    spec.beta = platform.get_double("time.beta", spec.beta);
-  }
-  if (overrides("policy")) spec.policy.name = cli.get("policy");
-  if (overrides("selector")) spec.policy.selector = cli.get("selector");
-  if (overrides("dvfs") || overrides("bsld") || overrides("wq")) {
-    // --bsld/--wq refine an existing DVFS config; only --dvfs switches the
-    // algorithm on or off relative to the spec baseline.
-    const bool dvfs_on = overrides("dvfs") ? cli.get_bool("dvfs")
-                                           : spec.policy.dvfs.has_value();
-    if (dvfs_on) {
-      core::DvfsConfig dvfs = spec.policy.dvfs.value_or(core::DvfsConfig{});
-      if (overrides("bsld")) dvfs.bsld_threshold = cli.get_double("bsld");
-      if (overrides("wq")) {
-        if (cli.get("wq") == "NO") dvfs.wq_threshold = std::nullopt;
-        else dvfs.wq_threshold = cli.get_int("wq");
-      }
-      spec.policy.dvfs = dvfs;
-    } else {
-      spec.policy.dvfs = std::nullopt;
-    }
-  }
-  if (overrides("raise")) {
-    if (cli.get_int("raise") >= 0) {
-      core::DynamicRaiseConfig raise;
-      raise.queue_limit = cli.get_int("raise");
-      spec.policy.raise = raise;
-    } else {
-      spec.policy.raise = std::nullopt;
-    }
-  }
-  if (overrides("scale")) spec.size_scale = cli.get_double("scale");
-  if (overrides("instruments")) {
-    // Same trimming/splitting as the `instruments` spec-file key.
-    spec.instruments = split_list(cli.get("instruments"));
-  }
-  // Validate before --save-spec so a typo cannot persist an unreplayable
-  // spec file; the registry error lists what is registered.
-  for (const std::string& name : spec.instruments) {
-    sim::InstrumentRegistry::global().require(name);
-  }
-  if (overrides("retain-jobs")) spec.retain_jobs = cli.get_bool("retain-jobs");
+  const report::RunSpec spec = spec_from_flags(cli);
 
   // Machine-readable formats keep stdout pure; notices go to stderr.
   std::ostream& notice = format == "table" ? std::cout : std::cerr;

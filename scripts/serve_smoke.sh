@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Daemon-mode smoke: proves on every PR (and in ctest, as
+# examples.serve_smoke) that
+#   1. a cold `bsldsim query` of a spec returns byte-identical output to
+#      the direct `bsldsim --spec --format csv` run;
+#   2. the warm repeat is a 100% cache hit (reply says executed=0,
+#      cache_hits=1) and byte-identical — the simulator never ran;
+#   3. malformed numeric input — CLI flag or protocol request — yields a
+#      named diagnostic and a nonzero exit, and the daemon survives it;
+#   4. SIGTERM drains the daemon cleanly (exit code 0).
+#
+# Usage: scripts/serve_smoke.sh <bsldsim-binary> <spec.conf>
+set -euo pipefail
+
+bsldsim="$1"
+spec="$2"
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ]; then kill "$server_pid" 2>/dev/null || true; fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+socket="$workdir/bsld.sock"
+"$bsldsim" serve --socket "$socket" --cache-dir "$workdir/cache" \
+  2> "$workdir/serve.log" &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$socket" ] && break
+  kill -0 "$server_pid" 2>/dev/null \
+    || { echo "serve_smoke: daemon died at startup:" >&2; cat "$workdir/serve.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -S "$socket" ] \
+  || { echo "serve_smoke: daemon never bound $socket" >&2; exit 1; }
+
+# Reference bytes: the direct, uncached run of the same spec.
+"$bsldsim" --spec "$spec" --format csv > "$workdir/direct.csv" 2>/dev/null
+
+"$bsldsim" query --socket "$socket" --spec "$spec" --format csv \
+  > "$workdir/cold.csv" 2> "$workdir/cold.log"
+diff "$workdir/direct.csv" "$workdir/cold.csv" \
+  || { echo "serve_smoke: cold query differs from the direct run" >&2; exit 1; }
+echo "serve_smoke: cold query parity OK"
+
+"$bsldsim" query --socket "$socket" --spec "$spec" --format csv \
+  > "$workdir/warm.csv" 2> "$workdir/warm.log"
+diff "$workdir/direct.csv" "$workdir/warm.csv" \
+  || { echo "serve_smoke: warm query differs from the direct run" >&2; exit 1; }
+grep -q " executed=0 " "$workdir/warm.log" \
+  || { echo "serve_smoke: warm query still simulated:" >&2; cat "$workdir/warm.log" >&2; exit 1; }
+grep -q " cache_hits=1 " "$workdir/warm.log" \
+  || { echo "serve_smoke: warm query reply is not a cache hit:" >&2; cat "$workdir/warm.log" >&2; exit 1; }
+echo "serve_smoke: warm query is a 100% cache hit, byte-identical"
+
+# Malformed numeric input, CLI path: named diagnostic, nonzero exit.
+if "$bsldsim" --bsld 2x5 > /dev/null 2> "$workdir/cli.log"; then
+  echo "serve_smoke: bsldsim accepted --bsld 2x5" >&2; exit 1
+fi
+grep -q -- "--bsld" "$workdir/cli.log" \
+  || { echo "serve_smoke: CLI diagnostic does not name the flag:" >&2; cat "$workdir/cli.log" >&2; exit 1; }
+
+# Malformed numeric input, protocol path: the server answers `err`
+# naming the key, the client exits nonzero, the daemon stays up.
+printf 'workload.source = archive\nworkload.archive = CTC\nworkload.jobs = 50\npolicy.dvfs = true\npolicy.bsld_threshold = 2x5\n' \
+  > "$workdir/bad.conf"
+if "$bsldsim" query --socket "$socket" --spec "$workdir/bad.conf" \
+    > /dev/null 2> "$workdir/bad.log"; then
+  echo "serve_smoke: daemon accepted a malformed threshold" >&2; exit 1
+fi
+grep -q "policy.bsld_threshold" "$workdir/bad.log" \
+  || { echo "serve_smoke: protocol diagnostic does not name the key:" >&2; cat "$workdir/bad.log" >&2; exit 1; }
+"$bsldsim" query --socket "$socket" --ping > /dev/null 2>&1 \
+  || { echo "serve_smoke: daemon died after a malformed request" >&2; exit 1; }
+echo "serve_smoke: malformed-input diagnostics OK (daemon survived)"
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$server_pid"
+code=0
+wait "$server_pid" || code=$?
+server_pid=""
+[ "$code" -eq 0 ] \
+  || { echo "serve_smoke: SIGTERM drain exited $code:" >&2; cat "$workdir/serve.log" >&2; exit 1; }
+echo "serve_smoke: SIGTERM drain OK (exit 0)"

@@ -6,6 +6,10 @@
 #   2. re-running the sweep against a populated cache is a 100% hit run
 #      with byte-identical output.
 #
+#   3. --merge-shards survives its edge cases: an empty shard (header-only
+#      CSV or zero-byte JSONL) contributes nothing, and a missing shard
+#      file fails loudly instead of emitting a truncated "serial" result.
+#
 # Usage: scripts/shard_smoke.sh <bsldsim-binary> <sweep-grid.conf>
 set -euo pipefail
 
@@ -38,3 +42,29 @@ diff "$workdir/cold.csv" "$workdir/warm.csv" \
 grep -q ", 0 executed," "$workdir/warm.log" \
   || { echo "shard_smoke: warm run still executed simulations:" >&2; cat "$workdir/warm.log" >&2; exit 1; }
 echo "shard_smoke: cache warm-run parity OK (100% hits)"
+
+# An empty shard: a partition can legitimately hold zero specs (more
+# shards than distinct specs), whose output is a bare CSV header or a
+# zero-byte JSONL file. Merging it must be a no-op.
+head -1 "$workdir/serial.csv" > "$workdir/empty.csv"
+"$bsldsim" --merge-shards "$workdir/s0.csv,$workdir/s1.csv,$workdir/empty.csv" \
+  > "$workdir/merged_empty.csv"
+diff "$workdir/serial.csv" "$workdir/merged_empty.csv" \
+  || { echo "shard_smoke: empty CSV shard changed the merge" >&2; exit 1; }
+: > "$workdir/empty.jsonl"
+"$bsldsim" --merge-shards "$workdir/serial.jsonl,$workdir/empty.jsonl" \
+  > "$workdir/merged_empty.jsonl"
+diff "$workdir/serial.jsonl" "$workdir/merged_empty.jsonl" \
+  || { echo "shard_smoke: empty JSONL shard changed the merge" >&2; exit 1; }
+echo "shard_smoke: empty-shard merge OK"
+
+# A missing shard file must be a loud, named error — not a silently
+# truncated result set.
+if "$bsldsim" --merge-shards "$workdir/s0.csv,$workdir/no_such_shard.csv" \
+    > /dev/null 2> "$workdir/missing.log"; then
+  echo "shard_smoke: merge with a missing shard file did not fail" >&2
+  exit 1
+fi
+grep -q "cannot read shard file" "$workdir/missing.log" \
+  || { echo "shard_smoke: missing-shard diagnostic not found:" >&2; cat "$workdir/missing.log" >&2; exit 1; }
+echo "shard_smoke: missing-shard diagnostics OK"

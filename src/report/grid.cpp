@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "workload/source.hpp"
 
 namespace bsld::report {
@@ -12,17 +13,11 @@ namespace {
 
 std::optional<std::int64_t> parse_wq(const std::string& token) {
   if (token == "NO") return std::nullopt;
-  try {
-    std::size_t consumed = 0;
-    const std::int64_t value = std::stoll(token, &consumed);
-    BSLD_REQUIRE(consumed == token.size() && value >= 0,
-                 "expand_grid: bad sweep.wq_thresholds item `" + token + "`");
-    return value;
-  } catch (const std::logic_error&) {
-    BSLD_REQUIRE(false, "expand_grid: bad sweep.wq_thresholds item `" + token +
-                            "` (expect an integer or NO)");
-  }
-  return std::nullopt;  // unreachable
+  const std::optional<std::int64_t> value = util::parse_int(token);
+  BSLD_REQUIRE(value.has_value() && *value >= 0,
+               "expand_grid: bad sweep.wq_thresholds item `" + token +
+                   "` (expect a non-negative integer or NO)");
+  return *value;
 }
 
 }  // namespace

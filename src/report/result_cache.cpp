@@ -529,10 +529,27 @@ std::size_t ResultCache::trim(std::uintmax_t max_bytes) {
   std::size_t removed = 0;
   for (const Candidate& candidate : candidates) {
     if (total <= max_bytes) break;
-    std::error_code remove_ec;
-    if (std::filesystem::remove(candidate.path, remove_ec) && !remove_ec) {
-      total -= candidate.size;
-      removed += 1;
+    // Serialize with writers of this entry through its FileLock sidecar,
+    // then re-check the write time under the lock: an entry republished
+    // between the scan above and this point is a fresh result a concurrent
+    // sweep is about to read — unlinking it here would race its tmp+rename
+    // publish against the first lookup. A changed (or vanished) entry is
+    // simply no longer this scan's eviction candidate.
+    std::filesystem::path lock_path = candidate.path;
+    lock_path += ".lock";
+    try {
+      const util::FileLock lock(lock_path);
+      std::error_code attr_ec;
+      const auto mtime =
+          std::filesystem::last_write_time(candidate.path, attr_ec);
+      if (attr_ec || mtime != candidate.mtime) continue;
+      std::error_code remove_ec;
+      if (std::filesystem::remove(candidate.path, remove_ec) && !remove_ec) {
+        total -= candidate.size;
+        removed += 1;
+      }
+    } catch (const Error&) {
+      // Best effort: an unlockable entry stays; trim is advisory.
     }
   }
   return removed;

@@ -2,9 +2,7 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
+#include <utility>
 
 #include "report/result_cache.hpp"
 #include "util/error.hpp"
@@ -18,34 +16,15 @@ unsigned shard_of(const RunSpec& spec, unsigned shard_count) {
   return static_cast<unsigned>(util::fnv1a64(spec.key()) % shard_count);
 }
 
-SweepRunner::SweepRunner(Options options) : options_(options) {}
+namespace {
 
-void SweepRunner::add_sink(ResultSink& sink) { sinks_.push_back(&sink); }
-
-void SweepRunner::on_progress(ProgressCallback callback) {
-  callback_ = std::move(callback);
-}
-
-std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
-  BSLD_REQUIRE(options_.shard_count > 0,
-               "SweepRunner: shard_count must be positive");
-  BSLD_REQUIRE(options_.shard_index < options_.shard_count,
-               "SweepRunner: shard_index must be < shard_count");
-  progress_ = Progress{};
-  progress_.total = specs.size();
-
-  std::vector<RunResult> results(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
-  if (specs.empty()) {
-    for (ResultSink* sink : sinks_) sink->on_done(0);
-    return results;
-  }
-
-  // Distinct simulations: `unique[u]` is the representative spec index,
-  // `fanout[u]` every grid slot its result serves.
-  std::vector<std::size_t> unique;
-  std::vector<std::vector<std::size_t>> fanout;
-  if (options_.dedup) {
+/// Within-batch deduplication shared by run() and submit(): `unique[u]`
+/// is the representative spec index, `fanout[u]` every slot its result
+/// serves.
+void dedup_specs(const std::vector<RunSpec>& specs, bool dedup,
+                 std::vector<std::size_t>& unique,
+                 std::vector<std::vector<std::size_t>>& fanout) {
+  if (dedup) {
     std::unordered_map<std::string, std::size_t> by_key;
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const auto [it, inserted] = by_key.emplace(specs[i].key(), unique.size());
@@ -63,6 +42,304 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
       fanout[i] = {i};
     }
   }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batch state behind a SubmitHandle.
+// ---------------------------------------------------------------------------
+
+struct SweepRunner::SubmitHandle::Batch {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<RunResult> results;  ///< input order; specs pre-filled.
+  Progress progress;
+  std::size_t unresolved = 0;  ///< slots still awaiting a result/error.
+  std::exception_ptr error;
+  ResultCallback on_result;
+
+  /// How the slots of one distinct spec got their result.
+  enum class Served { kExecuted, kCacheHit, kAttached, kShardSkipped };
+
+  void deliver(const std::vector<std::size_t>& slots, const RunResult& result,
+               Served served) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const std::size_t slot : slots) {
+      RunSpec spec = std::move(results[slot].spec);
+      results[slot] = result;
+      results[slot].spec = std::move(spec);  // slot keeps its own spec.
+    }
+    switch (served) {
+      case Served::kExecuted:
+        progress.completed += slots.size();
+        progress.executed += 1;
+        progress.deduplicated += slots.size() - 1;
+        break;
+      case Served::kCacheHit:
+        progress.completed += slots.size();
+        progress.cache_hits += 1;
+        progress.deduplicated += slots.size() - 1;
+        break;
+      case Served::kAttached:
+        // Every slot rode on a simulation another batch owns.
+        progress.completed += slots.size();
+        progress.deduplicated += slots.size();
+        break;
+      case Served::kShardSkipped:  // foreign slots never complete.
+        progress.shard_skipped += slots.size();
+        break;
+    }
+    unresolved -= slots.size();
+    if (on_result && served != Served::kShardSkipped) {
+      // A throwing callback must not escape a pool worker (std::terminate
+      // would take the whole daemon down); it surfaces at wait() instead.
+      try {
+        for (const std::size_t slot : slots) {
+          on_result(slot, results[slot]);
+        }
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (unresolved == 0) done_cv.notify_all();
+  }
+
+  void deliver_error(const std::vector<std::size_t>& slots,
+                     std::exception_ptr eptr) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::move(eptr);
+    unresolved -= slots.size();
+    if (unresolved == 0) done_cv.notify_all();
+  }
+};
+
+std::vector<RunResult> SweepRunner::SubmitHandle::wait() {
+  BSLD_REQUIRE(batch_ != nullptr, "SubmitHandle: empty handle");
+  std::unique_lock<std::mutex> lock(batch_->mutex);
+  batch_->done_cv.wait(lock, [&] { return batch_->unresolved == 0; });
+  if (batch_->error) std::rethrow_exception(batch_->error);
+  return std::move(batch_->results);
+}
+
+SweepRunner::Progress SweepRunner::SubmitHandle::progress() const {
+  BSLD_REQUIRE(batch_ != nullptr, "SubmitHandle: empty handle");
+  const std::lock_guard<std::mutex> lock(batch_->mutex);
+  return batch_->progress;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent pool.
+// ---------------------------------------------------------------------------
+
+struct SweepRunner::PendingRun {
+  RunSpec spec;
+  struct Subscriber {
+    std::shared_ptr<SubmitHandle::Batch> batch;
+    std::vector<std::size_t> slots;
+    bool owner = false;  ///< The batch that enqueued the simulation.
+  };
+  std::vector<Subscriber> subscribers;  ///< guarded by the pool mutex.
+};
+
+SweepRunner::SweepRunner(Options options) : options_(options) {}
+
+SweepRunner::~SweepRunner() { shutdown(); }
+
+void SweepRunner::add_sink(ResultSink& sink) { sinks_.push_back(&sink); }
+
+void SweepRunner::on_progress(ProgressCallback callback) {
+  callback_ = std::move(callback);
+}
+
+SweepRunner::Progress SweepRunner::progress() const {
+  const std::lock_guard<std::mutex> lock(progress_mutex_);
+  return progress_;
+}
+
+void SweepRunner::start_pool_locked() {
+  if (!workers_.empty()) return;
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Defense against a wild Options::threads (e.g. a negative CLI value
+  // cast to unsigned): simulation workers beyond a few thousand only
+  // exhaust the process, never help.
+  threads = std::min(threads, 4096u);
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SweepRunner::worker_loop() {
+  while (true) {
+    std::shared_ptr<PendingRun> task;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    RunResult result;
+    std::exception_ptr error;
+    bool from_cache = false;
+    try {
+      // Re-check the cache: the entry may have been stored between the
+      // submitter's miss and this worker picking the task up (e.g. by a
+      // peer process sharing the store).
+      if (options_.cache) {
+        if (std::optional<RunResult> cached = options_.cache->lookup(task->spec)) {
+          result = std::move(*cached);
+          from_cache = true;
+        }
+      }
+      if (!from_cache) {
+        result = run_one(task->spec);
+        if (options_.cache) options_.cache->store(result);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    std::vector<PendingRun::Subscriber> subscribers;
+    {
+      // Unpublish before fan-out: submitters from here on either hit the
+      // cache (stored above) or enqueue a fresh task.
+      const std::lock_guard<std::mutex> lock(pool_mutex_);
+      inflight_.erase(task->spec.key());
+      subscribers = std::move(task->subscribers);
+    }
+    for (const PendingRun::Subscriber& subscriber : subscribers) {
+      if (error) {
+        subscriber.batch->deliver_error(subscriber.slots, error);
+      } else {
+        using Served = SubmitHandle::Batch::Served;
+        const Served served =
+            !subscriber.owner ? Served::kAttached
+            : from_cache      ? Served::kCacheHit
+                              : Served::kExecuted;
+        subscriber.batch->deliver(subscriber.slots, result, served);
+      }
+    }
+  }
+}
+
+SweepRunner::SubmitHandle SweepRunner::submit(
+    const std::vector<RunSpec>& specs, ResultCallback on_result) {
+  BSLD_REQUIRE(options_.shard_count > 0,
+               "SweepRunner: shard_count must be positive");
+  BSLD_REQUIRE(options_.shard_index < options_.shard_count,
+               "SweepRunner: shard_index must be < shard_count");
+
+  auto batch = std::make_shared<SubmitHandle::Batch>();
+  batch->results.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    batch->results[i].spec = specs[i];
+  }
+  batch->progress.total = specs.size();
+  batch->unresolved = specs.size();
+  batch->on_result = std::move(on_result);
+
+  SubmitHandle handle;
+  handle.batch_ = batch;
+  if (specs.empty()) return handle;
+
+  std::vector<std::size_t> unique;
+  std::vector<std::vector<std::size_t>> fanout;
+  dedup_specs(specs, options_.dedup, unique, fanout);
+
+  // Never throw once a slot may have been enqueued: an exception here
+  // would unwind the submitter while queued tasks still reference its
+  // on_result captures (shutdown() drains the queue and would invoke a
+  // dangling callback). Failures — including submit-after-shutdown —
+  // resolve the affected slots as batch errors and surface at wait(),
+  // which the submitter always reaches.
+  using Served = SubmitHandle::Batch::Served;
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    const RunSpec& spec = specs[unique[u]];
+    try {
+      if (options_.shard_count > 1 &&
+          shard_of(spec, options_.shard_count) != options_.shard_index) {
+        batch->deliver(fanout[u], RunResult{}, Served::kShardSkipped);
+        continue;
+      }
+      // Warm path: answered on this thread, no pool involvement.
+      if (options_.cache) {
+        if (std::optional<RunResult> cached = options_.cache->lookup(spec)) {
+          batch->deliver(fanout[u], *cached, Served::kCacheHit);
+          continue;
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(pool_mutex_);
+        BSLD_REQUIRE(!stopping_, "SweepRunner: submit() after shutdown()");
+        start_pool_locked();
+        if (options_.dedup) {
+          const auto it = inflight_.find(spec.key());
+          if (it != inflight_.end()) {
+            // Coalesce with the identical spec another batch is running.
+            it->second->subscribers.push_back({batch, fanout[u], false});
+            continue;
+          }
+        }
+        auto task = std::make_shared<PendingRun>();
+        task->spec = spec;
+        task->subscribers.push_back({batch, fanout[u], true});
+        if (options_.dedup) inflight_.emplace(spec.key(), task);
+        queue_.push_back(std::move(task));
+      }
+      pool_cv_.notify_one();
+    } catch (...) {
+      batch->deliver_error(fanout[u], std::current_exception());
+    }
+  }
+  return handle;
+}
+
+void SweepRunner::shutdown() {
+  std::vector<std::jthread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    stopping_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  pool_cv_.notify_all();
+  workers.clear();  // joins; workers drain the queue first.
+}
+
+// ---------------------------------------------------------------------------
+// One-shot batch API.
+// ---------------------------------------------------------------------------
+
+std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
+  BSLD_REQUIRE(options_.shard_count > 0,
+               "SweepRunner: shard_count must be positive");
+  BSLD_REQUIRE(options_.shard_index < options_.shard_count,
+               "SweepRunner: shard_index must be < shard_count");
+  // All per-run state is local, so concurrent run() calls do not trample
+  // each other; the member counters take a snapshot at the end.
+  Progress progress;
+  progress.total = specs.size();
+
+  std::vector<RunResult> results(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
+  if (specs.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(progress_mutex_);
+      progress_ = progress;
+    }
+    for (ResultSink* sink : sinks_) sink->on_done(0);
+    return results;
+  }
+
+  std::vector<std::size_t> unique;
+  std::vector<std::vector<std::size_t>> fanout;
+  dedup_specs(specs, options_.dedup, unique, fanout);
 
   // Shard partition: this process only executes the distinct specs the
   // stable key hash assigns to shard_index; the rest are someone else's.
@@ -74,10 +351,14 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
             options_.shard_index) {
       owned.push_back(u);
     } else {
-      progress_.shard_skipped += fanout[u].size();
+      progress.shard_skipped += fanout[u].size();
     }
   }
   if (owned.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(progress_mutex_);
+      progress_ = progress;
+    }
     for (ResultSink* sink : sinks_) sink->on_done(specs.size());
     return results;
   }
@@ -127,19 +408,19 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
             results[slot] = result;
           }
           if (from_cache) {
-            progress_.cache_hits += 1;
+            progress.cache_hits += 1;
           } else {
-            progress_.executed += 1;
+            progress.executed += 1;
           }
-          progress_.completed += fanout[u].size();
-          progress_.deduplicated += fanout[u].size() - 1;
+          progress.completed += fanout[u].size();
+          progress.deduplicated += fanout[u].size() - 1;
           try {
             for (ResultSink* sink : sinks_) {
               for (const std::size_t slot : fanout[u]) {
                 sink->on_result(slot, results[slot]);
               }
             }
-            if (callback_) callback_(progress_, spec);
+            if (callback_) callback_(progress, spec);
           } catch (...) {
             if (!first_error) first_error = std::current_exception();
             return;
@@ -149,6 +430,10 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
     }
   }  // join
 
+  {
+    const std::lock_guard<std::mutex> lock(progress_mutex_);
+    progress_ = progress;
+  }
   if (first_error) std::rethrow_exception(first_error);
   for (ResultSink* sink : sinks_) sink->on_done(specs.size());
   return results;

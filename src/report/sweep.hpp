@@ -17,10 +17,22 @@
 /// by the stable hash of its key, so shard outputs merge back into the
 /// serial result set). run_all() remains as the thin compatibility wrapper
 /// most call sites need.
+///
+/// For long-lived processes (bsldsim serve) the runner also offers
+/// submit(): thread-safe incremental batch submission into one persistent
+/// worker pool shared by every concurrent submitter, with cache hits
+/// answered on the submitting thread and identical in-flight specs
+/// coalesced across batches. run() stays the one-shot batch API.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "report/experiment.hpp"
@@ -87,8 +99,21 @@ class SweepRunner {
   using ProgressCallback =
       std::function<void(const Progress& progress, const RunSpec& finished)>;
 
+  /// Per-slot delivery callback for submit(): called once per input slot
+  /// as results land — from worker threads or from the submitting thread
+  /// (cache hits) — not necessarily in input order. Must not call back
+  /// into the handle it belongs to.
+  using ResultCallback =
+      std::function<void(std::size_t index, const RunResult& result)>;
+
   SweepRunner() : SweepRunner(Options{}) {}
   explicit SweepRunner(Options options);
+
+  /// Drains the persistent pool (shutdown()).
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   /// Registers a non-owning streaming sink. Must outlive run().
   void add_sink(ResultSink& sink);
@@ -101,17 +126,78 @@ class SweepRunner {
   /// sinks only see results that completed before the failure and their
   /// on_done() is not called on error. With shard_count > 1, slots owned
   /// by other shards come back as empty results carrying only their spec.
-  /// Throws bsld::Error when shard_index >= shard_count.
+  /// Throws bsld::Error when shard_index >= shard_count. Reentrant: safe
+  /// to call concurrently from several threads (each call keeps its own
+  /// state; registered sinks would observe interleaved runs, so callers
+  /// sharing a runner across threads should prefer submit()).
   std::vector<RunResult> run(const std::vector<RunSpec>& specs);
 
-  /// Counters of the most recent run().
-  [[nodiscard]] const Progress& progress() const { return progress_; }
+  /// Counters of the most recently finished run(). Batches submitted via
+  /// submit() report through their own SubmitHandle::progress().
+  [[nodiscard]] Progress progress() const;
+
+  /// One batch accepted by submit(): incremental result delivery plus a
+  /// barrier for the submitter.
+  class SubmitHandle {
+   public:
+    /// Blocks until every slot of the batch has a result, then returns
+    /// them in input order (single use — results are moved out). Rethrows
+    /// the batch's first error — a failed simulation or a throwing
+    /// on_result callback.
+    std::vector<RunResult> wait();
+
+    /// The batch's own counters (stable after wait() returned).
+    [[nodiscard]] Progress progress() const;
+
+   private:
+    friend class SweepRunner;
+    struct Batch;
+    std::shared_ptr<Batch> batch_;
+  };
+
+  /// Incremental submission into a persistent worker pool shared by every
+  /// submit() call on this runner — the daemon-mode entry point. Thread
+  /// safe; concurrent batches interleave FIFO over options_.threads
+  /// workers (0 = hardware concurrency; started lazily on first submit).
+  ///
+  /// Cache hits are resolved synchronously on the calling thread — a warm
+  /// batch completes without ever touching the worker pool. With dedup
+  /// on, slots identical to a spec already in flight (same or another
+  /// batch) attach to that simulation instead of enqueueing a duplicate.
+  /// Sharding options partition exactly as in run(). Registered sinks and
+  /// the progress callback are NOT notified; per-slot delivery goes to
+  /// `on_result`. submit() itself only throws on invalid shard options
+  /// (before anything is enqueued); any later failure — including
+  /// submitting after shutdown() — resolves into the batch and rethrows
+  /// from wait(), so `on_result`'s captures stay alive until then.
+  SubmitHandle submit(const std::vector<RunSpec>& specs,
+                      ResultCallback on_result = {});
+
+  /// Stops accepting new batches, finishes everything already queued and
+  /// joins the pool. Idempotent; also run by the destructor.
+  void shutdown();
 
  private:
+  /// One distinct spec queued for execution; several (batch, slots)
+  /// subscribers may be attached while it is in flight.
+  struct PendingRun;
+
+  void start_pool_locked();
+  void worker_loop();
+
   Options options_;
   std::vector<ResultSink*> sinks_;
   ProgressCallback callback_;
+
+  mutable std::mutex progress_mutex_;  ///< progress_.
   Progress progress_;
+
+  std::mutex pool_mutex_;  ///< queue_, inflight_, workers_, stopping_.
+  std::condition_variable pool_cv_;
+  std::deque<std::shared_ptr<PendingRun>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<PendingRun>> inflight_;
+  std::vector<std::jthread> workers_;
+  bool stopping_ = false;
 };
 
 /// Compatibility wrapper: runs all specs, `threads` at a time (0 = hardware

@@ -1,0 +1,154 @@
+#include "server/protocol.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace bsld::server {
+
+namespace {
+
+/// First whitespace-separated token and the remainder (trimmed).
+std::pair<std::string, std::string> split_verb(const std::string& line) {
+  const std::size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) return {"", ""};
+  std::size_t end = line.find_first_of(" \t", begin);
+  if (end == std::string::npos) end = line.size();
+  std::size_t rest = line.find_first_not_of(" \t", end);
+  if (rest == std::string::npos) rest = line.size();
+  std::size_t rest_end = line.find_last_not_of(" \t");
+  return {line.substr(begin, end - begin),
+          rest <= rest_end ? line.substr(rest, rest_end - rest + 1) : ""};
+}
+
+}  // namespace
+
+std::optional<Request> RequestParser::feed(const std::string& line) {
+  if (in_run_) {
+    const auto [verb, rest] = split_verb(line);
+    if (discarding_) {
+      // An oversized body already answered its error; swallow the rest of
+      // the request so the stream resynchronizes at its `end` instead of
+      // misreading every remaining body line as a verb.
+      if (verb == "end" && rest.empty()) {
+        in_run_ = false;
+        discarding_ = false;
+      }
+      return std::nullopt;
+    }
+    if (verb == "end" && rest.empty()) {
+      in_run_ = false;
+      std::string body;
+      for (const std::string& body_line : body_) {
+        body += body_line;
+        body += '\n';
+      }
+      body_.clear();
+      Request request;
+      request.kind = Request::Kind::kRun;
+      request.format = std::move(format_);
+      try {
+        // Config::parse reports `line N` relative to the body we feed it,
+        // which matches the client's view of its request body.
+        request.config = util::Config::parse(body);
+      } catch (const Error& error) {
+        throw Error(std::string("run request body: ") + error.what());
+      }
+      return request;
+    }
+    if (body_.size() >= kMaxBodyLines) {
+      discarding_ = true;  // stay in_run_, eat lines until `end`.
+      body_.clear();
+      throw Error("run request body exceeds " +
+                  std::to_string(kMaxBodyLines) + " lines");
+    }
+    body_.push_back(line);
+    return std::nullopt;
+  }
+
+  const auto [verb, rest] = split_verb(line);
+  if (verb.empty()) return std::nullopt;  // blank separator line.
+  if (verb == "ping" || verb == "stats" || verb == "shutdown") {
+    if (!rest.empty()) {
+      throw Error("request `" + verb + "` takes no arguments, got `" + rest +
+                  "`");
+    }
+    Request request;
+    request.kind = verb == "ping"    ? Request::Kind::kPing
+                   : verb == "stats" ? Request::Kind::kStats
+                                     : Request::Kind::kShutdown;
+    return request;
+  }
+  if (verb == "run") {
+    std::string format = rest.empty() ? "csv" : rest;
+    if (format != "csv" && format != "jsonl") {
+      // The client has already committed to sending a body; swallow it
+      // up to its `end` so those lines are not misread as verbs.
+      in_run_ = true;
+      discarding_ = true;
+      throw Error("run request format must be csv or jsonl, got `" + rest +
+                  "`");
+    }
+    in_run_ = true;
+    format_ = std::move(format);
+    body_.clear();
+    return std::nullopt;
+  }
+  throw Error("unknown request verb `" + verb +
+              "` (expected ping, stats, shutdown or run)");
+}
+
+std::string ok_reply(const std::string& attrs, const std::string& payload) {
+  std::string reply = "ok ";
+  if (!attrs.empty()) {
+    reply += attrs;
+    reply += ' ';
+  }
+  reply += "bytes=" + std::to_string(payload.size()) + "\n";
+  reply += payload;
+  reply += "end\n";
+  return reply;
+}
+
+std::string err_reply(const std::string& message) {
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "err " + flat + "\n";
+}
+
+ReplyHeader parse_reply_header(const std::string& line) {
+  ReplyHeader header;
+  const auto [verb, rest] = split_verb(line);
+  if (verb == "err") {
+    header.ok = false;
+    header.error = rest;
+    return header;
+  }
+  BSLD_REQUIRE(verb == "ok",
+               "malformed reply header from server: `" + line + "`");
+  header.ok = true;
+  std::istringstream in(rest);
+  std::string token;
+  bool saw_bytes = false;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    BSLD_REQUIRE(eq != std::string::npos && eq > 0,
+                 "malformed reply attribute `" + token + "`");
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "bytes") {
+      header.payload_bytes = static_cast<std::size_t>(
+          util::require_uint(value, "reply attribute `bytes`"));
+      saw_bytes = true;
+    }
+    header.attrs.emplace_back(std::move(key), std::move(value));
+  }
+  BSLD_REQUIRE(saw_bytes, "reply header missing bytes=: `" + line + "`");
+  return header;
+}
+
+}  // namespace bsld::server

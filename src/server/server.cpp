@@ -1,0 +1,169 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace bsld::server {
+
+namespace {
+
+std::string run_attrs(const SweepService::RunReply& reply) {
+  const report::SweepRunner::Progress& p = reply.progress;
+  std::ostringstream attrs;
+  attrs << "rows=" << reply.rows << " executed=" << p.executed
+        << " cache_hits=" << p.cache_hits
+        << " deduplicated=" << p.deduplicated;
+  return attrs.str();
+}
+
+}  // namespace
+
+Server::Server(const Options& options)
+    : service_(SweepService::Options{options.threads, options.cache}),
+      listener_(options.socket_path) {}
+
+Server::~Server() {
+  stop();
+  wake_connections();
+  // connections_ (declared last) joins every handler next, then the
+  // service's pool drains in its own destructor.
+}
+
+void Server::wake_connections() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+int Server::serve() {
+  while (true) {
+    const std::optional<int> client = listener_.accept();
+    if (!client) break;  // stop(): interrupted.
+    if (stopping_.load()) {
+      ::close(*client);  // raced the stop; no new work accepted.
+      break;
+    }
+    reap_finished();
+    {
+      // Register on the accept thread, before the handler exists: the
+      // drain loop below must see every accepted fd, or a handler spawned
+      // in the same instant as stop() would miss the SHUT_RD wakeup and
+      // block its join forever.
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      active_fds_.push_back(*client);
+    }
+    connections_.emplace_back(
+        [this, fd = *client] { handle_connection(fd); });
+  }
+  // Graceful drain: wake handlers parked in read_line() by shutting the
+  // read side of every open connection — in-flight requests still finish
+  // and their replies still deliver (writes stay open) — then join
+  // everyone before stopping the pool.
+  wake_connections();
+  connections_.clear();  // joins every handler.
+  service_.drain();
+  return 0;
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  listener_.interrupt();
+}
+
+void Server::reap_finished() {
+  // Handlers that already returned announce their id; joining them is
+  // instant, and a long-lived daemon stops accumulating dead threads.
+  std::vector<std::thread::id> done;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    done.swap(done_);
+  }
+  for (const std::thread::id id : done) {
+    std::erase_if(connections_,
+                  [id](std::jthread& thread) { return thread.get_id() == id; });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  util::SocketStream stream(fd);  // owns fd; registered by the acceptor.
+  // A client that stops reading must not pin this handler in send()
+  // forever — that would wedge the drain join. 30s is far beyond any
+  // honest reader's stall.
+  stream.set_send_timeout(30);
+  serve_connection(stream);
+  {
+    // Unregister strictly before the stream's destructor closes the fd,
+    // so the drain never shutdown()s a recycled descriptor.
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    std::erase(active_fds_, fd);
+    done_.push_back(std::this_thread::get_id());
+  }
+}
+
+void Server::serve_connection(util::SocketStream& stream) {
+  RequestParser parser;
+  try {
+    while (true) {
+      std::optional<std::string> line;
+      try {
+        line = stream.read_line();
+      } catch (const Error&) {
+        return;  // peer vanished mid-line; nothing to answer.
+      }
+      if (!line) return;  // clean EOF.
+
+      std::optional<Request> request;
+      try {
+        request = parser.feed(*line);
+      } catch (const Error& error) {
+        // Malformed input answers with a named diagnostic and keeps the
+        // connection (and the daemon) alive.
+        stream.write_all(err_reply(error.what()));
+        continue;
+      }
+      if (!request) continue;
+
+      switch (request->kind) {
+        case Request::Kind::kPing:
+          stream.write_all(ok_reply("pong=1", ""));
+          break;
+        case Request::Kind::kStats:
+          stream.write_all(ok_reply("", service_.stats_payload()));
+          break;
+        case Request::Kind::kShutdown:
+          stream.write_all(ok_reply("stopping=1", ""));
+          stop();
+          return;
+        case Request::Kind::kRun: {
+          try {
+            const SweepService::RunReply reply = service_.run(*request);
+            stream.write_all(ok_reply(run_attrs(reply), reply.payload));
+          } catch (const Error& error) {
+            stream.write_all(err_reply(error.what()));
+          } catch (const std::exception& error) {
+            // std::bad_alloc on a huge grid, std::system_error from
+            // thread spawn, ...: the protocol contract is an `err` reply
+            // and a usable connection, never a silent disconnect.
+            stream.write_all(err_reply(error.what()));
+          }
+          break;
+        }
+      }
+    }
+  } catch (const Error& error) {
+    // Socket write failures end this connection only; the daemon and the
+    // other connections keep running.
+    BSLD_LOG_INFO() << "server: connection dropped: " << error.what();
+  } catch (const std::exception& error) {
+    BSLD_LOG_ERROR() << "server: connection handler failed: " << error.what();
+  }
+}
+
+}  // namespace bsld::server

@@ -1,0 +1,82 @@
+/// \file server.hpp
+/// \brief `bsldsim serve`: the accept loop of the daemon mode.
+///
+/// The ROADMAP's follow-up to the persistent result cache: a long-lived
+/// process that treats simulation as a query service. Server binds a
+/// Unix-domain socket, accepts concurrent clients (one handler thread
+/// per connection), parses requests through server::RequestParser and
+/// executes them on the shared server::SweepService — so every client
+/// batches into one worker pool and one cache, and a warm query never
+/// simulates anything.
+///
+/// Lifecycle: serve() blocks in accept(); stop() — async-signal-safe,
+/// wired to SIGTERM/SIGINT by the bsldsim binary — interrupts the
+/// listener, after which serve() stops accepting, joins every connection
+/// handler (in-flight requests finish: graceful drain), shuts the
+/// service's pool down and returns 0. A client `shutdown` request
+/// triggers the same path from inside a connection.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/sweep_service.hpp"
+#include "util/socket.hpp"
+
+namespace bsld::server {
+
+class Server {
+ public:
+  struct Options {
+    /// Filesystem path of the Unix-domain socket (required; kept short —
+    /// sockaddr_un limits it to ~107 bytes).
+    std::string socket_path;
+    /// Forwarded to SweepService.
+    unsigned threads = 0;
+    report::ResultCache* cache = nullptr;
+  };
+
+  /// Binds and listens immediately (so callers can report readiness
+  /// before serve() blocks). Throws bsld::Error on bind failures.
+  explicit Server(const Options& options);
+
+  /// Wakes every open connection before the handler threads join, so
+  /// destruction cannot deadlock even when serve() exited by exception
+  /// (e.g. accept() failing on fd exhaustion) without running its drain.
+  ~Server();
+
+  /// Runs the accept loop until stop() (or a client `shutdown` request),
+  /// then drains: joins connection handlers, stops the worker pool.
+  /// Returns the process exit code (0 on a clean drain).
+  int serve();
+
+  /// Async-signal-safe stop: wakes the accept loop. Callable from a
+  /// signal handler or any thread; idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return listener_.path();
+  }
+
+ private:
+  void handle_connection(int fd);
+  void serve_connection(util::SocketStream& stream);
+  void reap_finished();
+  void wake_connections();
+
+  SweepService service_;
+  util::UnixListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::mutex state_mutex_;  ///< done_, active_fds_.
+  std::vector<std::thread::id> done_;  ///< handlers ready to reap.
+  std::vector<int> active_fds_;  ///< open connections, for drain wakeup.
+  // Declared last: its jthread destructors join every handler while the
+  // members above (and service_) are still alive — even if serve() exits
+  // by exception.
+  std::vector<std::jthread> connections_;
+};
+
+}  // namespace bsld::server

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace bsld::util {
 
@@ -64,21 +65,14 @@ bool Cli::given(const std::string& name) const {
 }
 
 double Cli::get_double(const std::string& name) const {
-  const std::string value = get(name);
-  try {
-    return std::stod(value);
-  } catch (const std::exception&) {
-    throw Error("Cli: --" + name + " expects a number, got `" + value + "`");
-  }
+  // Checked full-token parse: trailing garbage ("1.5x"), nan/inf and
+  // out-of-range values all fail with the flag named, instead of being
+  // silently truncated or aborting the process.
+  return require_double(get(name), "Cli: flag --" + name);
 }
 
 std::int64_t Cli::get_int(const std::string& name) const {
-  const std::string value = get(name);
-  try {
-    return std::stoll(value);
-  } catch (const std::exception&) {
-    throw Error("Cli: --" + name + " expects an integer, got `" + value + "`");
-  }
+  return require_int(get(name), "Cli: flag --" + name);
 }
 
 bool Cli::get_bool(const std::string& name) const {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace bsld::util {
 
@@ -90,28 +91,14 @@ std::string Config::get_string(const std::string& key,
 double Config::get_double(const std::string& key, double fallback) const {
   const auto value = raw(key);
   if (!value) return fallback;
-  try {
-    std::size_t pos = 0;
-    const double parsed = std::stod(*value, &pos);
-    BSLD_REQUIRE(pos == value->size(), "trailing characters");
-    return parsed;
-  } catch (const std::exception&) {
-    throw Error("Config: key `" + key + "` is not a double: " + *value);
-  }
+  return require_double(*value, "Config: key `" + key + "`");
 }
 
 std::int64_t Config::get_int(const std::string& key,
                              std::int64_t fallback) const {
   const auto value = raw(key);
   if (!value) return fallback;
-  try {
-    std::size_t pos = 0;
-    const std::int64_t parsed = std::stoll(*value, &pos);
-    BSLD_REQUIRE(pos == value->size(), "trailing characters");
-    return parsed;
-  } catch (const std::exception&) {
-    throw Error("Config: key `" + key + "` is not an integer: " + *value);
-  }
+  return require_int(*value, "Config: key `" + key + "`");
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
@@ -133,13 +120,11 @@ std::vector<double> Config::get_double_list(
   while (std::getline(in, item, ',')) {
     const std::string trimmed = trim(item);
     if (trimmed.empty()) continue;
-    try {
-      std::size_t pos = 0;
-      out.push_back(std::stod(trimmed, &pos));
-      BSLD_REQUIRE(pos == trimmed.size(), "trailing characters");
-    } catch (const std::exception&) {
+    const std::optional<double> parsed = parse_double(trimmed);
+    if (!parsed) {
       throw Error("Config: key `" + key + "` has a non-numeric item: " + item);
     }
+    out.push_back(*parsed);
   }
   return out;
 }

@@ -1,0 +1,43 @@
+/// \file parse.hpp
+/// \brief Checked numeric parsing for every user-facing input path.
+///
+/// CLI flags, config/spec files, SWF fields and server protocol requests
+/// all funnel free-form text into numbers. std::stod-style parsing is the
+/// wrong tool there: it accepts trailing garbage ("1.5abc" parses as 1.5),
+/// locale-dependent spellings, and non-finite values ("nan" poisons
+/// RunSpec::key), and it throws std::invalid_argument/std::out_of_range —
+/// types nothing upstream catches deliberately. These helpers parse the
+/// whole token or fail: the optional-returning forms never throw, and the
+/// require_* wrappers throw bsld::Error with a diagnostic that names the
+/// offending flag/key, so a typo surfaces as a nonzero exit (or an `err`
+/// protocol reply), never a crash or a silently truncated value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bsld::util {
+
+/// Parses the whole of `text` (surrounding ASCII whitespace ignored, one
+/// optional leading '+' or '-') as a finite double. Rejects empty input,
+/// trailing garbage, hex floats, and non-finite spellings (nan/inf).
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Parses the whole of `text` as a signed 64-bit integer (whitespace and
+/// a leading '+' tolerated). Rejects trailing garbage and out-of-range
+/// values.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// Unsigned variant spanning the full uint64 range (workload seeds).
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Throwing wrappers: `what` names the input's origin — "flag --bsld",
+/// "key `scale`", "request line 3" — and appears verbatim in the
+/// bsld::Error message together with the rejected text.
+double require_double(std::string_view text, const std::string& what);
+std::int64_t require_int(std::string_view text, const std::string& what);
+std::uint64_t require_uint(std::string_view text, const std::string& what);
+
+}  // namespace bsld::util

@@ -1,0 +1,234 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+
+namespace {
+
+/// Fills a sockaddr_un; throws when `path` does not fit (sun_path is
+/// ~108 bytes — callers should keep socket paths short).
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  BSLD_REQUIRE(path.size() < sizeof(address.sun_path),
+               "socket path too long for AF_UNIX (" + path + ")");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+namespace {
+
+/// True when a daemon is currently accepting on the socket at `path` —
+/// the guard that keeps a second `bsldsim serve` from silently stealing
+/// a live daemon's socket file.
+bool unix_socket_alive(const sockaddr_un& address) {
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe < 0) return false;
+  const int rc = ::connect(probe, reinterpret_cast<const sockaddr*>(&address),
+                           sizeof(address));
+  ::close(probe);
+  return rc == 0;
+}
+
+}  // namespace
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un address = unix_address(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  BSLD_REQUIRE(fd_ >= 0, std::string("UnixListener: socket(): ") +
+                             std::strerror(errno));
+  // A leftover socket file from a *crashed* daemon blocks bind(), so
+  // reclaim it — but only a dead socket: a connectable one belongs to a
+  // running daemon, and anything that is not a socket is not ours to
+  // delete at all.
+  struct stat st{};
+  if (::lstat(path_.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      ::close(fd_);
+      fd_ = -1;
+      BSLD_REQUIRE(false, "UnixListener: `" + path_ +
+                              "` exists and is not a socket — refusing to "
+                              "replace it");
+    }
+    if (unix_socket_alive(address)) {
+      ::close(fd_);
+      fd_ = -1;
+      BSLD_REQUIRE(false, "UnixListener: a daemon is already serving on `" +
+                              path_ + "`");
+    }
+    ::unlink(path_.c_str());
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    BSLD_REQUIRE(false, "UnixListener: bind(" + path_ + "): " +
+                            std::strerror(saved));
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    BSLD_REQUIRE(false, "UnixListener: listen(" + path_ + "): " +
+                            std::strerror(saved));
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::optional<int> UnixListener::accept() {
+  while (true) {
+    const int client = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client >= 0) return client;
+    if (errno == EINTR) continue;
+    // interrupt() shut the listening socket down; accept() then fails
+    // with EINVAL (Linux) or ECONNABORTED — the clean-stop signal.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF) {
+      return std::nullopt;
+    }
+    // Transient resource exhaustion (too many clients hold fds) must not
+    // kill an always-on daemon: back off and retry — connections drain
+    // and free descriptors. interrupt() still breaks the loop above.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      timespec delay{0, 100 * 1000 * 1000};  // 100ms
+      ::nanosleep(&delay, nullptr);
+      continue;
+    }
+    BSLD_REQUIRE(false, std::string("UnixListener: accept(): ") +
+                            std::strerror(errno));
+  }
+}
+
+void UnixListener::interrupt() {
+  // shutdown() is async-signal-safe and wakes the blocked accept();
+  // the fd itself stays open until the destructor (closing here would
+  // race a concurrent accept() reusing the fd number).
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+SocketStream::SocketStream(int fd) : fd_(fd) {
+  BSLD_REQUIRE(fd_ >= 0, "SocketStream: invalid fd");
+}
+
+SocketStream SocketStream::connect_unix(const std::string& path) {
+  const sockaddr_un address = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  BSLD_REQUIRE(fd >= 0, std::string("SocketStream: socket(): ") +
+                            std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    BSLD_REQUIRE(false, "SocketStream: cannot connect to `" + path + "`: " +
+                            std::strerror(saved) +
+                            " (is the daemon running?)");
+  }
+  return SocketStream(fd);
+}
+
+SocketStream::~SocketStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SocketStream::SocketStream(SocketStream&& other) noexcept
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      start_(other.start_) {
+  other.fd_ = -1;
+}
+
+bool SocketStream::fill() {
+  if (start_ > 0) {
+    buffer_.erase(0, start_);
+    start_ = 0;
+  }
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      return true;
+    }
+    if (got == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    BSLD_REQUIRE(false, std::string("SocketStream: recv(): ") +
+                            std::strerror(errno));
+  }
+}
+
+std::optional<std::string> SocketStream::read_line() {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n', start_);
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(start_, nl - start_);
+      start_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    BSLD_REQUIRE(buffer_.size() - start_ <= kMaxLineBytes,
+                 "SocketStream: protocol line exceeds " +
+                     std::to_string(kMaxLineBytes) + " bytes");
+    if (!fill()) {
+      if (buffer_.size() == start_) return std::nullopt;  // clean EOF.
+      BSLD_REQUIRE(false, "SocketStream: connection closed mid-line");
+    }
+  }
+}
+
+std::string SocketStream::read_bytes(std::size_t count) {
+  while (buffer_.size() - start_ < count) {
+    BSLD_REQUIRE(fill(), "SocketStream: connection closed mid-payload");
+  }
+  std::string bytes = buffer_.substr(start_, count);
+  start_ += count;
+  return bytes;
+}
+
+void SocketStream::set_send_timeout(int seconds) {
+  timeval timeout{};
+  timeout.tv_sec = seconds;
+  const int rc = ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                              sizeof(timeout));
+  BSLD_REQUIRE(rc == 0, std::string("SocketStream: SO_SNDTIMEO: ") +
+                            std::strerror(errno));
+}
+
+void SocketStream::write_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote >= 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      BSLD_REQUIRE(false, "SocketStream: send() timed out (peer not "
+                          "reading)");
+    }
+    BSLD_REQUIRE(false, std::string("SocketStream: send(): ") +
+                            std::strerror(errno));
+  }
+}
+
+}  // namespace bsld::util

@@ -1,0 +1,100 @@
+/// \file socket.hpp
+/// \brief Unix-domain socket primitives for the bsldsim daemon: a blocking
+/// listener with an async-signal-safe wakeup, and buffered line/byte IO
+/// over a connected stream.
+///
+/// The server (server/server.hpp) speaks a line-delimited text protocol
+/// with byte-counted payload frames over a local socket — no network
+/// exposure, kernel-enforced same-host access, and no extra dependencies.
+/// These wrappers keep all the fd plumbing (EINTR retries, SIGPIPE
+/// suppression via MSG_NOSIGNAL, bounded line reads against garbage
+/// input) out of the protocol code.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bsld::util {
+
+/// Blocking Unix-domain listening socket bound to a filesystem path.
+class UnixListener {
+ public:
+  /// Binds and listens. An existing socket file at `path` is unlinked
+  /// first (stale leftover of a crashed daemon — the caller owns the
+  /// path). Throws bsld::Error when the path is too long for sockaddr_un
+  /// or any syscall fails.
+  explicit UnixListener(const std::string& path);
+
+  /// Closes the socket and removes the path.
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Blocks for the next connection; returns the connected fd, or
+  /// std::nullopt once interrupt() was called (the accept loop's stop
+  /// signal). Retries EINTR; throws bsld::Error on other failures.
+  [[nodiscard]] std::optional<int> accept();
+
+  /// Async-signal-safe: wakes a blocked accept() and makes every further
+  /// accept() return std::nullopt. Callable from a signal handler.
+  void interrupt();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Buffered IO over one connected socket (or pipe-like) fd. Owns the fd.
+class SocketStream {
+ public:
+  /// Takes ownership of a connected fd (e.g. from UnixListener::accept).
+  explicit SocketStream(int fd);
+
+  /// Connects to a Unix-domain socket. Throws bsld::Error on failure
+  /// (including "no daemon listening at `path`").
+  [[nodiscard]] static SocketStream connect_unix(const std::string& path);
+
+  ~SocketStream();
+  SocketStream(SocketStream&& other) noexcept;
+  SocketStream& operator=(SocketStream&&) = delete;
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  /// Next '\n'-terminated line, without the terminator (a trailing '\r'
+  /// is stripped too). std::nullopt on clean EOF before any byte. Throws
+  /// bsld::Error on read errors, EOF mid-line, or a line exceeding
+  /// kMaxLineBytes (protocol garbage, not a legitimate request).
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Exactly `count` raw payload bytes. Throws bsld::Error on EOF/error.
+  [[nodiscard]] std::string read_bytes(std::size_t count);
+
+  /// Writes all of `bytes` (MSG_NOSIGNAL — a vanished peer raises
+  /// bsld::Error instead of SIGPIPE). Throws on error, including a send
+  /// timeout set via set_send_timeout().
+  void write_all(std::string_view bytes);
+
+  /// Bounds every subsequent send() to `seconds`. A peer that stops
+  /// reading then fails the write with a timeout error instead of
+  /// blocking the writer forever — what lets a draining daemon join its
+  /// connection handlers no matter how clients behave.
+  void set_send_timeout(int seconds);
+
+  /// Longest line read_line() accepts: 1 MiB.
+  static constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+ private:
+  /// Refills buffer_ from the fd; false on EOF. Throws on errors.
+  bool fill();
+
+  int fd_ = -1;
+  std::string buffer_;     ///< bytes received but not yet consumed.
+  std::size_t start_ = 0;  ///< consumed prefix of buffer_.
+};
+
+}  // namespace bsld::util

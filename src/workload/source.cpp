@@ -1,6 +1,8 @@
 #include "workload/source.hpp"
 
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/parse.hpp"
 #include "workload/swf.hpp"
 
 namespace bsld::wl {
@@ -44,15 +46,12 @@ Time get_time(const util::Config& config, const std::string& key,
 /// represent; parse the raw text instead so every saved seed replays.
 std::uint64_t get_seed(const util::Config& config) {
   const std::string text = config.get_string("workload.seed", "0");
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t seed = std::stoull(text, &pos);
-    BSLD_REQUIRE(pos == text.size(), "trailing characters");
-    return seed;
-  } catch (const std::exception&) {
+  const std::optional<std::uint64_t> seed = util::parse_uint(text);
+  if (!seed) {
     throw Error("WorkloadSource: workload.seed is not a 64-bit unsigned "
                 "integer: " + text);
   }
+  return *seed;
 }
 
 /// `workload.spec.*` keys <-> WorkloadSpec. The runtime mixture is stored
@@ -232,6 +231,12 @@ Workload load_source(const WorkloadSource& source, CleanReport* clean_report) {
     }
     case WorkloadSource::Kind::kSwf: {
       const SwfTrace trace = load_swf_file(source.path);
+      if (trace.skipped_lines != 0) {
+        BSLD_LOG_WARN() << "SWF: " << source.path << ": skipped "
+                        << trace.skipped_lines
+                        << " malformed/unusable record(s) (parse with "
+                           "SwfOptions{.strict = true} to reject the file)";
+      }
       workload.name = source.path;
       workload.cpus = source.cpus > 0 ? source.cpus
                                       : trace.max_procs(/*fallback=*/1024);

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace bsld::wl {
 
@@ -24,15 +25,16 @@ bool parse_int(std::string_view token, std::int64_t& out) {
 /// SWF allows fractional seconds in some fields; accept and truncate.
 bool parse_time_like(std::string_view token, std::int64_t& out) {
   if (parse_int(token, out)) return true;
-  try {
-    std::size_t pos = 0;
-    const double value = std::stod(std::string(token), &pos);
-    if (pos != token.size()) return false;
-    out = static_cast<std::int64_t>(value);
-    return true;
-  } catch (const std::exception&) {
+  const std::optional<double> value = util::parse_double(token);
+  if (!value) return false;
+  // Truncating a double outside int64's range is undefined behaviour;
+  // such a "time" is a malformed field, not a usable record. 2^63 is
+  // exactly representable, so these bounds are precise.
+  if (*value < -9223372036854775808.0 || *value >= 9223372036854775808.0) {
     return false;
   }
+  out = static_cast<std::int64_t>(*value);
+  return true;
 }
 
 std::vector<std::string_view> split_fields(std::string_view line) {
@@ -92,7 +94,7 @@ std::int32_t SwfTrace::max_procs(std::int32_t fallback) const {
   return static_cast<std::int32_t>(value);
 }
 
-SwfTrace parse_swf(std::istream& in) {
+SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
   SwfTrace trace;
   std::string line;
   std::size_t line_no = 0;
@@ -113,9 +115,15 @@ SwfTrace parse_swf(std::istream& in) {
     }
 
     const auto fields = split_fields(view);
-    BSLD_REQUIRE(fields.size() >= 18,
-                 "SWF: line " + std::to_string(line_no) + " has only " +
-                     std::to_string(fields.size()) + " fields (expected 18)");
+    if (fields.size() < 18) {
+      // A malformed record must not abort the whole archive mid-sweep:
+      // skip and count it, unless the caller asked for strict validation.
+      BSLD_REQUIRE(!options.strict,
+                   "SWF: line " + std::to_string(line_no) + " has only " +
+                       std::to_string(fields.size()) + " fields (expected 18)");
+      ++trace.skipped_lines;
+      continue;
+    }
 
     // Field indices per SWF definition (0-based here).
     std::int64_t id = 0, submit = 0, run = 0, alloc = 0, req_procs = 0,
@@ -128,6 +136,9 @@ SwfTrace parse_swf(std::istream& in) {
                     parse_time_like(fields[8], req_time) &&
                     parse_int(fields[11], user);
     if (!ok) {
+      BSLD_REQUIRE(!options.strict,
+                   "SWF: line " + std::to_string(line_no) +
+                       " has an unparsable mandatory field");
       ++trace.skipped_lines;
       continue;
     }
@@ -153,15 +164,15 @@ SwfTrace parse_swf(std::istream& in) {
   return trace;
 }
 
-SwfTrace parse_swf_text(const std::string& text) {
+SwfTrace parse_swf_text(const std::string& text, const SwfOptions& options) {
   std::istringstream in(text);
-  return parse_swf(in);
+  return parse_swf(in, options);
 }
 
-SwfTrace load_swf_file(const std::string& path) {
+SwfTrace load_swf_file(const std::string& path, const SwfOptions& options) {
   std::ifstream in(path);
   BSLD_REQUIRE(in.good(), "SWF: cannot open file `" + path + "`");
-  return parse_swf(in);
+  return parse_swf(in, options);
 }
 
 void write_swf(std::ostream& out, const Workload& workload) {

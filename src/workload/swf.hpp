@@ -25,25 +25,39 @@ struct SwfTrace {
   std::vector<Job> jobs;
   /// Header directives such as {"MaxProcs", "430"}; keys as written.
   std::map<std::string, std::string> header;
-  /// Number of data lines skipped because mandatory fields were invalid.
+  /// Number of data lines skipped: structurally broken (< 18 fields),
+  /// unparsable mandatory fields, or unusable values (id/size <= 0).
   std::size_t skipped_lines = 0;
 
   /// MaxProcs directive as an integer, or `fallback` when absent/invalid.
   [[nodiscard]] std::int32_t max_procs(std::int32_t fallback) const;
 };
 
+/// Parsing behaviour switches.
+struct SwfOptions {
+  /// Lenient (default): a malformed record — short line or unparsable
+  /// mandatory field — is skipped and counted in `skipped_lines`, so one
+  /// bad line in a multi-million-job archive cannot abort an hours-long
+  /// sweep. Strict: such a record throws bsld::Error naming the line
+  /// number. Records whose values are merely unusable (id or size <= 0,
+  /// the archives' own convention for cancelled jobs) are skipped and
+  /// counted in both modes.
+  bool strict = false;
+};
+
 /// Parses SWF text. Tolerates missing optional fields (-1): processor count
 /// falls back from allocated to requested processors, requested time falls
-/// back to the actual runtime. Lines whose mandatory fields (job id, submit,
-/// runtime, size) are unusable are counted in `skipped_lines`, not errors.
-/// Throws bsld::Error only on structurally broken lines (< 18 fields).
-SwfTrace parse_swf(std::istream& in);
+/// back to the actual runtime. Malformed records are skipped and counted
+/// (or rejected with their line number under `options.strict`).
+SwfTrace parse_swf(std::istream& in, const SwfOptions& options = {});
 
 /// Convenience overload over a string.
-SwfTrace parse_swf_text(const std::string& text);
+SwfTrace parse_swf_text(const std::string& text,
+                        const SwfOptions& options = {});
 
 /// Reads and parses a file. Throws bsld::Error when it cannot be opened.
-SwfTrace load_swf_file(const std::string& path);
+SwfTrace load_swf_file(const std::string& path,
+                       const SwfOptions& options = {});
 
 /// Writes a workload as SWF (18 fields; unknown fields emitted as -1),
 /// including a small header with MaxProcs and the workload name.

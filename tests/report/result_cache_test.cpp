@@ -1,11 +1,14 @@
 #include "report/result_cache.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -283,6 +286,79 @@ TEST_F(ResultCacheTest, TrimEvictsOldestFirst) {
 
   EXPECT_EQ(cache.trim(0), 1u);  // evict everything.
   EXPECT_EQ(cache.disk_stats().entries, 0u);
+}
+
+TEST_F(ResultCacheTest, TrimSkipsEntryRepublishedUnderItsLock) {
+  // The trim/store race: trim() scans, then a concurrent writer
+  // republishes the entry (tmp+rename), then trim unlinks it — deleting a
+  // fresh result between its publish and first read. Fixed by taking the
+  // entry's FileLock sidecar and re-checking the write time before the
+  // unlink. This test forces the interleaving: a helper thread holds the
+  // entry's lock before trim() starts, republishes the entry while trim
+  // is blocked on that lock, and only then releases — the republished
+  // entry must survive a trim(0) that would otherwise delete everything.
+  const RunSpec spec = small_spec();
+  const RunResult result = run_one(spec);
+  ResultCache cache(root_);
+  cache.store(result);
+  const fs::path entry = cache.entry_path(spec);
+  const std::string bytes = util::read_file_bytes(entry).value();
+  // Make the scanned mtime old so the republish below visibly changes it.
+  fs::last_write_time(entry,
+                      fs::last_write_time(entry) - std::chrono::hours(2));
+
+  std::promise<void> lock_held;
+  std::thread writer([&] {
+    fs::path lock_path = entry;
+    lock_path += ".lock";
+    const util::FileLock lock(lock_path);
+    lock_held.set_value();
+    // Give trim() ample time to finish its scan and block on our lock,
+    // then republish (fresh mtime) and release.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    util::atomic_write_file(entry, bytes);
+  });
+  lock_held.get_future().wait();
+
+  EXPECT_EQ(cache.trim(0), 0u);  // blocked, re-checked, skipped.
+  writer.join();
+  EXPECT_TRUE(fs::exists(entry));
+  EXPECT_TRUE(cache.lookup(spec).has_value());
+}
+
+TEST_F(ResultCacheTest, TwoProcessTrimVsStoreStress) {
+  // Cross-process variant: a child hammers store() while the parent
+  // hammers trim(0). The FileLock sidecar serializes them, so whatever
+  // interleaving happens, the store stays structurally sound, no process
+  // crashes, and a final store/lookup round-trips.
+  const RunSpec spec = small_spec();
+  const RunResult result = run_one(spec);
+  ResultCache cache(root_);
+  cache.store(result);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: republish the entry in a tight loop, then exit cleanly.
+    // _exit (not exit) keeps gtest's atexit machinery out of the child.
+    try {
+      ResultCache mine(root_);
+      for (int i = 0; i < 200; ++i) mine.store(result);
+    } catch (...) {
+      ::_exit(2);
+    }
+    ::_exit(0);
+  }
+  for (int i = 0; i < 200; ++i) (void)cache.trim(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  cache.store(result);
+  const auto final_lookup = cache.lookup(spec);
+  ASSERT_TRUE(final_lookup.has_value());
+  expect_same_sim(result.sim, final_lookup->sim);
 }
 
 TEST_F(ResultCacheTest, AbsorbCopiesMissingEntries) {

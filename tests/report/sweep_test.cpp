@@ -1,12 +1,17 @@
 #include "report/sweep.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "report/figures.hpp"
+#include "report/result_cache.hpp"
 #include "report/sinks.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -330,6 +335,38 @@ TEST(ShardTest, ShardedUnionMatchesSerialRows) {
   }
 }
 
+TEST(ShardTest, ShardOwningZeroSpecsYieldsEmptyResultsAndHeaderOnlyCsv) {
+  // A shard whose partition holds zero specs (more shards than distinct
+  // specs) is the degenerate case --merge-shards must also survive: the
+  // run returns spec-only empty results, streams no rows (header-only
+  // CSV), and still fires on_done.
+  std::vector<RunSpec> specs(3, small_grid()[0]);  // 1 distinct spec.
+  const unsigned owner = shard_of(specs[0], 2);
+  const unsigned empty_shard = 1 - owner;
+
+  std::ostringstream out;
+  CsvResultSink csv(out);
+  ReorderingSink ordered(csv);
+  SweepRunner::Options options;
+  options.threads = 2;
+  options.shard_index = empty_shard;
+  options.shard_count = 2;
+  SweepRunner runner(options);
+  runner.add_sink(ordered);
+  const std::vector<RunResult> results = runner.run(specs);
+
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec, specs[i]);  // spec preserved,
+    EXPECT_EQ(results[i].sim.job_count, 0);  // nothing simulated.
+  }
+  EXPECT_EQ(runner.progress().executed, 0u);
+  EXPECT_EQ(runner.progress().shard_skipped, specs.size());
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);  // the header only — on_done still ran.
+  EXPECT_EQ(rows[0][0], "index");
+}
+
 TEST(ShardTest, InvalidShardOptionsThrow) {
   SweepRunner::Options bad_index;
   bad_index.shard_index = 2;
@@ -354,6 +391,162 @@ TEST(SweepRunnerTest, ReorderingSinkReplaysInGridOrder) {
   for (std::size_t r = 1; r < rows.size(); ++r) {
     EXPECT_EQ(rows[r][0], std::to_string(r - 1));  // ascending indices.
   }
+}
+
+// --- submit(): the persistent-pool path behind bsldsim serve ------------
+
+TEST(SubmitTest, SubmitMatchesRun) {
+  const std::vector<RunSpec> specs = small_grid();
+  const std::vector<RunResult> via_run = run_all(specs, 2);
+
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  std::mutex mutex;
+  std::map<std::size_t, double> streamed;
+  SweepRunner::SubmitHandle handle = runner.submit(
+      specs, [&](std::size_t index, const RunResult& result) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        streamed[index] = result.sim.avg_bsld;
+      });
+  const std::vector<RunResult> via_submit = handle.wait();
+
+  ASSERT_EQ(via_submit.size(), via_run.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(via_submit[i].spec, specs[i]);
+    EXPECT_DOUBLE_EQ(via_submit[i].sim.avg_bsld, via_run[i].sim.avg_bsld);
+    EXPECT_EQ(via_submit[i].sim.events_processed,
+              via_run[i].sim.events_processed);
+  }
+  // Every slot was delivered exactly once through the callback.
+  ASSERT_EQ(streamed.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(streamed[i], via_run[i].sim.avg_bsld);
+  }
+  const SweepRunner::Progress progress = handle.progress();
+  EXPECT_EQ(progress.total, specs.size());
+  EXPECT_EQ(progress.completed, specs.size());
+  EXPECT_EQ(progress.executed, specs.size());  // all distinct, cold.
+}
+
+TEST(SubmitTest, WithinBatchDuplicatesSimulateOnce) {
+  std::vector<RunSpec> specs;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    specs.push_back(small_grid()[0]);
+    specs.push_back(small_grid()[1]);
+  }
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  SweepRunner::SubmitHandle handle = runner.submit(specs);
+  const std::vector<RunResult> results = handle.wait();
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 2; i < specs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].sim.avg_bsld, results[i % 2].sim.avg_bsld);
+  }
+  EXPECT_EQ(handle.progress().executed, 2u);
+  EXPECT_EQ(handle.progress().deduplicated, 4u);
+}
+
+TEST(SubmitTest, ConcurrentBatchesShareOnePoolAndAgree) {
+  const std::vector<RunSpec> specs = small_grid();
+  const std::vector<RunResult> expected = run_all(specs, 2);
+
+  SweepRunner runner(SweepRunner::Options{.threads = 3});
+  constexpr int kClients = 4;
+  std::vector<std::vector<RunResult>> outcomes(kClients);
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        outcomes[c] = runner.submit(specs).wait();
+      });
+    }
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(outcomes[c].size(), specs.size()) << "client " << c;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(outcomes[c][i].sim.avg_bsld, expected[i].sim.avg_bsld);
+      EXPECT_EQ(outcomes[c][i].spec, specs[i]);
+    }
+  }
+}
+
+TEST(SubmitTest, WarmBatchIsAnsweredWithoutTouchingThePool) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("bsld-submit-cache-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  {
+    ResultCache cache(root);
+    SweepRunner::Options options;
+    options.threads = 2;
+    options.cache = &cache;
+
+    const std::vector<RunSpec> specs = small_grid();
+    SweepRunner cold_runner(options);
+    const std::vector<RunResult> cold = cold_runner.submit(specs).wait();
+
+    // Fresh runner: a warm batch must resolve fully on the submitting
+    // thread — zero simulations, all cache hits.
+    SweepRunner warm_runner(options);
+    SweepRunner::SubmitHandle handle = warm_runner.submit(specs);
+    const std::vector<RunResult> warm = handle.wait();
+    EXPECT_EQ(handle.progress().executed, 0u);
+    EXPECT_EQ(handle.progress().cache_hits, specs.size());
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(warm[i].sim.avg_bsld, cold[i].sim.avg_bsld);
+      EXPECT_EQ(warm[i].sim.events_processed, cold[i].sim.events_processed);
+    }
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(SubmitTest, ShardedSubmitSkipsForeignSlotsSilently) {
+  std::vector<RunSpec> specs(4, small_grid()[0]);  // one distinct spec.
+  const unsigned owner = shard_of(specs[0], 2);
+  SweepRunner::Options options;
+  options.threads = 1;
+  options.shard_index = 1 - owner;
+  options.shard_count = 2;
+  SweepRunner runner(options);
+
+  std::mutex mutex;
+  std::size_t delivered = 0;
+  SweepRunner::SubmitHandle handle =
+      runner.submit(specs, [&](std::size_t, const RunResult&) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        delivered += 1;
+      });
+  const std::vector<RunResult> results = handle.wait();
+  EXPECT_EQ(delivered, 0u);  // foreign slots never reach the callback.
+  EXPECT_EQ(handle.progress().shard_skipped, specs.size());
+  EXPECT_EQ(handle.progress().executed, 0u);
+  for (const RunResult& result : results) {
+    EXPECT_EQ(result.sim.job_count, 0);
+  }
+}
+
+TEST(SubmitTest, ThrowingCallbackSurfacesAtWaitNotTerminate) {
+  // A sink/callback failure on a pool worker must not std::terminate the
+  // process (the daemon's no-crash guarantee); it resurfaces at wait().
+  SweepRunner runner(SweepRunner::Options{.threads = 2});
+  SweepRunner::SubmitHandle handle =
+      runner.submit(small_grid(), [](std::size_t index, const RunResult&) {
+        if (index == 1) throw Error("sink exploded");
+      });
+  EXPECT_THROW((void)handle.wait(), Error);
+  // The pool survives and serves the next batch.
+  EXPECT_EQ(runner.submit({small_grid()[0]}).wait().size(), 1u);
+}
+
+TEST(SubmitTest, SubmitAfterShutdownFailsAtWait) {
+  // submit() must not throw mid-batch (queued slots would outlive the
+  // caller's callback captures); a post-shutdown batch resolves as an
+  // error surfaced by wait().
+  SweepRunner runner(SweepRunner::Options{.threads = 1});
+  (void)runner.submit({small_grid()[0]}).wait();
+  runner.shutdown();
+  SweepRunner::SubmitHandle handle = runner.submit({small_grid()[0]});
+  EXPECT_THROW((void)handle.wait(), Error);
 }
 
 TEST(FiguresTest, PaperGridsHaveExpectedShapes) {

@@ -75,6 +75,41 @@ TEST(CliTest, NumericParseErrors) {
   EXPECT_THROW((void)cli.get_double("jobs"), Error);
 }
 
+TEST(CliTest, TrailingGarbageRejected) {
+  // std::stod-era behaviour silently accepted "12x" as 12 — a typo'd
+  // threshold then ran a wrong experiment. Full-token parsing rejects it,
+  // naming the flag.
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=12x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW((void)cli.get_int("jobs"), Error);
+  try {
+    (void)cli.get_double("jobs");
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("--jobs"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("12x"), std::string::npos);
+  }
+}
+
+TEST(CliTest, NonFiniteDoubleRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=nan"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW((void)cli.get_double("jobs"), Error);
+  const char* argv_inf[] = {"prog", "--jobs=inf"};
+  Cli cli_inf = make_cli();
+  ASSERT_TRUE(cli_inf.parse(2, argv_inf));
+  EXPECT_THROW((void)cli_inf.get_double("jobs"), Error);
+}
+
+TEST(CliTest, OutOfRangeIntRejectedNotFatal) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=99999999999999999999999"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW((void)cli.get_int("jobs"), Error);  // not std::out_of_range.
+}
+
 TEST(CliTest, DuplicateFlagRegistrationRejected) {
   Cli cli("p", "s");
   cli.add_flag("x", "1", "first");

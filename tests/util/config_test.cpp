@@ -52,6 +52,31 @@ TEST(ConfigTest, TypeErrorsThrow) {
   EXPECT_THROW((void)config.get_bool("x", false), Error);
 }
 
+TEST(ConfigTest, NumericDiagnosticsNameTheKey) {
+  // Every malformed numeric value must surface as a bsld::Error that
+  // names the offending key — never an uncaught std::invalid_argument
+  // aborting the process.
+  const Config config = Config::parse(
+      "threshold = 2x5\nbig = 99999999999999999999999\nbad_nan = nan\n"
+      "list = 1.5, oops, 3\n");
+  try {
+    (void)config.get_double("threshold", 0.0);
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("threshold"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("2x5"), std::string::npos);
+  }
+  EXPECT_THROW((void)config.get_int("big", 0), Error);
+  EXPECT_THROW((void)config.get_double("bad_nan", 0.0), Error);
+  try {
+    (void)config.get_double_list("list", {});
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("list"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("oops"), std::string::npos);
+  }
+}
+
 TEST(ConfigTest, MalformedLineRejected) {
   EXPECT_THROW((void)Config::parse("just words\n"), Error);
   EXPECT_THROW((void)Config::parse("= value\n"), Error);

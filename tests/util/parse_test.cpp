@@ -1,0 +1,83 @@
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bsld::util {
+namespace {
+
+TEST(ParseTest, DoubleAcceptsPlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.125").value(), -0.125);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("3").value(), 3.0);
+  EXPECT_DOUBLE_EQ(parse_double("+4.5").value(), 4.5);
+  EXPECT_DOUBLE_EQ(parse_double("  1.5  ").value(), 1.5);
+}
+
+TEST(ParseTest, DoubleRejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_double("1.5abc").has_value());
+  EXPECT_FALSE(parse_double("1.5 2.5").has_value());
+  EXPECT_FALSE(parse_double("2x5").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("   ").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(ParseTest, DoubledSignsRejected) {
+  // "+-5" must not sneak through as -5 via the '+' convenience strip.
+  EXPECT_FALSE(parse_double("+-5").has_value());
+  EXPECT_FALSE(parse_double("++5").has_value());
+  EXPECT_FALSE(parse_double("--5").has_value());
+  EXPECT_FALSE(parse_int("+-5").has_value());
+  EXPECT_FALSE(parse_int("++5").has_value());
+  EXPECT_FALSE(parse_uint("+-5").has_value());
+}
+
+TEST(ParseTest, DoubleRejectsNonFinite) {
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("NaN").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("-infinity").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());  // overflows to inf.
+}
+
+TEST(ParseTest, IntAcceptsAndRejects) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int("+9").value(), 9);
+  EXPECT_EQ(parse_int(" 10 ").value(), 10);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  // Out of range must fail, not wrap or throw std::out_of_range.
+  EXPECT_FALSE(parse_int("99999999999999999999999").has_value());
+}
+
+TEST(ParseTest, UintSpansFullRange) {
+  EXPECT_EQ(parse_uint("18446744073709551615").value(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_uint("-1").has_value());
+  EXPECT_FALSE(parse_uint("18446744073709551616").has_value());
+}
+
+TEST(ParseTest, RequireFormsNameTheOrigin) {
+  EXPECT_DOUBLE_EQ(require_double("2", "flag --bsld"), 2.0);
+  try {
+    (void)require_double("2x", "flag --bsld");
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("flag --bsld"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("`2x`"), std::string::npos);
+  }
+  EXPECT_THROW((void)require_int("a", "key `jobs`"), Error);
+  EXPECT_THROW((void)require_uint("-3", "key `seed`"), Error);
+}
+
+}  // namespace
+}  // namespace bsld::util

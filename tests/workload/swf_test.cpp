@@ -65,8 +65,59 @@ TEST(SwfTest, SkipsUnusableLines) {
   EXPECT_EQ(trace.skipped_lines, 2u);
 }
 
-TEST(SwfTest, StructurallyBrokenLineThrows) {
-  EXPECT_THROW((void)parse_swf_text("1 2 3\n"), Error);
+TEST(SwfTest, StructurallyBrokenLineSkippedAndCounted) {
+  // One mangled record in a multi-million-job archive must not abort an
+  // hours-long sweep: the default mode skips it with a count.
+  const SwfTrace trace = parse_swf_text("1 2 3\n" + std::string(kLine));
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.skipped_lines, 1u);
+}
+
+TEST(SwfTest, TimeFieldBeyondInt64RangeSkippedNotUndefined) {
+  // A fractional-form time like 1e19 parses as a finite double but does
+  // not fit int64; truncating it would be UB. It must read as a malformed
+  // field (skipped/counted), not an arbitrary value.
+  const SwfTrace trace = parse_swf_text(
+      "1 1e19 -1 100 4 -1 -1 4 200 -1 1 0 -1 -1 -1 -1 -1 -1\n" +
+      std::string(kLine));
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.skipped_lines, 1u);
+}
+
+TEST(SwfTest, UnparsableMandatoryFieldSkippedAndCounted) {
+  const SwfTrace trace = parse_swf_text(
+      "1 banana -1 100 4 -1 -1 4 200 -1 1 0 -1 -1 -1 -1 -1 -1\n" +
+      std::string(kLine));
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.skipped_lines, 1u);
+}
+
+TEST(SwfTest, StrictModeNamesTheLine) {
+  const SwfOptions strict{.strict = true};
+  try {
+    (void)parse_swf_text(std::string(kLine) + "1 2 3\n", strict);
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+  try {
+    (void)parse_swf_text(
+        "1 banana -1 100 4 -1 -1 4 200 -1 1 0 -1 -1 -1 -1 -1 -1\n", strict);
+    FAIL() << "expected bsld::Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(SwfTest, StrictModeStillSkipsUnusableValues) {
+  // id/size <= 0 is the archives' own cancelled-job convention, not a
+  // malformed file: strict mode keeps skipping those.
+  const SwfTrace trace = parse_swf_text(
+      "0 0 -1 100 4 -1 -1 4 200 -1 1 0 -1 -1 -1 -1 -1 -1\n" +
+          std::string(kLine),
+      SwfOptions{.strict = true});
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.skipped_lines, 1u);
 }
 
 TEST(SwfTest, SortsBySubmitThenId) {
