@@ -1,6 +1,5 @@
 #include "core/policy_registry.hpp"
 
-#include <mutex>
 #include <sstream>
 
 #include "core/conservative.hpp"
@@ -70,6 +69,7 @@ std::string PolicySpec::resolved_assigner() const {
 
 PolicyRegistry& PolicyRegistry::global() {
   static PolicyRegistry* registry = [] {
+    // bsld-lint: allow(new-delete): leaked singleton, outlives static dtors
     auto* r = new PolicyRegistry();
     register_builtins(*r);
     return r;
@@ -79,7 +79,7 @@ PolicyRegistry& PolicyRegistry::global() {
 
 void PolicyRegistry::add_policy(const std::string& name,
                                 PolicyFactory factory) {
-  const std::unique_lock lock(mutex_);
+  const util::WriterLock lock(mutex_);
   BSLD_REQUIRE(!policies_.contains(name),
                "PolicyRegistry: policy `" + name + "` already registered");
   policies_.emplace(name, std::move(factory));
@@ -87,24 +87,24 @@ void PolicyRegistry::add_policy(const std::string& name,
 
 void PolicyRegistry::add_assigner(const std::string& name,
                                   AssignerFactory factory) {
-  const std::unique_lock lock(mutex_);
+  const util::WriterLock lock(mutex_);
   BSLD_REQUIRE(!assigners_.contains(name),
                "PolicyRegistry: assigner `" + name + "` already registered");
   assigners_.emplace(name, std::move(factory));
 }
 
 bool PolicyRegistry::has_policy(const std::string& name) const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   return policies_.contains(name);
 }
 
 bool PolicyRegistry::has_assigner(const std::string& name) const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   return assigners_.contains(name);
 }
 
 std::vector<std::string> PolicyRegistry::policy_names() const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(policies_.size());
   for (const auto& [name, _] : policies_) names.push_back(name);
@@ -112,7 +112,7 @@ std::vector<std::string> PolicyRegistry::policy_names() const {
 }
 
 std::vector<std::string> PolicyRegistry::assigner_names() const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(assigners_.size());
   for (const auto& [name, _] : assigners_) names.push_back(name);
@@ -124,7 +124,7 @@ std::unique_ptr<SchedulingPolicy> PolicyRegistry::make(
   const std::string name = spec.resolved_name();
   PolicyFactory factory;
   {
-    const std::shared_lock lock(mutex_);
+    const util::ReaderLock lock(mutex_);
     const auto it = policies_.find(name);
     if (it != policies_.end()) factory = it->second;
   }
@@ -140,7 +140,7 @@ std::unique_ptr<FrequencyAssigner> PolicyRegistry::make_assigner(
   const std::string name = spec.resolved_assigner();
   AssignerFactory factory;
   {
-    const std::shared_lock lock(mutex_);
+    const util::ReaderLock lock(mutex_);
     const auto it = assigners_.find(name);
     if (it != assigners_.end()) factory = it->second;
   }

@@ -19,13 +19,13 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "core/dynamic_raise.hpp"
 #include "core/frequency.hpp"
 #include "util/config.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::core {
 
@@ -87,9 +87,9 @@ class PolicyRegistry {
       const PolicySpec& spec) const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, PolicyFactory> policies_;
-  std::map<std::string, AssignerFactory> assigners_;
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, PolicyFactory> policies_ BSLD_GUARDED_BY(mutex_);
+  std::map<std::string, AssignerFactory> assigners_ BSLD_GUARDED_BY(mutex_);
 };
 
 /// Reads a PolicySpec from `policy.*` config keys (see policy_to_config).

@@ -110,10 +110,12 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
   struct Platform {
     power::PowerModel power;
     power::BetaTimeModel time;
+    Platform(power::PowerModel p, power::BetaTimeModel t)
+        : power(std::move(p)), time(std::move(t)) {}
   };
-  const auto platform = std::shared_ptr<Platform>(
-      new Platform{power::PowerModel(spec.gears, spec.power),
-                   power::BetaTimeModel(spec.gears, spec.beta)});
+  const auto platform = std::make_shared<Platform>(
+      power::PowerModel(spec.gears, spec.power),
+      power::BetaTimeModel(spec.gears, spec.beta));
   const auto policy = core::PolicyRegistry::global().make(spec.policy);
 
   sim::SimulationConfig config;
@@ -128,9 +130,12 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
   instruments.reserve(spec.instruments.size());
   for (const std::string& name : spec.instruments) {
     auto built = sim::InstrumentRegistry::global().make(name, context);
+    // The deleter captures `platform`, extending the models' lifetime to
+    // the last surviving instrument.
     instruments.emplace_back(built.release(),
                              [platform](sim::Instrument* instrument) {
-                               delete instrument;
+                               std::default_delete<sim::Instrument>()(
+                                   instrument);
                              });
     simulation.add_observer(*instruments.back());
   }

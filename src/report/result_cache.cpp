@@ -388,7 +388,7 @@ std::optional<RunResult> ResultCache::lookup(const RunSpec& spec) {
   const std::filesystem::path path = entry_path(spec);
   const std::optional<std::string> bytes = util::read_file_bytes(path);
   if (!bytes) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::ScopedLock lock(mutex_);
     counters_.misses += 1;
     return std::nullopt;
   }
@@ -396,14 +396,14 @@ std::optional<RunResult> ResultCache::lookup(const RunSpec& spec) {
   bool key_mismatch = false;
   if (!parse_entry(*bytes, spec.key(), result, key_mismatch)) {
     if (!key_mismatch) drop_entry(path);  // unreadable: recompute, rewrite.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::ScopedLock lock(mutex_);
     counters_.misses += 1;
     if (!key_mismatch) counters_.corrupt += 1;
     return std::nullopt;
   }
   result.spec = spec;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::ScopedLock lock(mutex_);
     counters_.hits += 1;
   }
   return result;
@@ -418,12 +418,12 @@ void ResultCache::store(const RunResult& result) {
     const util::FileLock lock(lock_path);
     util::atomic_write_file(path, bytes);
   }
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::ScopedLock guard(mutex_);
   counters_.stores += 1;
 }
 
 ResultCache::Counters ResultCache::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::ScopedLock lock(mutex_);
   return counters_;
 }
 

@@ -40,11 +40,11 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "report/experiment.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::report {
 
@@ -115,15 +115,16 @@ class ResultCache {
   /// unreadable (truncated, tampered, wrong epoch, hash collision — all
   /// count as misses; unreadable entries are dropped). Never throws for
   /// bad entries. The returned RunResult carries `spec` itself.
-  [[nodiscard]] std::optional<RunResult> lookup(const RunSpec& spec);
+  [[nodiscard]] std::optional<RunResult> lookup(const RunSpec& spec)
+      BSLD_EXCLUDES(mutex_);
 
   /// Persists `result` under its spec's key (atomic replace; same-entry
   /// writers serialize on a lock file). Throws bsld::Error when the store
   /// cannot be written (e.g. disk full) — write failures are loud, read
   /// failures are not.
-  void store(const RunResult& result);
+  void store(const RunResult& result) BSLD_EXCLUDES(mutex_);
 
-  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] Counters counters() const BSLD_EXCLUDES(mutex_);
 
   /// Scans the store. Purely informational; safe concurrently with use.
   [[nodiscard]] DiskStats disk_stats() const;
@@ -150,9 +151,9 @@ class ResultCache {
   /// Shared walk behind clear() / evict_stale_epochs().
   std::size_t remove_epochs(bool include_current);
 
-  std::filesystem::path root_;
-  mutable std::mutex mutex_;  ///< counters_.
-  Counters counters_;
+  std::filesystem::path root_;  ///< Immutable after construction.
+  mutable util::Mutex mutex_;
+  Counters counters_ BSLD_GUARDED_BY(mutex_);
 };
 
 }  // namespace bsld::report

@@ -51,20 +51,34 @@ void dedup_specs(const std::vector<RunSpec>& specs, bool dedup,
 // ---------------------------------------------------------------------------
 
 struct SweepRunner::SubmitHandle::Batch {
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::vector<RunResult> results;  ///< input order; specs pre-filled.
-  Progress progress;
-  std::size_t unresolved = 0;  ///< slots still awaiting a result/error.
-  std::exception_ptr error;
-  ResultCallback on_result;
+  util::Mutex mutex;
+  util::CondVar done_cv;  ///< Signals unresolved reaching zero.
+  std::vector<RunResult> results
+      BSLD_GUARDED_BY(mutex);  ///< input order; specs pre-filled.
+  Progress progress BSLD_GUARDED_BY(mutex);
+  /// Slots still awaiting a result/error.
+  std::size_t unresolved BSLD_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error BSLD_GUARDED_BY(mutex);
+  /// Invoked only under `mutex` (delivery is serialized per batch).
+  ResultCallback on_result BSLD_GUARDED_BY(mutex);
+
+  /// Pre-fills one result slot per spec. Constructors run before the
+  /// batch is shared, so the guarded members are safely written bare.
+  Batch(const std::vector<RunSpec>& specs, ResultCallback callback)
+      : results(specs.size()), unresolved(specs.size()),
+        on_result(std::move(callback)) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i].spec = specs[i];
+    }
+    progress.total = specs.size();
+  }
 
   /// How the slots of one distinct spec got their result.
   enum class Served { kExecuted, kCacheHit, kAttached, kShardSkipped };
 
   void deliver(const std::vector<std::size_t>& slots, const RunResult& result,
-               Served served) {
-    const std::lock_guard<std::mutex> lock(mutex);
+               Served served) BSLD_EXCLUDES(mutex) {
+    const util::ScopedLock lock(mutex);
     for (const std::size_t slot : slots) {
       RunSpec spec = std::move(results[slot].spec);
       results[slot] = result;
@@ -106,8 +120,8 @@ struct SweepRunner::SubmitHandle::Batch {
   }
 
   void deliver_error(const std::vector<std::size_t>& slots,
-                     std::exception_ptr eptr) {
-    const std::lock_guard<std::mutex> lock(mutex);
+                     std::exception_ptr eptr) BSLD_EXCLUDES(mutex) {
+    const util::ScopedLock lock(mutex);
     if (!error) error = std::move(eptr);
     unresolved -= slots.size();
     if (unresolved == 0) done_cv.notify_all();
@@ -116,15 +130,15 @@ struct SweepRunner::SubmitHandle::Batch {
 
 std::vector<RunResult> SweepRunner::SubmitHandle::wait() {
   BSLD_REQUIRE(batch_ != nullptr, "SubmitHandle: empty handle");
-  std::unique_lock<std::mutex> lock(batch_->mutex);
-  batch_->done_cv.wait(lock, [&] { return batch_->unresolved == 0; });
+  const util::ScopedLock lock(batch_->mutex);
+  while (batch_->unresolved != 0) batch_->done_cv.wait(batch_->mutex);
   if (batch_->error) std::rethrow_exception(batch_->error);
   return std::move(batch_->results);
 }
 
 SweepRunner::Progress SweepRunner::SubmitHandle::progress() const {
   BSLD_REQUIRE(batch_ != nullptr, "SubmitHandle: empty handle");
-  const std::lock_guard<std::mutex> lock(batch_->mutex);
+  const util::ScopedLock lock(batch_->mutex);
   return batch_->progress;
 }
 
@@ -139,7 +153,10 @@ struct SweepRunner::PendingRun {
     std::vector<std::size_t> slots;
     bool owner = false;  ///< The batch that enqueued the simulation.
   };
-  std::vector<Subscriber> subscribers;  ///< guarded by the pool mutex.
+  /// Guarded by the owning runner's pool_mutex_ (a nested struct cannot
+  /// name the outer instance's member in BSLD_GUARDED_BY; every access
+  /// below is inside a ScopedLock(pool_mutex_) block).
+  std::vector<Subscriber> subscribers;
 };
 
 SweepRunner::SweepRunner(Options options) : options_(options) {}
@@ -153,7 +170,7 @@ void SweepRunner::on_progress(ProgressCallback callback) {
 }
 
 SweepRunner::Progress SweepRunner::progress() const {
-  const std::lock_guard<std::mutex> lock(progress_mutex_);
+  const util::ScopedLock lock(progress_mutex_);
   return progress_;
 }
 
@@ -177,8 +194,8 @@ void SweepRunner::worker_loop() {
   while (true) {
     std::shared_ptr<PendingRun> task;
     {
-      std::unique_lock<std::mutex> lock(pool_mutex_);
-      pool_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      const util::ScopedLock lock(pool_mutex_);
+      while (!stopping_ && queue_.empty()) pool_cv_.wait(pool_mutex_);
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -209,7 +226,7 @@ void SweepRunner::worker_loop() {
     {
       // Unpublish before fan-out: submitters from here on either hit the
       // cache (stored above) or enqueue a fresh task.
-      const std::lock_guard<std::mutex> lock(pool_mutex_);
+      const util::ScopedLock lock(pool_mutex_);
       inflight_.erase(task->spec.key());
       subscribers = std::move(task->subscribers);
     }
@@ -235,14 +252,8 @@ SweepRunner::SubmitHandle SweepRunner::submit(
   BSLD_REQUIRE(options_.shard_index < options_.shard_count,
                "SweepRunner: shard_index must be < shard_count");
 
-  auto batch = std::make_shared<SubmitHandle::Batch>();
-  batch->results.resize(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    batch->results[i].spec = specs[i];
-  }
-  batch->progress.total = specs.size();
-  batch->unresolved = specs.size();
-  batch->on_result = std::move(on_result);
+  auto batch =
+      std::make_shared<SubmitHandle::Batch>(specs, std::move(on_result));
 
   SubmitHandle handle;
   handle.batch_ = batch;
@@ -275,7 +286,7 @@ SweepRunner::SubmitHandle SweepRunner::submit(
         }
       }
       {
-        const std::lock_guard<std::mutex> lock(pool_mutex_);
+        const util::ScopedLock lock(pool_mutex_);
         BSLD_REQUIRE(!stopping_, "SweepRunner: submit() after shutdown()");
         start_pool_locked();
         if (options_.dedup) {
@@ -303,7 +314,7 @@ SweepRunner::SubmitHandle SweepRunner::submit(
 void SweepRunner::shutdown() {
   std::vector<std::jthread> workers;
   {
-    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    const util::ScopedLock lock(pool_mutex_);
     stopping_ = true;
     workers = std::move(workers_);
     workers_.clear();
@@ -330,7 +341,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
   for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
   if (specs.empty()) {
     {
-      const std::lock_guard<std::mutex> lock(progress_mutex_);
+      const util::ScopedLock lock(progress_mutex_);
       progress_ = progress;
     }
     for (ResultSink* sink : sinks_) sink->on_done(0);
@@ -356,7 +367,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
   }
   if (owned.empty()) {
     {
-      const std::lock_guard<std::mutex> lock(progress_mutex_);
+      const util::ScopedLock lock(progress_mutex_);
       progress_ = progress;
     }
     for (ResultSink* sink : sinks_) sink->on_done(specs.size());
@@ -372,7 +383,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex mutex;  // results fan-out, progress, sinks, first_error.
+  util::Mutex mutex;  // results fan-out, progress, sinks, first_error.
 
   {
     std::vector<std::jthread> pool;
@@ -399,11 +410,11 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
               if (options_.cache) options_.cache->store(result);
             }
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(mutex);
+            const util::ScopedLock lock(mutex);
             if (!first_error) first_error = std::current_exception();
             return;
           }
-          const std::lock_guard<std::mutex> lock(mutex);
+          const util::ScopedLock lock(mutex);
           for (const std::size_t slot : fanout[u]) {
             results[slot] = result;
           }
@@ -431,7 +442,7 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
   }  // join
 
   {
-    const std::lock_guard<std::mutex> lock(progress_mutex_);
+    const util::ScopedLock lock(progress_mutex_);
     progress_ = progress;
   }
   if (first_error) std::rethrow_exception(first_error);

@@ -25,17 +25,16 @@
 /// coalesced across batches. run() stays the one-shot batch API.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "report/experiment.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::report {
 
@@ -130,15 +129,17 @@ class SweepRunner {
   /// to call concurrently from several threads (each call keeps its own
   /// state; registered sinks would observe interleaved runs, so callers
   /// sharing a runner across threads should prefer submit()).
-  std::vector<RunResult> run(const std::vector<RunSpec>& specs);
+  std::vector<RunResult> run(const std::vector<RunSpec>& specs)
+      BSLD_EXCLUDES(progress_mutex_);
 
   /// Counters of the most recently finished run(). Batches submitted via
   /// submit() report through their own SubmitHandle::progress().
-  [[nodiscard]] Progress progress() const;
+  [[nodiscard]] Progress progress() const BSLD_EXCLUDES(progress_mutex_);
 
   /// One batch accepted by submit(): incremental result delivery plus a
-  /// barrier for the submitter.
-  class SubmitHandle {
+  /// barrier for the submitter. Discarding the handle discards the only
+  /// way to observe the batch's errors, so it is [[nodiscard]].
+  class [[nodiscard]] SubmitHandle {
    public:
     /// Blocks until every slot of the batch has a result, then returns
     /// them in input order (single use — results are moved out). Rethrows
@@ -170,34 +171,38 @@ class SweepRunner {
   /// (before anything is enqueued); any later failure — including
   /// submitting after shutdown() — resolves into the batch and rethrows
   /// from wait(), so `on_result`'s captures stay alive until then.
-  SubmitHandle submit(const std::vector<RunSpec>& specs,
-                      ResultCallback on_result = {});
+  [[nodiscard]] SubmitHandle submit(const std::vector<RunSpec>& specs,
+                                    ResultCallback on_result = {})
+      BSLD_EXCLUDES(pool_mutex_);
 
   /// Stops accepting new batches, finishes everything already queued and
   /// joins the pool. Idempotent; also run by the destructor.
-  void shutdown();
+  void shutdown() BSLD_EXCLUDES(pool_mutex_);
 
  private:
   /// One distinct spec queued for execution; several (batch, slots)
   /// subscribers may be attached while it is in flight.
   struct PendingRun;
 
-  void start_pool_locked();
-  void worker_loop();
+  void start_pool_locked() BSLD_REQUIRES(pool_mutex_);
+  void worker_loop() BSLD_EXCLUDES(pool_mutex_);
 
-  Options options_;
+  Options options_;  ///< Immutable after construction.
+  /// sinks_ and callback_ must be registered before the first run();
+  /// worker threads read them unguarded afterwards.
   std::vector<ResultSink*> sinks_;
   ProgressCallback callback_;
 
-  mutable std::mutex progress_mutex_;  ///< progress_.
-  Progress progress_;
+  mutable util::Mutex progress_mutex_;
+  Progress progress_ BSLD_GUARDED_BY(progress_mutex_);
 
-  std::mutex pool_mutex_;  ///< queue_, inflight_, workers_, stopping_.
-  std::condition_variable pool_cv_;
-  std::deque<std::shared_ptr<PendingRun>> queue_;
-  std::unordered_map<std::string, std::shared_ptr<PendingRun>> inflight_;
-  std::vector<std::jthread> workers_;
-  bool stopping_ = false;
+  util::Mutex pool_mutex_;
+  util::CondVar pool_cv_;  ///< Signals queue_ growth and stopping_.
+  std::deque<std::shared_ptr<PendingRun>> queue_ BSLD_GUARDED_BY(pool_mutex_);
+  std::unordered_map<std::string, std::shared_ptr<PendingRun>> inflight_
+      BSLD_GUARDED_BY(pool_mutex_);
+  std::vector<std::jthread> workers_ BSLD_GUARDED_BY(pool_mutex_);
+  bool stopping_ BSLD_GUARDED_BY(pool_mutex_) = false;
 };
 
 /// Compatibility wrapper: runs all specs, `threads` at a time (0 = hardware

@@ -38,7 +38,7 @@ Server::~Server() {
 }
 
 void Server::wake_connections() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const util::ScopedLock lock(state_mutex_);
   for (const int fd : active_fds_) ::shutdown(fd, SHUT_RD);
 }
 
@@ -56,7 +56,7 @@ int Server::serve() {
       // drain loop below must see every accepted fd, or a handler spawned
       // in the same instant as stop() would miss the SHUT_RD wakeup and
       // block its join forever.
-      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const util::ScopedLock lock(state_mutex_);
       active_fds_.push_back(*client);
     }
     connections_.emplace_back(
@@ -82,7 +82,7 @@ void Server::reap_finished() {
   // instant, and a long-lived daemon stops accumulating dead threads.
   std::vector<std::thread::id> done;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const util::ScopedLock lock(state_mutex_);
     done.swap(done_);
   }
   for (const std::thread::id id : done) {
@@ -101,7 +101,7 @@ void Server::handle_connection(int fd) {
   {
     // Unregister strictly before the stream's destructor closes the fd,
     // so the drain never shutdown()s a recycled descriptor.
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const util::ScopedLock lock(state_mutex_);
     std::erase(active_fds_, fd);
     done_.push_back(std::this_thread::get_id());
   }

@@ -18,13 +18,13 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/sweep_service.hpp"
 #include "util/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::server {
 
@@ -62,17 +62,19 @@ class Server {
   }
 
  private:
-  void handle_connection(int fd);
+  void handle_connection(int fd) BSLD_EXCLUDES(state_mutex_);
   void serve_connection(util::SocketStream& stream);
-  void reap_finished();
-  void wake_connections();
+  void reap_finished() BSLD_EXCLUDES(state_mutex_);
+  void wake_connections() BSLD_EXCLUDES(state_mutex_);
 
   SweepService service_;
   util::UnixListener listener_;
   std::atomic<bool> stopping_{false};
-  std::mutex state_mutex_;  ///< done_, active_fds_.
-  std::vector<std::thread::id> done_;  ///< handlers ready to reap.
-  std::vector<int> active_fds_;  ///< open connections, for drain wakeup.
+  util::Mutex state_mutex_;
+  /// Handlers ready to reap.
+  std::vector<std::thread::id> done_ BSLD_GUARDED_BY(state_mutex_);
+  /// Open connections, for drain wakeup.
+  std::vector<int> active_fds_ BSLD_GUARDED_BY(state_mutex_);
   // Declared last: its jthread destructors join every handler while the
   // members above (and service_) are still alive — even if serve() exits
   // by exception.

@@ -1,6 +1,5 @@
 #include "server/sweep_service.hpp"
 
-#include <mutex>
 #include <optional>
 #include <sstream>
 
@@ -8,6 +7,7 @@
 #include "report/result_cache.hpp"
 #include "report/sinks.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::server {
 
@@ -49,10 +49,10 @@ SweepService::RunReply SweepService::run(const Request& request) {
 
   // Results land from worker threads and from the submitting thread
   // (cache hits); the reordering sink is not thread-safe by itself.
-  std::mutex sink_mutex;
+  util::Mutex sink_mutex;
   report::SweepRunner::SubmitHandle handle = runner_.submit(
       specs, [&](std::size_t index, const report::RunResult& result) {
-        const std::lock_guard<std::mutex> lock(sink_mutex);
+        const util::ScopedLock lock(sink_mutex);
         ordered.on_result(index, result);
       });
   (void)handle.wait();  // rethrows the first failed run.

@@ -1,7 +1,5 @@
 #include "sim/instrument_registry.hpp"
 
-#include <mutex>
-
 #include "util/error.hpp"
 
 namespace bsld::sim {
@@ -39,6 +37,7 @@ void register_builtins(InstrumentRegistry& registry) {
 
 InstrumentRegistry& InstrumentRegistry::global() {
   static InstrumentRegistry* registry = [] {
+    // bsld-lint: allow(new-delete): leaked singleton, outlives static dtors
     auto* r = new InstrumentRegistry();
     register_builtins(*r);
     return r;
@@ -49,7 +48,7 @@ InstrumentRegistry& InstrumentRegistry::global() {
 void InstrumentRegistry::add(const std::string& name, Factory factory) {
   BSLD_REQUIRE(!name.empty(), "InstrumentRegistry: empty instrument name");
   BSLD_REQUIRE(factory != nullptr, "InstrumentRegistry: null factory");
-  const std::unique_lock lock(mutex_);
+  const util::WriterLock lock(mutex_);
   const auto [it, inserted] = factories_.emplace(name, std::move(factory));
   (void)it;
   BSLD_REQUIRE(inserted,
@@ -58,7 +57,7 @@ void InstrumentRegistry::add(const std::string& name, Factory factory) {
 }
 
 bool InstrumentRegistry::has(const std::string& name) const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   return factories_.contains(name);
 }
 
@@ -69,7 +68,7 @@ void InstrumentRegistry::require(const std::string& name) const {
 }
 
 std::vector<std::string> InstrumentRegistry::names() const {
-  const std::shared_lock lock(mutex_);
+  const util::ReaderLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, _] : factories_) out.push_back(name);
@@ -80,7 +79,7 @@ std::unique_ptr<Instrument> InstrumentRegistry::make(
     const std::string& name, const InstrumentContext& context) const {
   Factory factory;
   {
-    const std::shared_lock lock(mutex_);
+    const util::ReaderLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it != factories_.end()) factory = it->second;
   }

@@ -18,13 +18,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "power/power_model.hpp"
 #include "power/time_model.hpp"
 #include "sim/instruments.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bsld::sim {
 
@@ -65,8 +65,8 @@ class InstrumentRegistry {
       const std::string& name, const InstrumentContext& context) const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, Factory> factories_ BSLD_GUARDED_BY(mutex_);
 };
 
 }  // namespace bsld::sim

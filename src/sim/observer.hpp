@@ -20,6 +20,13 @@
 /// thread, in registration order (defaults first), so a run's observation
 /// sequence is deterministic: parallel sweeps over independent simulations
 /// observe bit-identical streams per run.
+///
+/// Thread compatibility: observers (and the Instruments built on them)
+/// are deliberately lock-free and unannotated — every observer instance
+/// belongs to exactly one simulation, and a simulation runs entirely on
+/// one sweep-worker thread. Mutable observer state is therefore
+/// thread-confined, never shared; sharing one instance across concurrent
+/// simulations is a contract violation, not a locking bug.
 #pragma once
 
 #include <cstddef>

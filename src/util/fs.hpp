@@ -37,7 +37,7 @@ void atomic_write_file(const std::filesystem::path& path,
 /// created on demand and intentionally never deleted (deleting it would
 /// race a concurrent locker). Throws bsld::Error when the lock file cannot
 /// be created.
-class FileLock {
+class [[nodiscard]] FileLock {
  public:
   explicit FileLock(const std::filesystem::path& path);
   ~FileLock();

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace bsld::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serializes whole log lines onto std::cerr (the guarded resource is the
+// process-global stream, so there is no member to BSLD_GUARDED_BY; the
+// capability-annotated Mutex still gets ScopedLock/EXCLUDES checking).
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +31,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const ScopedLock lock(g_mutex);
   std::cerr << "[bsld " << level_name(level) << "] " << message << '\n';
 }
 

@@ -36,8 +36,11 @@ namespace bsld::util {
 /// Throwing wrappers: `what` names the input's origin — "flag --bsld",
 /// "key `scale`", "request line 3" — and appears verbatim in the
 /// bsld::Error message together with the rejected text.
-double require_double(std::string_view text, const std::string& what);
-std::int64_t require_int(std::string_view text, const std::string& what);
-std::uint64_t require_uint(std::string_view text, const std::string& what);
+[[nodiscard]] double require_double(std::string_view text,
+                                    const std::string& what);
+[[nodiscard]] std::int64_t require_int(std::string_view text,
+                                       const std::string& what);
+[[nodiscard]] std::uint64_t require_uint(std::string_view text,
+                                         const std::string& what);
 
 }  // namespace bsld::util

@@ -9,6 +9,16 @@
 /// These wrappers keep all the fd plumbing (EINTR retries, SIGPIPE
 /// suppression via MSG_NOSIGNAL, bounded line reads against garbage
 /// input) out of the protocol code.
+///
+/// Thread compatibility: these classes hold no locks on purpose — they
+/// are externally synchronized, which is why nothing here carries
+/// thread_annotations.hpp attributes. Each SocketStream is owned by
+/// exactly one connection-handler thread for its whole life, and
+/// UnixListener::accept() is only ever called from the accept loop.
+/// The single cross-thread entry point is UnixListener::interrupt(),
+/// which is async-signal-safe (one shutdown(2) on an fd that is never
+/// closed concurrently) and may be called from any thread or from a
+/// signal handler.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,210 @@
+/// \file thread_annotations.hpp
+/// \brief Clang Thread Safety Analysis vocabulary for the whole tree:
+/// annotation macros plus CAPABILITY-annotated mutex wrappers.
+///
+/// The daemon made the codebase genuinely concurrent (accept loop,
+/// per-connection handlers, the persistent SweepRunner::submit() pool,
+/// FileLock-guarded cache maintenance). Locking contracts that live only
+/// in comments rot; these macros turn them into compiler-checked facts.
+/// Under clang, `-Wthread-safety` (CI job `thread-safety`) proves at
+/// compile time that every BSLD_GUARDED_BY member is only touched with
+/// its mutex held and that every BSLD_REQUIRES function is only entered
+/// under the declared lock. Under GCC the macros expand to nothing — the
+/// tier-1 build is unaffected.
+///
+/// Conventions (enforced across src/report, src/server, src/util):
+///  * shared mutable members are declared with BSLD_GUARDED_BY(mutex);
+///  * functions that must be entered with a lock held take the
+///    `_locked` name suffix and a BSLD_REQUIRES(mutex) annotation;
+///  * locks are util::Mutex / util::SharedMutex (never raw std::mutex in
+///    annotated classes — the std types carry no capability attributes
+///    under libstdc++, so the analysis cannot see them), held via
+///    ScopedLock / ReaderLock / WriterLock, and waited on via
+///    util::CondVar.
+///
+/// Macro spellings follow the official clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a BSLD_
+/// prefix.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define BSLD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BSLD_THREAD_ANNOTATION(x)  // not clang: annotations vanish.
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define BSLD_CAPABILITY(x) BSLD_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires in its constructor and releases in
+/// its destructor.
+#define BSLD_SCOPED_CAPABILITY BSLD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be accessed while `x` is held.
+#define BSLD_GUARDED_BY(x) BSLD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee may only be accessed while `x` is held.
+#define BSLD_PT_GUARDED_BY(x) BSLD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held
+/// exclusively (callers lock; the function does not).
+#define BSLD_REQUIRES(...) \
+  BSLD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared-access variant of BSLD_REQUIRES.
+#define BSLD_REQUIRES_SHARED(...) \
+  BSLD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on return.
+#define BSLD_ACQUIRE(...) \
+  BSLD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared-access variant of BSLD_ACQUIRE.
+#define BSLD_ACQUIRE_SHARED(...) \
+  BSLD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (which must be held).
+#define BSLD_RELEASE(...) \
+  BSLD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared-access variant of BSLD_RELEASE.
+#define BSLD_RELEASE_SHARED(...) \
+  BSLD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (it acquires them itself — documents non-reentrancy, catches
+/// self-deadlock at compile time).
+#define BSLD_EXCLUDES(...) BSLD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define BSLD_ASSERT_CAPABILITY(x) \
+  BSLD_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its result.
+#define BSLD_RETURN_CAPABILITY(x) BSLD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow. Every use must carry
+/// a comment explaining why (checked by scripts/lint_bsld.py).
+#define BSLD_NO_THREAD_SAFETY_ANALYSIS \
+  BSLD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bsld::util {
+
+class CondVar;
+
+/// std::mutex with the capability attribute the analysis needs. Drop-in
+/// for the annotated classes in this tree; lock with ScopedLock.
+class BSLD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BSLD_ACQUIRE() { mutex_.lock(); }
+  void unlock() BSLD_RELEASE() { mutex_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex with capability attributes: exclusive for writers
+/// (registration), shared for readers (lookup). Lock with WriterLock /
+/// ReaderLock.
+class BSLD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() BSLD_ACQUIRE() { mutex_.lock(); }
+  void unlock() BSLD_RELEASE() { mutex_.unlock(); }
+  void lock_shared() BSLD_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() BSLD_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock over util::Mutex — the annotated equivalent of
+/// std::lock_guard.
+class BSLD_SCOPED_CAPABILITY [[nodiscard]] ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& mutex) BSLD_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~ScopedLock() BSLD_RELEASE() { mutex_.unlock(); }
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII exclusive (writer) lock over util::SharedMutex.
+class BSLD_SCOPED_CAPABILITY [[nodiscard]] WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) BSLD_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterLock() BSLD_RELEASE() { mutex_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// RAII shared (reader) lock over util::SharedMutex.
+class BSLD_SCOPED_CAPABILITY [[nodiscard]] ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) BSLD_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() BSLD_RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. No predicate overload on
+/// purpose: the analysis cannot see into a predicate lambda, so callers
+/// spell the standard loop —
+///
+///   ScopedLock lock(mutex_);
+///   while (!condition) cv_.wait(mutex_);
+///
+/// — and every read in `condition` is checked against the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks until notified, reacquires.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mutex) BSLD_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's ScopedLock keeps ownership.
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bsld::util

@@ -1,0 +1,31 @@
+// Fixture: the new-delete rule.
+struct Widget {
+  int x = 0;
+};
+
+Widget* leak() {
+  return new Widget;  // lint-expect: new-delete
+}
+
+void destroy(Widget* w) {
+  delete w;  // lint-expect: new-delete
+}
+
+void destroy_array(Widget* w) {
+  delete[] w;  // lint-expect: new-delete
+}
+
+// Deleted special members and std::default_delete are not naked deletes:
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+// Identifiers containing the keywords are fine:
+int new_value(int delete_count) { return delete_count; }
+
+Widget* suppressed_singleton() {
+  // bsld-lint: allow(new-delete): fixture demonstrating a valid suppression
+  static Widget* w = new Widget;
+  return w;
+}

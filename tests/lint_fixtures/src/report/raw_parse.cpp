@@ -1,0 +1,35 @@
+// Fixture: the raw-parse rule and its suppression syntax.
+#include <cstdlib>
+#include <string>
+
+double bad_stod(const std::string& s) {
+  return std::stod(s);  // lint-expect: raw-parse
+}
+
+int bad_stoi(const std::string& s) {
+  return std::stoi(s);  // lint-expect: raw-parse
+}
+
+double bad_c_atof(const char* s) {
+  return atof(s);  // lint-expect: raw-parse
+}
+
+long bad_strtol(const char* s) {
+  return std::strtol(s, nullptr, 10);  // lint-expect: raw-parse
+}
+
+// A mention of std::stod in a comment, or "std::stod(x)" in a string
+// literal, is not a call:
+const char* kDoc = "never write std::stod(text) here";
+
+double suppressed(const std::string& s) {
+  return std::stod(s);  // bsld-lint: allow(raw-parse): fixture demonstrating a valid suppression
+}
+
+double malformed_suppression(const std::string& s) {
+  return std::stod(s);  // bsld-lint: allow(raw-parse) — no reason // lint-expect: raw-parse, bad-suppression
+}
+
+double unknown_rule(const std::string& s) {
+  return std::stod(s);  // bsld-lint: allow(no-such-rule): whatever // lint-expect: raw-parse, bad-suppression
+}

@@ -1,0 +1,11 @@
+// Fixture: the tsa-escape rule. Disabling the clang thread-safety
+// analysis needs a written reason; a lint marker does not count as one.
+#define BSLD_NO_THREAD_SAFETY_ANALYSIS
+
+void unjustified() BSLD_NO_THREAD_SAFETY_ANALYSIS {}  // lint-expect: tsa-escape
+
+// Reads counters after every worker joined; no lock can be or needs to
+// be held here, so the analysis is switched off for this one function.
+void justified_by_preceding_comment() BSLD_NO_THREAD_SAFETY_ANALYSIS {}
+
+void justified_inline() BSLD_NO_THREAD_SAFETY_ANALYSIS {}  // ctor-only path

@@ -1,0 +1,31 @@
+// Fixture: the determinism rule (path-scoped to src/sim and src/core).
+#include <chrono>
+#include <cstdlib>
+
+int jitter() {
+  return rand();  // lint-expect: determinism
+}
+
+void reseed() {
+  srand(42);  // lint-expect: determinism
+}
+
+long stamp() {
+  return std::chrono::system_clock::now()  // lint-expect: determinism
+      .time_since_epoch()
+      .count();
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // lint-expect: determinism
+  return rd();
+}
+
+// Identifiers merely containing the banned names are fine:
+double wait_time(double t) { return t; }
+long sim_clock_ticks(long t) { return t; }
+
+int suppressed_entropy() {
+  // bsld-lint: allow(determinism): fixture demonstrating a valid suppression
+  return rand();
+}

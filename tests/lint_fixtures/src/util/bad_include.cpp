@@ -1,0 +1,7 @@
+// Fixture: the include-hygiene rule — own header must come first, and
+// "../" relative includes are banned everywhere.
+#include <string>         // lint-expect: include-hygiene
+#include "../escape.hpp"  // lint-expect: include-hygiene
+#include "util/bad_include.hpp"
+
+void helper() {}

@@ -1,0 +1,4 @@
+// Fixture sibling header: bad_include.cpp must include this first.
+#pragma once
+
+void helper();

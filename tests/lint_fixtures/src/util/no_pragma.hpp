@@ -1,0 +1,3 @@
+// lint-expect: pragma-once
+// Fixture: a header without #pragma once (findings anchor to line 1).
+inline int forty_two() { return 42; }

@@ -1,0 +1,7 @@
+// Fixture: src/util/parse.cpp is the one sanctioned home of the raw
+// conversion primitives — nothing in this file may be reported.
+#include <cstdlib>
+
+double implementation_detail(const char* s) {
+  return strtod(s, nullptr);
+}

@@ -1,0 +1,39 @@
+// Fixture: the catch-all rule. A catch (...) must rethrow, capture
+// std::current_exception() for a deferred rethrow, or end the process.
+#include <exception>
+
+#include <unistd.h>
+
+void work();
+
+void swallows() {
+  try {
+    work();
+  } catch (...) {  // lint-expect: catch-all
+  }
+}
+
+void rethrows() {
+  try {
+    work();
+  } catch (...) {
+    throw;
+  }
+}
+
+std::exception_ptr captures() {
+  try {
+    work();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+void dies_loudly() {
+  try {
+    work();
+  } catch (...) {
+    ::_exit(2);
+  }
+}

@@ -1,0 +1,7 @@
+// Fixture: the determinism rule does NOT apply outside src/sim and
+// src/core — wall-clock reads in util (logging timestamps) are fine.
+#include <chrono>
+
+long log_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

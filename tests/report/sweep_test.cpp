@@ -15,6 +15,7 @@
 #include "report/sinks.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace bsld::report {
 namespace {
@@ -323,7 +324,7 @@ TEST(ShardTest, ShardedUnionMatchesSerialRows) {
   std::map<std::size_t, std::vector<std::string>> merged;
   for (const auto* shard : {&shard0, &shard1}) {
     for (std::size_t r = 1; r < shard->size(); ++r) {
-      const std::size_t index = std::stoul((*shard)[r][0]);
+      const std::size_t index = util::require_uint((*shard)[r][0], "index column");
       EXPECT_TRUE(merged.emplace(index, (*shard)[r]).second);
     }
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace bsld::util {
 namespace {
@@ -76,13 +77,14 @@ TEST_F(FsTest, FileLockSerializesCriticalSections) {
     threads.emplace_back([&] {
       for (int i = 0; i < kIncrements; ++i) {
         const FileLock lock(lock_path);
-        const int value = std::stoi(read_file_bytes(counter_path).value());
+        const std::int64_t value = require_int(
+            read_file_bytes(counter_path).value(), "counter file");
         atomic_write_file(counter_path, std::to_string(value + 1));
       }
     });
   }
   for (std::thread& thread : threads) thread.join();
-  EXPECT_EQ(std::stoi(read_file_bytes(counter_path).value()),
+  EXPECT_EQ(require_int(read_file_bytes(counter_path).value(), "counter file"),
             kThreads * kIncrements);
   EXPECT_TRUE(fs::exists(lock_path));  // lock files persist by design.
 }
