@@ -1,0 +1,750 @@
+#!/usr/bin/env python3
+"""Architecture lint for the bsld tree (CI job `lint`, ctest `tools.arch`).
+
+Where scripts/lint_bsld.py checks line-level conventions, this tool checks
+the *structure* of the tree: it parses the full `#include` graph of src/,
+tests/, bench/ and examples/, validates it against the layer DAG declared
+in scripts/layers.conf, and audits the API contracts of the outward-facing
+modules. The layer contract (util -> cluster/power/workload/core -> sim ->
+report -> server) is what keeps the simulation core a dependency island —
+a sim/ file that quietly includes report/ would make every planned rewrite
+of the hot path riskier, so the boundary is enforced by a tool, not a
+comment.
+
+Rules:
+
+  layer-violation   A src/ file includes a module that is not in its
+                    module's allowed-dependency list in layers.conf
+                    (upward includes, undeclared sideways edges).
+  skip-interface    An include that jumps more than one layer down must
+                    go through the target module's declared `interface`
+                    headers — its intended surface, not its internals.
+  include-cycle     Strongly connected components in the file-level
+                    include graph (the cycle path is printed). Cycles
+                    compile today via #pragma once but make headers
+                    order-dependent and unsplittable.
+  orphan-header     A header included by nobody (its own .cpp aside) is
+                    dead API surface: nothing can call it, and it silently
+                    rots. Delete it or include it from a consumer.
+  missing-nodiscard Public functions in report/, server/ and util/
+                    headers returning status-like values (bool,
+                    std::optional, *Status/*ErrorCode types) must be
+                    [[nodiscard]] — a dropped status is a swallowed error.
+  noexcept-throws   A bare `noexcept` on a function whose body contains
+                    throwing constructs (throw, BSLD_REQUIRE,
+                    util::require_*, .at()) turns the first error into
+                    std::terminate. Either the claim or the body is wrong.
+
+Suppression uses the same syntax as lint_bsld.py (shared machinery in
+scripts/bsld_lint_common.py), one finding at a time, reason mandatory:
+
+    void f() noexcept {  // bsld-lint: allow(noexcept-throws): <why>
+
+Malformed markers are reported as `bad-suppression` and suppress nothing.
+
+The module-collapsed include graph is also emitted as Graphviz
+(build/arch_graph.dot by default; `dot -Tsvg` renders it) and uploaded as
+a CI artifact, so "what depends on what" has a current, generated answer.
+
+Usage:
+    scripts/arch_check.py              check the tree; exit 1 on findings
+    scripts/arch_check.py --self-test  run over tests/lint_fixtures/arch
+                                       and compare against arch-expect
+                                       markers
+    scripts/arch_check.py --list-rules describe every rule
+    scripts/arch_check.py --dot PATH   where to write the module graph
+                                       (default build/arch_graph.dot;
+                                       --no-dot disables)
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from bsld_lint_common import (
+    ARCH_RULES,
+    FIXTURES,
+    SCAN_DIRS,
+    SUFFIXES,
+    Finding,
+    collect_expected,
+    strip_comments_and_strings,
+    suppressions_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARCH_FIXTURES = f"{FIXTURES}/arch"
+
+# Modules whose public headers get the [[nodiscard]] audit: the outward-
+# facing API (server protocol, report results, util vocabulary) where a
+# dropped status value is a swallowed error at a process boundary.
+NODISCARD_MODULES = ("report", "server", "util")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+# ---------------------------------------------------------------------------
+# layers.conf
+# ---------------------------------------------------------------------------
+
+
+class LayerConf:
+    """Parsed scripts/layers.conf: the declared architecture."""
+
+    def __init__(self):
+        self.allowed = {}    # module -> set of allowed dep modules
+        self.layer = {}      # module -> layer rank (int)
+        self.interface = {}  # module -> set of interface header paths
+
+    @staticmethod
+    def parse(path):
+        conf = LayerConf()
+
+        def die(lineno, message):
+            sys.exit(f"arch_check: {path}:{lineno}: {message}")
+
+        try:
+            lines = path.read_text(encoding="utf-8").split("\n")
+        except OSError as error:
+            sys.exit(f"arch_check: cannot read {path}: {error}")
+
+        for i, raw in enumerate(lines, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            head, sep, tail = line.partition(":")
+            if not sep:
+                die(i, f"expected `name: ...`, got `{line}`")
+            head, fields = head.strip().split(), tail.split()
+            if head[0] == "layer":
+                if len(head) != 2 or not head[1].isdigit():
+                    die(i, "expected `layer <rank>: <modules...>`")
+                rank = int(head[1])
+                for module in fields:
+                    if module in conf.layer:
+                        die(i, f"module `{module}` assigned to two layers")
+                    conf.layer[module] = rank
+            elif head[0] == "interface":
+                if len(head) != 2:
+                    die(i, "expected `interface <module>: <headers...>`")
+                module = head[1]
+                if module in conf.interface:
+                    die(i, f"duplicate interface line for `{module}`")
+                if not fields:
+                    die(i, f"empty interface list for `{module}`")
+                for header in fields:
+                    if not header.startswith(module + "/"):
+                        die(i, f"interface header `{header}` does not live "
+                               f"in module `{module}`")
+                conf.interface[module] = set(fields)
+            elif len(head) == 1:
+                module = head[0]
+                if module in conf.allowed:
+                    die(i, f"duplicate dependency line for `{module}`")
+                conf.allowed[module] = set(fields)
+                if module in conf.allowed[module]:
+                    die(i, f"module `{module}` lists itself as a dependency")
+            else:
+                die(i, f"unrecognized directive `{line}`")
+
+        # Cross-validation: the conf must describe one coherent DAG.
+        for module in conf.allowed:
+            if module not in conf.layer:
+                sys.exit(f"arch_check: {path}: module `{module}` has a "
+                         "dependency line but no layer")
+        for module in conf.layer:
+            if module not in conf.allowed:
+                sys.exit(f"arch_check: {path}: module `{module}` is in a "
+                         "layer but has no dependency line (add "
+                         f"`{module}:` even if it depends on nothing)")
+        for module, deps in conf.allowed.items():
+            for dep in deps:
+                if dep not in conf.allowed:
+                    sys.exit(f"arch_check: {path}: `{module}` lists unknown "
+                             f"dependency `{dep}`")
+                if conf.layer[dep] > conf.layer[module]:
+                    sys.exit(f"arch_check: {path}: `{module}` (layer "
+                             f"{conf.layer[module]}) may not depend on "
+                             f"`{dep}` (layer {conf.layer[dep]}) — upward "
+                             "edge in the declared DAG itself")
+        for module in conf.interface:
+            if module not in conf.allowed:
+                sys.exit(f"arch_check: {path}: interface line for unknown "
+                         f"module `{module}`")
+        # Same-layer edges could still form a cycle; refuse that too.
+        state = {}  # 0 visiting, 1 done
+
+        def visit(module, trail):
+            if state.get(module) == 1:
+                return
+            if state.get(module) == 0:
+                cycle = trail[trail.index(module):] + [module]
+                sys.exit(f"arch_check: {path}: dependency cycle in the "
+                         "declared DAG: " + " -> ".join(cycle))
+            state[module] = 0
+            for dep in sorted(conf.allowed[module]):
+                visit(dep, trail + [module])
+            state[module] = 1
+
+        for module in sorted(conf.allowed):
+            visit(module, [])
+        return conf
+
+
+# ---------------------------------------------------------------------------
+# Include graph
+# ---------------------------------------------------------------------------
+
+
+class SourceFile:
+    def __init__(self, rel, raw_text):
+        self.rel = rel                      # posix path relative to root
+        self.raw_lines = raw_text.split("\n")
+        self.code_text = strip_comments_and_strings(raw_text)
+        self.code_lines = self.code_text.split("\n")
+        self.includes = []                  # (line, include_text)
+        # Include paths are string literals — read them from the raw
+        # lines (the stripper blanks them), but only where the stripped
+        # line still starts a preprocessor directive, so commented-out
+        # includes don't count.
+        for i, (raw_line, code_line) in enumerate(
+                zip(self.raw_lines, self.code_lines), 1):
+            if not code_line.lstrip().startswith("#"):
+                continue
+            match = INCLUDE_RE.match(raw_line)
+            if match:
+                self.includes.append((i, match.group(1)))
+        self.covered, self.bad_suppressions = suppressions_for(self.raw_lines)
+
+    def module(self):
+        """src/<mod>/... -> <mod>; consumers (tests/bench/examples) -> None."""
+        parts = self.rel.split("/")
+        if parts[0] == "src" and len(parts) > 2:
+            return parts[1]
+        return None
+
+
+class IncludeGraph:
+    def __init__(self, root):
+        self.root = root
+        self.files = {}   # rel -> SourceFile
+        self.edges = {}   # rel -> [(line, include_text, resolved_rel|None)]
+
+        rels = []
+        scan_dirs = [d for d in SCAN_DIRS if (root / d).is_dir()]
+        for sub in scan_dirs:
+            for path in sorted((root / sub).rglob("*")):
+                if path.suffix not in SUFFIXES:
+                    continue
+                rel = path.relative_to(root).as_posix()
+                if root == REPO_ROOT and rel.startswith(FIXTURES):
+                    continue
+                rels.append(rel)
+        for rel in rels:
+            self.files[rel] = SourceFile(
+                rel, (root / rel).read_text(encoding="utf-8"))
+
+        # Quoted includes resolve the way the build's -I flags do: against
+        # src/, against the includer's scan root (tests/, bench/,
+        # examples/ add their own dir), then against the includer's own
+        # directory.
+        for rel, source in self.files.items():
+            base = rel.split("/", 1)[0]
+            resolved_edges = []
+            for line, inc in source.includes:
+                candidates = [f"src/{inc}", f"{base}/{inc}",
+                              (Path(rel).parent / inc).as_posix()]
+                resolved = next(
+                    (c for c in candidates if c in self.files), None)
+                resolved_edges.append((line, inc, resolved))
+            self.edges[rel] = resolved_edges
+
+    def module_edges(self):
+        """Collapses to module level: (from, to) -> include count."""
+        counts = {}
+        for rel, edges in self.edges.items():
+            src_mod = self.files[rel].module() or rel.split("/", 1)[0]
+            for _, _, resolved in edges:
+                if resolved is None:
+                    continue
+                dst_mod = (self.files[resolved].module()
+                           or resolved.split("/", 1)[0])
+                if src_mod != dst_mod:
+                    counts[(src_mod, dst_mod)] = (
+                        counts.get((src_mod, dst_mod), 0) + 1)
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# Graph rules
+# ---------------------------------------------------------------------------
+
+
+def check_modules_declared(graph, conf):
+    """Every src/ module on disk must be declared, and vice versa."""
+    on_disk = {f.module() for f in graph.files.values()} - {None}
+    for module in sorted(on_disk - set(conf.allowed)):
+        sys.exit(f"arch_check: module `src/{module}/` exists on disk but is "
+                 "not declared in layers.conf — declare its layer and "
+                 "dependencies")
+    for module in sorted(set(conf.allowed) - on_disk):
+        sys.exit(f"arch_check: layers.conf declares module `{module}` but "
+                 "src/ has no such directory (stale entry?)")
+
+
+def rule_layers(graph, conf):
+    findings = []
+    for rel, edges in sorted(graph.edges.items()):
+        src_mod = graph.files[rel].module()
+        if src_mod is None:
+            continue  # tests/bench/examples sit above every layer
+        for line, inc, resolved in edges:
+            if resolved is None:
+                continue
+            dst_mod = graph.files[resolved].module()
+            if dst_mod is None or dst_mod == src_mod:
+                continue
+            if dst_mod not in conf.allowed[src_mod]:
+                allowed = ", ".join(sorted(conf.allowed[src_mod])) or "none"
+                findings.append(Finding(
+                    rel, line, "layer-violation",
+                    f"`{src_mod}` may not include `{dst_mod}` "
+                    f"(allowed dependencies: {allowed})"))
+                continue
+            skip = conf.layer[src_mod] - conf.layer[dst_mod]
+            interface = conf.interface.get(dst_mod)
+            if skip >= 2 and interface and inc not in interface:
+                surface = ", ".join(sorted(interface))
+                findings.append(Finding(
+                    rel, line, "skip-interface",
+                    f"layer-skipping include of `{dst_mod}` internals "
+                    f"(\"{inc}\") — go through its interface headers: "
+                    f"{surface}"))
+    return findings
+
+
+def tarjan_sccs(nodes, succ):
+    """Iterative Tarjan; returns SCCs as lists (reverse topological)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for start in nodes:
+        if start in index:
+            continue
+        work = [(start, iter(succ(start)))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(succ(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def rule_cycles(graph):
+    succ_map = {
+        rel: sorted({r for _, _, r in edges if r is not None})
+        for rel, edges in graph.edges.items()}
+    findings = []
+    for scc in tarjan_sccs(sorted(graph.files), lambda n: succ_map[n]):
+        members = set(scc)
+        is_cycle = len(scc) > 1 or scc[0] in succ_map[scc[0]]
+        if not is_cycle:
+            continue
+        anchor = min(scc)
+        # Shortest path anchor -> ... -> anchor inside the SCC (BFS).
+        path = None
+        queue = [[anchor]]
+        seen = set()
+        while queue and path is None:
+            trail = queue.pop(0)
+            for nxt in succ_map[trail[-1]]:
+                if nxt == anchor and len(trail) >= 1:
+                    path = trail + [anchor]
+                    break
+                if nxt in members and nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(trail + [nxt])
+        line = next((ln for ln, _, resolved in graph.edges[anchor]
+                     if resolved in members), 1)
+        cycle = " -> ".join(path or scc + [anchor])
+        findings.append(Finding(
+            anchor, line, "include-cycle",
+            f"include cycle: {cycle} — break it with a forward declaration "
+            "or by splitting the header"))
+    return findings
+
+
+def rule_orphans(graph):
+    included_by = {}  # rel -> set of includers
+    for rel, edges in graph.edges.items():
+        for _, _, resolved in edges:
+            if resolved is not None:
+                included_by.setdefault(resolved, set()).add(rel)
+    findings = []
+    for rel in sorted(graph.files):
+        if not rel.endswith(".hpp"):
+            continue
+        sibling = rel[:-len(".hpp")] + ".cpp"
+        includers = included_by.get(rel, set()) - {sibling}
+        if not includers:
+            findings.append(Finding(
+                rel, 1, "orphan-header",
+                "header is included by nobody (its own .cpp aside) — "
+                "dead API surface; delete it or wire in its consumer"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# API-contract audit
+# ---------------------------------------------------------------------------
+
+# Status-like return types. The lookbehind rejects template-argument
+# positions (vector<optional<...>> is a value, not a status) and the gap
+# class rejects reference/pointer returns (a reference to state is a
+# getter, not a status).
+STATUS_RETURN_RE = re.compile(
+    r"(?<![<,\w])"
+    r"(?P<ret>(?:\bbool\b|\b(?:std::)?optional\s*<[^;{}()]*>"
+    r"|\b\w+(?:Status|ErrorCode)\b)[^\w;{}()&*]*)"
+    r"(?P<name>\w+)\s*\(")
+NODISCARD = "[[nodiscard]]"
+HEAD_KEYWORD_RE = re.compile(r"\b(enum|class|struct|namespace|union)\b")
+ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+BARE_NOEXCEPT_RE = re.compile(r"\bnoexcept\b(?!\s*\()")
+THROWING_RE = re.compile(
+    r"\bthrow\b|\bBSLD_REQUIRE\b|\brequire_(?:double|int|uint)\b"
+    r"|\.at\s*\(")
+
+
+def scope_spans(text):
+    """Classifies every brace scope of stripped source text.
+
+    Returns a list of (start, end, audited) character spans, outermost
+    first, where `audited` says whether a declaration directly inside the
+    span is public API: namespace scopes and the public sections of
+    classes/structs are; function bodies, enums and private sections are
+    not. Top level (no braces) is audited.
+    """
+    spans = []  # (start, kind) on the stack; emitted on close
+    stack = []
+    result = []
+    boundary = 0  # start of the current statement head
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in ";}":
+            boundary = i + 1
+        if ch == "{":
+            head = text[boundary:i]
+            keywords = HEAD_KEYWORD_RE.findall(head)
+            if "enum" in keywords:
+                kind = "other"
+            elif "class" in keywords or "struct" in keywords \
+                    or "union" in keywords:
+                kind = "struct" if "struct" in keywords else "class"
+                if "union" in keywords:
+                    kind = "other"
+            elif "namespace" in keywords:
+                kind = "namespace"
+            else:
+                kind = "other"
+            stack.append([i, kind])
+            boundary = i + 1
+        elif ch == "}":
+            if stack:
+                start, kind = stack.pop()
+                result.append((start, i, kind))
+        i += 1
+    for start, kind in stack:  # unbalanced (truncated file): close at EOF
+        result.append((start, n, kind))
+    return result
+
+
+def audit_context(text):
+    """Returns fn(pos) -> True when a decl at `pos` is public API."""
+    spans = scope_spans(text)
+    access_marks = [(m.start(), m.group(1)) for m in ACCESS_RE.finditer(text)]
+
+    def audited(pos):
+        # Innermost enclosing scope decides.
+        enclosing = [s for s in spans if s[0] < pos <= s[1]]
+        if not enclosing:
+            return True  # top level
+        start, end, kind = max(enclosing, key=lambda s: s[0])
+        if kind == "namespace":
+            return True
+        if kind == "other":
+            return False
+        # class/struct: the latest access specifier in this scope wins —
+        # only count marks directly in this scope, not in nested ones.
+        nested = [s for s in spans if start < s[0] and s[1] < end]
+        access = "public" if kind == "struct" else "private"
+        for mark_pos, mark in access_marks:
+            if not start < mark_pos < pos:
+                continue
+            if any(s[0] < mark_pos <= s[1] for s in nested):
+                continue
+            access = mark
+        return access == "public"
+
+    return audited
+
+
+def rule_nodiscard(graph):
+    findings = []
+    for rel in sorted(graph.files):
+        parts = rel.split("/")
+        if not (rel.endswith(".hpp") and parts[0] == "src"
+                and parts[1] in NODISCARD_MODULES):
+            continue
+        text = graph.files[rel].code_text
+        audited = audit_context(text)
+        for match in STATUS_RETURN_RE.finditer(text):
+            pos = match.start()
+            if not audited(pos):
+                continue
+            # The attribute belongs to this declaration statement: look
+            # back to the previous statement boundary.
+            stmt_start = max(text.rfind(";", 0, pos),
+                             text.rfind("{", 0, pos),
+                             text.rfind("}", 0, pos)) + 1
+            stmt = text[stmt_start:pos]
+            if NODISCARD in stmt:
+                continue
+            if re.search(r"\breturn\b|\bnew\b|=", stmt):
+                continue  # expression, not a declaration
+            line = text.count("\n", 0, pos) + 1
+            ret = " ".join(match.group("ret").split())
+            findings.append(Finding(
+                rel, line, "missing-nodiscard",
+                f"public `{ret.strip()} {match.group('name')}(...)` returns "
+                "a status-like value without [[nodiscard]] — a dropped "
+                "result is a swallowed error"))
+    return findings
+
+
+def rule_noexcept(graph):
+    findings = []
+    for rel in sorted(graph.files):
+        if not rel.startswith("src/"):
+            continue
+        text = graph.files[rel].code_text
+        for match in BARE_NOEXCEPT_RE.finditer(text):
+            semi = text.find(";", match.end())
+            brace = text.find("{", match.end())
+            if brace == -1 or (semi != -1 and semi < brace):
+                continue  # declaration only; the definition gets audited
+            depth, j = 1, brace + 1
+            while j < len(text) and depth > 0:
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                j += 1
+            body = text[brace:j]
+            hit = THROWING_RE.search(body)
+            if hit:
+                line = text.count("\n", 0, match.start()) + 1
+                findings.append(Finding(
+                    rel, line, "noexcept-throws",
+                    f"`noexcept` function body contains throwing construct "
+                    f"`{hit.group(0).strip()}` — the first failure becomes "
+                    "std::terminate; drop the claim or prove the body"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DOT emission
+# ---------------------------------------------------------------------------
+
+
+def write_dot(graph, conf, path):
+    counts = graph.module_edges()
+    consumers = sorted({src for src, _ in counts}
+                       - set(conf.allowed))
+    lines = [
+        "// Generated by scripts/arch_check.py — module-collapsed include",
+        "// graph. Render: dot -Tsvg build/arch_graph.dot -o arch.svg",
+        "digraph bsld_arch {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica", style=filled,'
+        ' fillcolor="#eef3fa"];',
+    ]
+    by_layer = {}
+    for module, layer in conf.layer.items():
+        by_layer.setdefault(layer, []).append(module)
+    for layer in sorted(by_layer):
+        members = " ".join(f'"{m}";' for m in sorted(by_layer[layer]))
+        lines.append(f"  {{ rank=same; {members} }}  // layer {layer}")
+    for consumer in consumers:
+        lines.append(f'  "{consumer}" [shape=ellipse, fillcolor="#f5f0e6"];')
+    for (src, dst), count in sorted(counts.items()):
+        style = ", style=dashed" if src not in conf.allowed else ""
+        lines.append(
+            f'  "{src}" -> "{dst}" [label="{count}"{style}];')
+    lines.append("}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+RULE_DESCRIPTIONS = {
+    "layer-violation": "includes of modules outside the allowed-dependency "
+                       "list in layers.conf",
+    "skip-interface": "layer-skipping includes that bypass the target "
+                      "module's declared interface headers",
+    "include-cycle": "strongly connected components in the file-level "
+                     "include graph (cycle path printed)",
+    "orphan-header": "headers included by nobody (their own .cpp aside)",
+    "missing-nodiscard": "status-returning public functions in report/, "
+                         "server/, util/ headers without [[nodiscard]]",
+    "noexcept-throws": "bare noexcept on functions whose body contains "
+                       "throwing constructs",
+}
+
+assert set(RULE_DESCRIPTIONS) == set(ARCH_RULES), (
+    "rule list out of sync with bsld_lint_common.ARCH_RULES")
+
+
+def run_check(root, conf_path, dot_path):
+    conf = LayerConf.parse(conf_path)
+    graph = IncludeGraph(root)
+    check_modules_declared(graph, conf)
+
+    findings = []
+    for source in graph.files.values():
+        findings.extend(Finding(source.rel, line, "bad-suppression", msg)
+                        for line, msg in source.bad_suppressions)
+    findings.extend(rule_layers(graph, conf))
+    findings.extend(rule_cycles(graph))
+    findings.extend(rule_orphans(graph))
+    findings.extend(rule_nodiscard(graph))
+    findings.extend(rule_noexcept(graph))
+
+    kept = []
+    for finding in findings:
+        covered = graph.files[finding.path].covered
+        if (finding.rule != "bad-suppression"
+                and finding.rule in covered.get(finding.line, ())):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if dot_path is not None:
+        write_dot(graph, conf, dot_path)
+    return kept
+
+
+def self_test():
+    root = REPO_ROOT / ARCH_FIXTURES
+    if not root.is_dir():
+        print(f"arch_check: fixtures directory {root} missing",
+              file=sys.stderr)
+        return 1
+    actual = {(f.path, f.line, f.rule)
+              for f in run_check(root, root / "layers.conf", None)}
+    files = [p.relative_to(root).as_posix()
+             for p in sorted(root.rglob("*")) if p.suffix in SUFFIXES]
+    expected = collect_expected(root, files, "arch-expect")
+    missing = expected - actual
+    surprise = actual - expected
+    for rel, line, rule in sorted(missing):
+        print(f"self-test: expected [{rule}] at {rel}:{line}, not reported")
+    for rel, line, rule in sorted(surprise):
+        print(f"self-test: unexpected [{rule}] at {rel}:{line}")
+    if missing or surprise:
+        print(f"arch_check --self-test: FAIL "
+              f"({len(missing)} missing, {len(surprise)} unexpected)")
+        return 1
+    print(f"arch_check --self-test: OK ({len(expected)} planted findings "
+          f"all reported, suppressed lines all quiet)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bsld architecture lint (see module docstring)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check tests/lint_fixtures/arch against its "
+                             "arch-expect markers")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree to check (default: the repo)")
+    parser.add_argument("--conf", type=Path, default=None,
+                        help="layers.conf to enforce (default: "
+                             "scripts/layers.conf under --root)")
+    parser.add_argument("--dot", type=Path, default=None,
+                        help="module graph output "
+                             "(default: <root>/build/arch_graph.dot)")
+    parser.add_argument("--no-dot", action="store_true",
+                        help="skip writing the module graph")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        width = max(len(name) for name in RULE_DESCRIPTIONS) + 2
+        for name, description in sorted(RULE_DESCRIPTIONS.items()):
+            print(f"{name:<{width}}{description}")
+        print(f"{'bad-suppression':<{width}}malformed bsld-lint comments "
+              "(reported, never suppressing)")
+        print("\nsuppression: // bsld-lint: allow(<rule>): <reason>   "
+              "(same line, or alone on the line above)")
+        return 0
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    conf_path = args.conf or root / "scripts" / "layers.conf"
+    dot_path = None if args.no_dot else (
+        args.dot or root / "build" / "arch_graph.dot")
+    findings = run_check(root, conf_path, dot_path)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"arch_check: {len(findings)} finding(s)")
+        return 1
+    modules = len(LayerConf.parse(conf_path).allowed)
+    print(f"arch_check: clean ({modules} modules"
+          + (f"; graph at {dot_path}" if dot_path else "") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,13 @@ Two modes, both stdlib-only:
       scripts/run_bench.sh so a crashed or truncated benchmark run can
       never masquerade as a benchmark artifact.
 
+  bench_compare.py --stamp-build-type Release FRESH.json
+      Record the CMake build type the binary was compiled with into the
+      artifact's `context` object (key `bsld_build_type`). run_bench.sh
+      calls this right after the run, reading the type out of the build
+      directory's CMakeCache.txt, so every artifact knows its own
+      optimization level.
+
   bench_compare.py FRESH.json BASELINE.json --max-regression-pct 25 \
       --guard bench/bench_guard.list
       The CI bench-regression gate: for every benchmark named in the guard
@@ -19,6 +26,11 @@ Two modes, both stdlib-only:
       benchmark must be removed from the guard list deliberately); names
       missing from the baseline are skipped with a note (new benchmarks
       enter the gate when the baseline is refreshed).
+
+      Both files must carry matching `bsld_build_type` stamps: a Debug
+      run regressing 70% against a Release baseline says nothing about
+      the code, so mismatched (or missing) stamps abort the compare
+      before any numbers are looked at.
 
 The baseline lives in bench/BENCH_baseline.json and is refreshed with
 `scripts/run_bench.sh --update-baseline` on quiet hardware. To land a PR
@@ -55,6 +67,18 @@ def throughput(entry):
     return None
 
 
+def build_type(data, path):
+    """The `bsld_build_type` stamp, or None with a hint when absent."""
+    context = data.get("context")
+    stamp = context.get("bsld_build_type") if isinstance(context, dict) else None
+    if not isinstance(stamp, str) or not stamp:
+        print(f"bench_compare: {path} carries no bsld_build_type stamp "
+              "(produced by hand, or by a run_bench.sh predating the stamp?)",
+              file=sys.stderr)
+        return None
+    return stamp
+
+
 def by_name(data):
     table = {}
     for entry in data["benchmarks"]:
@@ -74,6 +98,9 @@ def main():
                         help="checked-in baseline to gate against")
     parser.add_argument("--check", action="store_true",
                         help="only validate `fresh` structurally")
+    parser.add_argument("--stamp-build-type", metavar="TYPE",
+                        help="record TYPE as context.bsld_build_type in "
+                             "`fresh` and exit")
     parser.add_argument("--max-regression-pct", type=float, default=25.0,
                         help="fail when a guarded benchmark's throughput "
                              "drops by more than this percentage")
@@ -84,6 +111,18 @@ def main():
     args = parser.parse_args()
 
     fresh = load(args.fresh)
+    if args.stamp_build_type:
+        fresh.setdefault("context", {})["bsld_build_type"] = \
+            args.stamp_build_type
+        try:
+            with open(args.fresh, "w", encoding="utf-8") as handle:
+                json.dump(fresh, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            sys.exit(f"bench_compare: cannot rewrite {args.fresh}: {error}")
+        print(f"bench_compare: stamped {args.fresh} as "
+              f"{args.stamp_build_type}")
+        return
     if args.check:
         print(f"bench_compare: {args.fresh} OK "
               f"({len(fresh['benchmarks'])} benchmarks)")
@@ -92,6 +131,21 @@ def main():
         sys.exit("bench_compare: baseline file required unless --check")
 
     baseline = load(args.baseline)
+    fresh_type = build_type(fresh, args.fresh)
+    baseline_type = build_type(baseline, args.baseline)
+    if fresh_type is None or baseline_type is None:
+        sys.exit("bench_compare: refusing to compare unstamped artifacts — "
+                 "re-produce them with scripts/run_bench.sh (it stamps the "
+                 "build type from the build directory's CMakeCache.txt), or "
+                 "stamp by hand with --stamp-build-type")
+    if fresh_type != baseline_type:
+        sys.exit(f"bench_compare: build-type mismatch — {args.fresh} is a "
+                 f"{fresh_type} run but {args.baseline} was recorded under "
+                 f"{baseline_type}; throughput deltas across optimization "
+                 "levels are meaningless. Rebuild with "
+                 f"-DCMAKE_BUILD_TYPE={baseline_type} and re-run, or refresh "
+                 "the baseline (`scripts/run_bench.sh --update-baseline`) "
+                 "from the configuration you intend to gate on")
     fresh_rates = by_name(fresh)
     baseline_rates = by_name(baseline)
 

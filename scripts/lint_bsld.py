@@ -29,6 +29,16 @@ can express, over src/, tests/, examples/ and bench/:
   tsa-escape       BSLD_NO_THREAD_SAFETY_ANALYSIS disables the clang
                    thread-safety proof for a function; every use must
                    carry a comment (same or preceding line) saying why.
+  iostream         Library code under src/ must not include <iostream>:
+                   diagnostics go through util::log, payload output goes
+                   through the sinks/CSV writers. The CLI/daemon entry
+                   points that legitimately own stdout/stderr carry a
+                   suppression naming that fact.
+
+The architecture-level rules (include-graph layering, cycles, orphan
+headers, [[nodiscard]]/noexcept API contracts) live in the sibling tool
+scripts/arch_check.py; both share the suppression machinery in
+scripts/bsld_lint_common.py.
 
 Suppression — one finding at a time, never blanket, reason mandatory:
 
@@ -54,83 +64,30 @@ import re
 import sys
 from pathlib import Path
 
+from bsld_lint_common import (
+    FIXTURES,
+    LINT_RULES,
+    SCAN_DIRS,
+    SUFFIXES,
+    SUPPRESS_HINT_RE,
+    Finding,
+    collect_expected,
+    expect_re,
+    strip_comments_and_strings,
+    suppressions_for,
+)
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SCAN_DIRS = ("src", "tests", "examples", "bench")
-SUFFIXES = {".cpp", ".hpp"}
-FIXTURES = "tests/lint_fixtures"
+# arch_check.py owns its own fixture subtree (planted *architecture*
+# violations, annotated with arch-expect markers); this tool's self-test
+# must not interpret those files.
+ARCH_FIXTURES = "arch/"
 
 # ---------------------------------------------------------------------------
-# C++ lexing: blank out comments and string/char literals, preserving the
-# line structure, so the rules only ever see code.
+# Rules. A rule is a function (path, raw_lines, code_lines, code_text)
+# -> [(line, message)]; `path` is relative to the scan root with forward
+# slashes.
 # ---------------------------------------------------------------------------
-
-
-def strip_comments_and_strings(text):
-    """Returns `text` with comments and string/char literals space-filled."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out.append(" ")
-                i += 1
-        elif ch == "/" and nxt == "*":
-            out.append("  ")
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                out.append("\n" if text[i] == "\n" else " ")
-                i += 1
-            if i < n:
-                out.append("  ")
-                i += 2
-        elif ch == "R" and nxt == '"' and (i == 0 or not text[i - 1].isalnum()):
-            close = text.find("(", i + 2)
-            if close == -1:  # not actually a raw string
-                out.append(ch)
-                i += 1
-                continue
-            delim = ")" + text[i + 2 : close] + '"'
-            end = text.find(delim, close + 1)
-            end = n if end == -1 else end + len(delim)
-            for j in range(i, end):
-                out.append("\n" if text[j] == "\n" else " ")
-            i = end
-        elif ch in "\"'":
-            quote = ch
-            out.append(" ")
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\" and i + 1 < n:
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append("\n" if text[i] == "\n" else " ")
-                    i += 1
-            if i < n:
-                out.append(" ")
-                i += 1
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-# ---------------------------------------------------------------------------
-# Findings and rules. A rule is a function (path, raw_lines, code_lines,
-# code_text) -> [(line, message)]; `path` is relative to the scan root with
-# forward slashes.
-# ---------------------------------------------------------------------------
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
 
 RAW_PARSE_RE = re.compile(
     r"(?:\bstd::|(?<![\w:.]))"
@@ -147,6 +104,7 @@ NEW_RE = re.compile(r"(?<![\w:])new\b")
 DELETE_RE = re.compile(r"(?<![\w:])delete\b(\s*\[\s*\])?")
 CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
+IOSTREAM_RE = re.compile(r'^\s*#\s*include\s*[<"]iostream[>"]')
 TSA_ESCAPE = "BSLD_NO_THREAD_SAFETY_ANALYSIS"
 
 
@@ -225,15 +183,26 @@ def rule_pragma_once(path, raw, code, text):
 
 def rule_include_hygiene(path, raw, code, text):
     findings = []
-    includes = []  # (line, path)
     for i, line in enumerate(raw, 1):
         match = INCLUDE_RE.match(line)
-        if match:
-            includes.append((i, match.group(1)))
-            if "../" in match.group(1):
-                findings.append(
-                    (i, f'relative include "{match.group(1)}" — include '
-                        "paths are rooted at src/"))
+        if match and "../" in match.group(1):
+            findings.append(
+                (i, f'relative include "{match.group(1)}" — include '
+                    "paths are rooted at src/"))
+    return findings
+
+
+def rule_iostream(path, raw, code, text):
+    # Library code only: tests, benches and examples own their stdout.
+    if not path.startswith("src/"):
+        return []
+    findings = []
+    for i, line in enumerate(code, 1):
+        if IOSTREAM_RE.match(line):
+            findings.append(
+                (i, "#include <iostream> in library code — diagnostics go "
+                    "through util::log; only CLI/daemon entry points may "
+                    "own std::cout/cerr (suppress with the reason)"))
     return findings
 
 
@@ -262,9 +231,11 @@ def rule_tsa_escape(path, raw, code, text):
     if path == "src/util/thread_annotations.hpp":  # the definition site
         return []
     findings = []
+    lint_expect = expect_re("lint-expect")
+
     def justifies(comment):
         # A lint directive/marker is not an explanation.
-        return not (EXPECT_RE.search(comment)
+        return not (lint_expect.search(comment)
                     or SUPPRESS_HINT_RE.search(comment))
 
     for i, line in enumerate(code, 1):
@@ -301,32 +272,13 @@ RULES = {
     "tsa-escape": (rule_tsa_escape,
                    "BSLD_NO_THREAD_SAFETY_ANALYSIS uses without a comment "
                    "explaining why"),
+    "iostream": (rule_iostream,
+                 "#include <iostream> in library code under src/ (use "
+                 "util::log; entry points suppress with a reason)"),
 }
 
-SUPPRESS_RE = re.compile(
-    r"//\s*bsld-lint:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)$")
-SUPPRESS_HINT_RE = re.compile(r"bsld-lint\s*:")
-EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
-
-
-def suppressions_for(raw_lines):
-    """Maps covered line number -> rule, plus malformed-marker findings."""
-    covered = {}  # line -> set of rules
-    bad = []
-    for i, line in enumerate(raw_lines, 1):
-        if not SUPPRESS_HINT_RE.search(line):
-            continue
-        match = SUPPRESS_RE.search(line)
-        if not match or match.group(1) not in RULES:
-            bad.append((i, "malformed bsld-lint comment — expected "
-                          "`// bsld-lint: allow(<rule>): <reason>` with a "
-                          "known rule and a non-empty reason"))
-            continue
-        rule = match.group(1)
-        # Alone on its line: covers the next line. Trailing: covers its own.
-        target = i + 1 if line.lstrip().startswith("//") else i
-        covered.setdefault(target, set()).add(rule)
-    return covered, bad
+assert set(RULES) == set(LINT_RULES), (
+    "rule list out of sync with bsld_lint_common.LINT_RULES")
 
 
 def lint_file(scan_root, path):
@@ -362,6 +314,8 @@ def collect_files(scan_root, include_fixtures):
             rel = file_path.relative_to(scan_root).as_posix()
             if not include_fixtures and rel.startswith(FIXTURES):
                 continue
+            if include_fixtures and rel.startswith(ARCH_FIXTURES):
+                continue  # arch_check.py's fixtures, not ours
             files.append(rel)
     return files
 
@@ -379,14 +333,8 @@ def self_test():
     if not root.is_dir():
         print(f"lint_bsld: fixtures directory {root} missing", file=sys.stderr)
         return 1
-    expected = set()
-    for rel in collect_files(root, include_fixtures=True):
-        for i, line in enumerate(
-                (root / rel).read_text(encoding="utf-8").split("\n"), 1):
-            match = EXPECT_RE.search(line)
-            if match:
-                for rule in re.split(r"\s*,\s*", match.group(1)):
-                    expected.add((rel, i, rule))
+    files = collect_files(root, include_fixtures=True)
+    expected = collect_expected(root, files, "lint-expect")
     actual = {(f.path, f.line, f.rule) for f in run_lint(
         root, include_fixtures=True)}
     missing = expected - actual

@@ -71,6 +71,17 @@ fi
 # (truncated file, crash mid-write, HTML error page from a wrapper) fails.
 python3 scripts/bench_compare.py --check "$out"
 
+# Stamp the build type the binary was compiled with into the artifact, so
+# bench_compare can refuse Debug-vs-Release comparisons later. The cache
+# always carries CMAKE_BUILD_TYPE here: the top-level CMakeLists.txt forces
+# Release into it when unset, so an empty read means a broken build dir.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" | head -n 1)"
+if [[ -z "$build_type" ]]; then
+  echo "run_bench.sh: cannot read CMAKE_BUILD_TYPE from $build_dir/CMakeCache.txt" >&2
+  exit 1
+fi
+python3 scripts/bench_compare.py --stamp-build-type "$build_type" "$out"
+
 echo "Wrote $out"
 
 # Compare before any baseline refresh: `--compare X --update-baseline`

@@ -58,7 +58,7 @@ class RequestParser {
   /// on protocol violations (unknown verb, bad format token, malformed
   /// config body, oversized body); the parser resets itself so the
   /// connection can carry further requests after an error reply.
-  std::optional<Request> feed(const std::string& line);
+  [[nodiscard]] std::optional<Request> feed(const std::string& line);
 
   /// True while inside a `run` body (useful for EOF diagnostics).
   [[nodiscard]] bool mid_request() const { return in_run_; }

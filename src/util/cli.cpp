@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+// bsld-lint: allow(iostream): CLI surface — usage/--help text belongs on the user's stdout, not the log stream
 #include <iostream>
 #include <sstream>
 

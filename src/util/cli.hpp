@@ -26,7 +26,7 @@ class Cli {
   /// Parses argv. Returns false when --help was requested (help text is
   /// written to stdout). Throws bsld::Error on unknown flags or missing
   /// values.
-  bool parse(int argc, const char* const* argv);
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
 

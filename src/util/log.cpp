@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <atomic>
+// bsld-lint: allow(iostream): util::log is the sanctioned sink — the one place owning std::cerr for everyone else
 #include <iostream>
 
 #include "util/thread_annotations.hpp"

@@ -51,7 +51,7 @@ class Rng {
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Bernoulli trial with success probability p in [0, 1].
-  bool bernoulli(double p);
+  [[nodiscard]] bool bernoulli(double p);
   /// Exponential variate with the given mean (> 0).
   double exponential(double mean);
   /// Standard normal variate (Box-Muller, cached pair).

@@ -1,0 +1,9 @@
+// Fixture: cluster's declared interface header (see layers.conf) — the
+// one header layer-skipping consumers may include. No findings here.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fix::cluster {
+inline int via_interface() { return fix::util::base_value(); }
+}  // namespace fix::cluster

@@ -1,0 +1,10 @@
+// Fixture: two layer crimes. The include below points *up* the DAG
+// (cluster may only depend on util), and this header itself is cluster
+// internals that report/skips.hpp reaches around the declared interface.
+#pragma once
+
+#include "sim/api.hpp"  // arch-expect: layer-violation
+
+namespace fix::cluster {
+inline int internals() { return 7; }
+}  // namespace fix::cluster

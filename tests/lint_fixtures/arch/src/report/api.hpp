@@ -1,0 +1,36 @@
+// Fixture: the API-contract audit — missing [[nodiscard]] on a
+// status-returning public function, a bogus noexcept claim, a malformed
+// suppression marker, and one correctly suppressed finding that must
+// stay quiet.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fix::report {
+
+class Store {
+ public:
+  bool try_open();  // arch-expect: missing-nodiscard
+
+  // Correct suppression of the same rule: no finding on the next line.
+  // bsld-lint: allow(missing-nodiscard): fixture — proves the shared suppression syntax silences the audit
+  bool quiet_ok();
+
+  // The claim is a lie: the body throws, so the first failure becomes
+  // std::terminate instead of a catchable bsld-style error.
+  int must_not_fail(int value) noexcept {  // arch-expect: noexcept-throws
+    if (value < 0) throw value;
+    return value + fix::util::base_value();
+  }
+
+ private:
+  // Private members are not public API surface: no audit finding even
+  // though the return type is status-like.
+  bool internal_flag();
+};
+
+// Malformed marker: unknown rule name, so it suppresses nothing and is
+// itself reported.
+// bsld-lint: allow(not-a-rule): no such rule  // arch-expect: bad-suppression
+
+}  // namespace fix::report

@@ -1,0 +1,10 @@
+// Fixture: report sits two layers above cluster, which declares an
+// interface (cluster/iface.hpp). Reaching for cluster internals instead
+// must be reported as a skip-interface violation.
+#pragma once
+
+#include "cluster/node.hpp"  // arch-expect: skip-interface
+
+namespace fix::report {
+inline int skips() { return fix::cluster::internals(); }
+}  // namespace fix::report

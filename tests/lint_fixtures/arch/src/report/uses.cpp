@@ -1,0 +1,14 @@
+// Fixture: the legitimate consumer that keeps the non-orphan headers
+// alive. Includes here are all allowed: report may depend on util,
+// cluster (via its interface) and sim (adjacent layer, no interface).
+#include "cluster/iface.hpp"
+#include "report/api.hpp"
+#include "report/skips.hpp"
+#include "sim/api.hpp"
+#include "util/base.hpp"
+
+namespace fix::report {
+int use_everything() {
+  return fix::cluster::via_interface() + fix::sim::tick() + skips();
+}
+}  // namespace fix::report

@@ -1,0 +1,9 @@
+// Fixture: clean sim header — sim declares no interface list, so its
+// adjacent-layer consumer (report) may include it directly.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fix::sim {
+inline int tick() { return fix::util::base_value() + 1; }
+}  // namespace fix::sim

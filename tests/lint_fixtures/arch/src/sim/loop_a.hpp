@@ -1,0 +1,9 @@
+// Fixture: half of a two-header include cycle. The include-cycle finding
+// is anchored at the lexicographically-first member's in-cycle include.
+#pragma once
+
+#include "sim/loop_b.hpp"  // arch-expect: include-cycle
+
+namespace fix::sim {
+inline int loop_a() { return 1; }
+}  // namespace fix::sim

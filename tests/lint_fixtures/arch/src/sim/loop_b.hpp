@@ -1,0 +1,9 @@
+// Fixture: the other half of the include cycle (reported once, anchored
+// in loop_a.hpp — see there).
+#pragma once
+
+#include "sim/loop_a.hpp"
+
+namespace fix::sim {
+inline int loop_b() { return 2; }
+}  // namespace fix::sim

@@ -1,0 +1,7 @@
+// Fixture: clean foundation header — included by several modules, no
+// findings expected anywhere in this file.
+#pragma once
+
+namespace fix::util {
+inline int base_value() { return 42; }
+}  // namespace fix::util

@@ -1,0 +1,7 @@
+#pragma once  // arch-expect: orphan-header
+// Fixture: nobody includes this header — the orphan-header rule must
+// report it (anchored at line 1, where a suppression would also live).
+
+namespace fix::util {
+inline int nobody_calls_me() { return -1; }
+}  // namespace fix::util

@@ -1,0 +1,7 @@
+// Fixture: the iostream rule — library code under src/ must not include
+// <iostream>; entry points that own stdout/stderr suppress with a reason.
+#include <iostream>  // lint-expect: iostream
+// bsld-lint: allow(iostream): fixture — proves the suppression silences the rule
+#include <iostream>
+
+void report_uses_iostream() { std::cout.flush(); }

@@ -1,0 +1,108 @@
+// Distribution sanity for report::shard_of — the hash that splits a sweep
+// across processes (scripts/sweep_shards, `bsldsim sweep --shard`). A
+// pathological spec→shard mapping would silently serialize a "parallel"
+// sweep onto one worker, so this pins down, over a 10k-spec grid:
+//   * every shard is hit for every shard_count a user would plausibly pick;
+//   * no shard hoards the keys (loose balance bound, deterministic);
+//   * the mapping is a pure function of the spec (stable across calls and
+//     across value copies);
+//   * the shard_count == 1 and highest-shard-index edges behave.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "report/experiment.hpp"
+#include "report/sweep.hpp"
+#include "util/error.hpp"
+
+namespace bsld::report {
+namespace {
+
+/// 10,000 distinct specs spanning the axes a real sweep varies: workload
+/// seed, beta, and machine size scale (1000 x 2 x 5). Specs differing in
+/// any of these serialize to different keys, so every grid point is a
+/// distinct hash input.
+std::vector<RunSpec> grid_10k() {
+  std::vector<RunSpec> specs;
+  specs.reserve(10000);
+  for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
+    for (const double beta : {0.3, 0.5}) {
+      for (const double scale : {1.0, 1.1, 1.2, 1.25, 1.5}) {
+        RunSpec spec;
+        spec.workload =
+            wl::WorkloadSource::from_archive(wl::Archive::kCTC, 250, seed);
+        spec.beta = beta;
+        spec.size_scale = scale;
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+TEST(ShardDistributionTest, EveryShardIsHitUpToEightWays) {
+  const std::vector<RunSpec> specs = grid_10k();
+  ASSERT_EQ(specs.size(), 10000u);
+  for (unsigned shard_count = 1; shard_count <= 8; ++shard_count) {
+    std::vector<std::size_t> hits(shard_count, 0);
+    for (const RunSpec& spec : specs) {
+      const unsigned shard = shard_of(spec, shard_count);
+      ASSERT_LT(shard, shard_count);
+      ++hits[shard];
+    }
+    for (unsigned shard = 0; shard < shard_count; ++shard) {
+      // Empty shard = a worker with nothing to do; under a uniform hash
+      // each shard expects >= 1250 of 10000 keys at the widest split.
+      EXPECT_GT(hits[shard], 0u)
+          << "shard " << shard << " of " << shard_count << " got no specs";
+      // Loose balance bound (deterministic, not statistical): no shard may
+      // fall below 5% of the keys — under 40% of its uniform share.
+      EXPECT_GE(hits[shard], specs.size() / 20)
+          << "shard " << shard << " of " << shard_count << " is starved";
+    }
+  }
+}
+
+TEST(ShardDistributionTest, MappingIsStableAcrossCallsAndCopies) {
+  const std::vector<RunSpec> specs = grid_10k();
+  std::vector<unsigned> first;
+  first.reserve(specs.size());
+  for (const RunSpec& spec : specs) first.push_back(shard_of(spec, 5));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(shard_of(specs[i], 5), first[i]);
+    const RunSpec copy = specs[i];  // value identity, not object identity.
+    EXPECT_EQ(shard_of(copy, 5), first[i]);
+  }
+}
+
+TEST(ShardDistributionTest, SingleShardTakesEverything) {
+  for (const RunSpec& spec : grid_10k()) {
+    EXPECT_EQ(shard_of(spec, 1), 0u);
+  }
+}
+
+TEST(ShardDistributionTest, HighestShardIndexIsReachable) {
+  // The shard_index == shard_count - 1 edge: sharded sweeps launch workers
+  // 0..N-1, and the last one must see work. Follows from the no-empty-shard
+  // invariant, pinned separately so the edge has a named test.
+  const std::vector<RunSpec> specs = grid_10k();
+  for (const unsigned shard_count : {2u, 8u}) {
+    bool last_hit = false;
+    for (const RunSpec& spec : specs) {
+      if (shard_of(spec, shard_count) == shard_count - 1) {
+        last_hit = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(last_hit) << "no spec maps to shard " << shard_count - 1
+                          << " of " << shard_count;
+  }
+}
+
+TEST(ShardDistributionTest, ZeroShardsThrows) {
+  RunSpec spec;
+  EXPECT_THROW((void)shard_of(spec, 0), Error);
+}
+
+}  // namespace
+}  // namespace bsld::report
