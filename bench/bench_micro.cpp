@@ -84,6 +84,29 @@ BENCHMARK(BM_SimulateArchive)
     ->Arg(static_cast<int>(wl::Archive::kLLNLAtlas))
     ->Unit(benchmark::kMillisecond);
 
+/// Power-management cost on the headline simulation: Arg(0) runs the CTC
+/// DVFS case with the default pm=none spec — guarded so the pm hook in
+/// the simulation loop stays free when no manager is installed — and
+/// Arg(1) runs the same case under a binding 4 kW cap-uniform budget,
+/// bounding the cost of throttle/gate bookkeeping when one is.
+void BM_PowerCapSweep(benchmark::State& state) {
+  report::RunSpec spec;
+  spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kCTC);
+  core::DvfsConfig config;
+  config.bsld_threshold = 2.0;
+  config.wq_threshold = 16;
+  spec.policy.dvfs = config;
+  if (state.range(0) == 1) {
+    spec.pm.name = "cap-uniform";
+    spec.pm.cap_watts = 4000.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::run_one(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);  // jobs per run
+}
+BENCHMARK(BM_PowerCapSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Grid throughput through SweepRunner: 24 specs of which only 6 are
 /// distinct (each repeated 4x, the shape of a figure grid with shared
 /// baselines). Arg(1) enables spec-keyed dedup — the headline win — while

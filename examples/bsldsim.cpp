@@ -14,8 +14,11 @@
 ///      ./bsldsim --workload CTC --save-spec run.conf   # save for later
 ///      ./bsldsim --instruments wait-trace,utilization --instruments-out .
 ///      ./bsldsim --format jsonl                 # one JSON object, machine-readable
+///      ./bsldsim --pm cap-uniform --pm-cap 400000      # cluster power cap
+///      ./bsldsim --pm setpoint --pm-setpoint 350000    # closed-loop control
 ///      ./bsldsim --list-policies                # registry contents
 ///      ./bsldsim --list-instruments
+///      ./bsldsim --list-pms
 ///
 /// Sweeps, caching, sharding:
 ///      ./bsldsim --sweep grid.conf --format csv > grid.csv
@@ -51,6 +54,7 @@
 ///   power.static_fraction_at_top = 0.25
 ///   power.top_active_power_watts = 95
 ///   time.beta = 0.5
+#include <algorithm>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -60,6 +64,8 @@
 #include <optional>
 #include <sstream>
 
+#include "pm/registry.hpp"
+#include "pm/spec.hpp"
 #include "report/experiment.hpp"
 #include "report/grid.hpp"
 #include "report/result_cache.hpp"
@@ -295,14 +301,32 @@ int run_sweep(const util::Cli& cli, const std::string& format) {
   return 0;
 }
 
+/// One aligned `name  description` block of a registry listing
+/// (--list-policies / --list-instruments / --list-pms).
+void print_registry(
+    const std::string& heading,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::size_t width = 0;
+  for (const auto& [name, _] : entries) width = std::max(width, name.size());
+  std::cout << heading << ":\n";
+  for (const auto& [name, description] : entries) {
+    std::cout << "  " << name;
+    if (!description.empty()) {
+      std::cout << std::string(width - name.size() + 2, ' ') << description;
+    }
+    std::cout << '\n';
+  }
+}
+
 /// Every single-run flag spec_from_flags() consults. Query mode decides
 /// with this same table whether explicit flags must be layered over a
 /// --spec file — add any new spec-affecting flag HERE (and nowhere else)
 /// or `bsldsim query --spec f.conf --newflag ...` will silently drop it.
 constexpr const char* kSpecFlags[] = {
-    "workload", "jobs", "seed",        "platform", "policy",
-    "selector", "dvfs", "bsld",        "wq",       "raise",
-    "scale",    "instruments",         "retain-jobs"};
+    "workload", "jobs",        "seed",        "platform",    "policy",
+    "selector", "dvfs",        "bsld",        "wq",          "raise",
+    "scale",    "instruments", "retain-jobs", "pm",          "pm-cap",
+    "pm-setpoint",             "pm-interval", "pm-gain"};
 
 /// The effective RunSpec of the single-run flags: the --spec file (when
 /// given) as the baseline, explicitly-passed flags layered on top (every
@@ -370,6 +394,31 @@ report::RunSpec spec_from_flags(const util::Cli& cli) {
     }
   }
   if (overrides("scale")) spec.size_scale = cli.get_double("scale");
+  if (overrides("pm")) spec.pm.name = cli.get("pm");
+  // The pm tunables use -1 = unset, so the registered defaults reproduce
+  // the default PmSpec (all optionals empty) in the no-file mode.
+  if (overrides("pm-cap")) {
+    const double watts = cli.get_double("pm-cap");
+    spec.pm.cap_watts =
+        watts >= 0.0 ? std::optional<double>(watts) : std::nullopt;
+  }
+  if (overrides("pm-setpoint")) {
+    const double watts = cli.get_double("pm-setpoint");
+    spec.pm.setpoint_watts =
+        watts >= 0.0 ? std::optional<double>(watts) : std::nullopt;
+  }
+  if (overrides("pm-interval")) {
+    const std::int64_t seconds = cli.get_int("pm-interval");
+    spec.pm.interval_s =
+        seconds >= 0 ? std::optional<Time>(seconds) : std::nullopt;
+  }
+  if (overrides("pm-gain")) {
+    const double gain = cli.get_double("pm-gain");
+    spec.pm.gain = gain >= 0.0 ? std::optional<double>(gain) : std::nullopt;
+  }
+  // Same rationale as the instrument check below: fail before --save-spec
+  // can persist an unreplayable spec.
+  pm::validate(spec.pm);
   if (overrides("instruments")) {
     // Same trimming/splitting as the `instruments` spec-file key.
     spec.instruments = split_list(cli.get("instruments"));
@@ -519,6 +568,18 @@ int main(int argc, char** argv) try {
   cli.add_flag("raise", "-1",
                "dynamic-raise queue limit (-1 = off; extension, easy only)");
   cli.add_flag("scale", "1.0", "machine size multiplier (1.2 = +20%)");
+  cli.add_flag("pm", "none",
+               "power manager name (see --list-pms): none, cap-uniform, "
+               "cap-proportional, sleep, setpoint");
+  cli.add_flag("pm-cap", "-1",
+               "cluster power cap in watts (cap-* families; optional hard "
+               "cap for setpoint; -1 = unset)");
+  cli.add_flag("pm-setpoint", "-1",
+               "target cluster power in watts for --pm setpoint (-1 = unset)");
+  cli.add_flag("pm-interval", "-1",
+               "setpoint control interval in seconds (-1 = default 300)");
+  cli.add_flag("pm-gain", "-1",
+               "setpoint integral gain (-1 = default 0.5)");
   cli.add_flag("out", "", "write per-job outcomes to this CSV file");
   cli.add_flag("instruments", "",
                "comma-separated extra instruments (see --list-instruments), "
@@ -535,6 +596,8 @@ int main(int argc, char** argv) try {
                "print the policy/assigner registry contents and exit");
   cli.add_flag("list-instruments", "false",
                "print the instrument registry contents and exit");
+  cli.add_flag("list-pms", "false",
+               "print the power-manager registry contents and exit");
   cli.add_flag("sweep", "",
                "sweep grid file (RunSpec config + sweep.* axes); runs the "
                "whole grid and emits results in grid order");
@@ -589,20 +652,17 @@ int main(int argc, char** argv) try {
 
   if (cli.get_bool("list-policies")) {
     const core::PolicyRegistry& registry = core::PolicyRegistry::global();
-    std::cout << "policies:";
-    for (const std::string& name : registry.policy_names())
-      std::cout << ' ' << name;
-    std::cout << "\nassigners:";
-    for (const std::string& name : registry.assigner_names())
-      std::cout << ' ' << name;
-    std::cout << '\n';
+    print_registry("policies", registry.policy_entries());
+    print_registry("assigners", registry.assigner_entries());
     return 0;
   }
   if (cli.get_bool("list-instruments")) {
-    std::cout << "instruments:";
-    for (const std::string& name : sim::InstrumentRegistry::global().names())
-      std::cout << ' ' << name;
-    std::cout << '\n';
+    print_registry("instruments", sim::InstrumentRegistry::global().entries());
+    return 0;
+  }
+  if (cli.get_bool("list-pms")) {
+    print_registry("power managers",
+                   pm::PowerManagerRegistry::global().entries());
     return 0;
   }
 

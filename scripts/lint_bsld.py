@@ -9,7 +9,7 @@ can express, over src/, tests/, examples/ and bench/:
                    nothing upstream catches. Every user-facing input path
                    must go through util::parse (src/util/parse.cpp is the
                    one place allowed to touch the raw primitives).
-  determinism      src/sim and src/core must stay bit-reproducible: no
+  determinism      src/sim, src/core and src/pm must stay bit-reproducible: no
                    rand()/srand(), no std::random_device, no wall-clock
                    reads (std::chrono::system_clock, time(), clock(),
                    gettimeofday). Randomness comes from util::rng with an
@@ -122,7 +122,8 @@ def rule_raw_parse(path, raw, code, text):
 
 
 def rule_determinism(path, raw, code, text):
-    if not (path.startswith("src/sim/") or path.startswith("src/core/")):
+    if not (path.startswith("src/sim/") or path.startswith("src/core/")
+            or path.startswith("src/pm/")):
         return []
     findings = []
     for i, line in enumerate(code, 1):
@@ -257,8 +258,8 @@ RULES = {
                   "raw std::stod/stoi/atof/strtol-family calls outside "
                   "src/util/parse.cpp"),
     "determinism": (rule_determinism,
-                    "rand()/std::random_device/wall-clock reads in src/sim "
-                    "and src/core"),
+                    "rand()/std::random_device/wall-clock reads in src/sim, "
+                    "src/core and src/pm"),
     "new-delete": (rule_new_delete,
                    "naked new/delete expressions anywhere in the tree"),
     "catch-all": (rule_catch_all,

@@ -15,11 +15,78 @@
 #                             benchmarks named in bench/bench_guard.list.
 #   --update-baseline         After running, copy the fresh JSON over
 #                             bench/BENCH_baseline.json (run on quiet
-#                             hardware; commit the result).
+#                             hardware; commit the result). Refused unless
+#                             the build dir is a Release build: a Debug
+#                             baseline would poison every later --compare
+#                             (mirror of bench_compare.py's stamp check).
+#   --self-test               Prove the --update-baseline guard against a
+#                             sandboxed fake build dir (Debug refused,
+#                             Release accepted) and exit. Touches nothing
+#                             outside a temp directory.
+#
+# Environment:
+#   BSLD_BENCH_BASELINE       Baseline path --update-baseline writes to
+#                             (default bench/BENCH_baseline.json; the
+#                             self-test uses this to stay sandboxed).
 #
 # Extra arguments are forwarded to bench_micro (e.g.
 # --benchmark_min_time=0.01s for CI smokes).
 set -euo pipefail
+
+self_test() {
+  local script_path tmp
+  script_path="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  # A fake build dir: a stub bench_micro that emits one valid
+  # google-benchmark JSON record, plus a CMakeCache carrying the build type
+  # under test. Everything the guard consults, nothing else.
+  mkdir -p "$tmp/build/bench"
+  cat > "$tmp/build/bench/bench_micro" <<'STUB'
+#!/usr/bin/env bash
+out=""
+for arg in "$@"; do
+  case "$arg" in --benchmark_out=*) out="${arg#--benchmark_out=}" ;; esac
+done
+printf '{"context": {}, "benchmarks": [{"name": "BM_Stub", "real_time": 1.0}]}\n' > "$out"
+STUB
+  chmod +x "$tmp/build/bench/bench_micro"
+
+  echo "CMAKE_BUILD_TYPE:STRING=Debug" > "$tmp/build/CMakeCache.txt"
+  if BSLD_BENCH_BASELINE="$tmp/baseline.json" \
+      "$script_path" --update-baseline "$tmp/build" "$tmp/out.json" \
+      > "$tmp/debug.log" 2>&1; then
+    echo "run_bench.sh --self-test: FAIL — a Debug build updated the baseline" >&2
+    cat "$tmp/debug.log" >&2
+    exit 1
+  fi
+  if [[ -e "$tmp/baseline.json" ]]; then
+    echo "run_bench.sh --self-test: FAIL — refusal still wrote the baseline" >&2
+    exit 1
+  fi
+  if ! grep -q "refusing --update-baseline" "$tmp/debug.log"; then
+    echo "run_bench.sh --self-test: FAIL — Debug refusal lacks the guard message" >&2
+    cat "$tmp/debug.log" >&2
+    exit 1
+  fi
+
+  echo "CMAKE_BUILD_TYPE:STRING=Release" > "$tmp/build/CMakeCache.txt"
+  if ! BSLD_BENCH_BASELINE="$tmp/baseline.json" \
+      "$script_path" --update-baseline "$tmp/build" "$tmp/out.json" \
+      > "$tmp/release.log" 2>&1; then
+    echo "run_bench.sh --self-test: FAIL — a Release build was refused" >&2
+    cat "$tmp/release.log" >&2
+    exit 1
+  fi
+  if [[ ! -s "$tmp/baseline.json" ]]; then
+    echo "run_bench.sh --self-test: FAIL — Release run left no baseline" >&2
+    exit 1
+  fi
+
+  echo "run_bench.sh --self-test: OK (Debug refused, Release accepted)"
+  exit 0
+}
 
 compare_baseline=""
 update_baseline=0
@@ -33,6 +100,9 @@ while [[ $# -ge 1 ]]; do
     --update-baseline)
       update_baseline=1
       shift
+      ;;
+    --self-test)
+      self_test
       ;;
     *)
       break
@@ -58,6 +128,22 @@ if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
   exit 1
 fi
 
+# Read the build type up front: the stamp below wants it anyway, and
+# --update-baseline must refuse a non-Release build *before* spending
+# minutes benchmarking a binary whose numbers could never be committed.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" | head -n 1)"
+if [[ -z "$build_type" ]]; then
+  echo "run_bench.sh: cannot read CMAKE_BUILD_TYPE from $build_dir/CMakeCache.txt" >&2
+  exit 1
+fi
+baseline_path="${BSLD_BENCH_BASELINE:-bench/BENCH_baseline.json}"
+if [[ $update_baseline -eq 1 && "$build_type" != "Release" ]]; then
+  echo "run_bench.sh: refusing --update-baseline from a $build_type build —" \
+       "the committed baseline must come from Release (same rule" \
+       "bench_compare.py enforces via the bsld_build_type stamp)" >&2
+  exit 1
+fi
+
 "$build_dir/bench/bench_micro" \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
@@ -74,12 +160,8 @@ python3 scripts/bench_compare.py --check "$out"
 # Stamp the build type the binary was compiled with into the artifact, so
 # bench_compare can refuse Debug-vs-Release comparisons later. The cache
 # always carries CMAKE_BUILD_TYPE here: the top-level CMakeLists.txt forces
-# Release into it when unset, so an empty read means a broken build dir.
-build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" | head -n 1)"
-if [[ -z "$build_type" ]]; then
-  echo "run_bench.sh: cannot read CMAKE_BUILD_TYPE from $build_dir/CMakeCache.txt" >&2
-  exit 1
-fi
+# Release into it when unset, so an empty read means a broken build dir
+# (caught above, before the run).
 python3 scripts/bench_compare.py --stamp-build-type "$build_type" "$out"
 
 echo "Wrote $out"
@@ -93,6 +175,6 @@ if [[ -n "$compare_baseline" ]]; then
 fi
 
 if [[ $update_baseline -eq 1 ]]; then
-  cp "$out" bench/BENCH_baseline.json
-  echo "Updated bench/BENCH_baseline.json"
+  cp "$out" "$baseline_path"
+  echo "Updated $baseline_path"
 fi

@@ -5,9 +5,11 @@
 #      the direct `bsldsim --spec --format csv` run;
 #   2. the warm repeat is a 100% cache hit (reply says executed=0,
 #      cache_hits=1) and byte-identical — the simulator never ran;
-#   3. malformed numeric input — CLI flag or protocol request — yields a
+#   3. a power-managed run (--pm setpoint) flows through the daemon with
+#      the same cold/warm byte-parity and warm cache-hit guarantees;
+#   4. malformed numeric input — CLI flag or protocol request — yields a
 #      named diagnostic and a nonzero exit, and the daemon survives it;
-#   4. SIGTERM drains the daemon cleanly (exit code 0).
+#   5. SIGTERM drains the daemon cleanly (exit code 0).
 #
 # Usage: scripts/serve_smoke.sh <bsldsim-binary> <spec.conf>
 set -euo pipefail
@@ -54,6 +56,26 @@ grep -q " executed=0 " "$workdir/warm.log" \
 grep -q " cache_hits=1 " "$workdir/warm.log" \
   || { echo "serve_smoke: warm query reply is not a cache hit:" >&2; cat "$workdir/warm.log" >&2; exit 1; }
 echo "serve_smoke: warm query is a 100% cache hit, byte-identical"
+
+# Power-managed run through the daemon: the setpoint controller is a
+# different simulation code path (pm timers, cap changes), so prove the
+# same parity + warm-hit guarantees hold for it. The query layers the pm
+# flags over the spec file exactly as direct mode does.
+"$bsldsim" --spec "$spec" --pm setpoint --pm-setpoint 200000 --format csv \
+  > "$workdir/pm_direct.csv" 2>/dev/null
+"$bsldsim" query --socket "$socket" --spec "$spec" \
+    --pm setpoint --pm-setpoint 200000 --format csv \
+  > "$workdir/pm_cold.csv" 2> "$workdir/pm_cold.log"
+diff "$workdir/pm_direct.csv" "$workdir/pm_cold.csv" \
+  || { echo "serve_smoke: --pm setpoint cold query differs from the direct run" >&2; exit 1; }
+"$bsldsim" query --socket "$socket" --spec "$spec" \
+    --pm setpoint --pm-setpoint 200000 --format csv \
+  > "$workdir/pm_warm.csv" 2> "$workdir/pm_warm.log"
+diff "$workdir/pm_direct.csv" "$workdir/pm_warm.csv" \
+  || { echo "serve_smoke: --pm setpoint warm query differs from the direct run" >&2; exit 1; }
+grep -q " executed=0 " "$workdir/pm_warm.log" \
+  || { echo "serve_smoke: --pm setpoint warm query still simulated:" >&2; cat "$workdir/pm_warm.log" >&2; exit 1; }
+echo "serve_smoke: --pm setpoint query parity + warm cache hit OK"
 
 # Malformed numeric input, CLI path: named diagnostic, nonzero exit.
 if "$bsldsim" --bsld 2x5 > /dev/null 2> "$workdir/cli.log"; then

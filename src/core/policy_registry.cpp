@@ -26,33 +26,47 @@ std::unique_ptr<cluster::ResourceSelector> selector_for(
 }
 
 void register_builtins(PolicyRegistry& registry) {
-  registry.add_assigner("ftop", [](const PolicySpec&) {
-    return std::make_unique<TopFrequency>();
-  });
-  registry.add_assigner("bsld", [](const PolicySpec& spec) {
-    BSLD_REQUIRE(spec.dvfs.has_value(),
-                 "PolicyRegistry: assigner `bsld` needs a DVFS config");
-    return std::make_unique<BsldThresholdAssigner>(*spec.dvfs);
-  });
+  registry.add_assigner("ftop", "every job starts at the top gear (no DVFS)",
+                        [](const PolicySpec&) {
+                          return std::make_unique<TopFrequency>();
+                        });
+  registry.add_assigner(
+      "bsld", "BSLD-threshold gear selection (the paper's policy)",
+      [](const PolicySpec& spec) {
+        BSLD_REQUIRE(spec.dvfs.has_value(),
+                     "PolicyRegistry: assigner `bsld` needs a DVFS config");
+        return std::make_unique<BsldThresholdAssigner>(*spec.dvfs);
+      });
 
-  registry.add_policy("easy", [&registry](const PolicySpec& spec) {
-    return std::make_unique<EasyBackfilling>(selector_for(spec),
-                                             registry.make_assigner(spec));
-  });
-  registry.add_policy("fcfs", [&registry](const PolicySpec& spec) {
-    return std::make_unique<Fcfs>(selector_for(spec),
-                                  registry.make_assigner(spec));
-  });
-  registry.add_policy("conservative", [&registry](const PolicySpec& spec) {
-    return std::make_unique<ConservativeBackfilling>(
-        selector_for(spec), registry.make_assigner(spec));
-  });
-  registry.add_policy("easy+raise", [&registry](const PolicySpec& spec) {
-    BSLD_REQUIRE(spec.raise.has_value(),
-                 "PolicyRegistry: policy `easy+raise` needs a raise config");
-    return std::make_unique<DynamicRaiseEasy>(
-        selector_for(spec), registry.make_assigner(spec), *spec.raise);
-  });
+  registry.add_policy(
+      "easy", "aggressive EASY backfilling (the paper's baseline scheduler)",
+      [&registry](const PolicySpec& spec) {
+        return std::make_unique<EasyBackfilling>(selector_for(spec),
+                                                 registry.make_assigner(spec));
+      });
+  registry.add_policy("fcfs", "first-come first-served, no backfilling",
+                      [&registry](const PolicySpec& spec) {
+                        return std::make_unique<Fcfs>(
+                            selector_for(spec), registry.make_assigner(spec));
+                      });
+  registry.add_policy(
+      "conservative",
+      "conservative backfilling: every queued job holds a reservation",
+      [&registry](const PolicySpec& spec) {
+        return std::make_unique<ConservativeBackfilling>(
+            selector_for(spec), registry.make_assigner(spec));
+      });
+  registry.add_policy(
+      "easy+raise",
+      "EASY plus dynamic frequency raise when the queue passes "
+      "policy.raise.queue_limit",
+      [&registry](const PolicySpec& spec) {
+        BSLD_REQUIRE(spec.raise.has_value(),
+                     "PolicyRegistry: policy `easy+raise` needs a raise "
+                     "config");
+        return std::make_unique<DynamicRaiseEasy>(
+            selector_for(spec), registry.make_assigner(spec), *spec.raise);
+      });
 }
 
 }  // namespace
@@ -79,18 +93,32 @@ PolicyRegistry& PolicyRegistry::global() {
 
 void PolicyRegistry::add_policy(const std::string& name,
                                 PolicyFactory factory) {
+  add_policy(name, "", std::move(factory));
+}
+
+void PolicyRegistry::add_policy(const std::string& name,
+                                std::string description,
+                                PolicyFactory factory) {
   const util::WriterLock lock(mutex_);
   BSLD_REQUIRE(!policies_.contains(name),
                "PolicyRegistry: policy `" + name + "` already registered");
-  policies_.emplace(name, std::move(factory));
+  policies_.emplace(name,
+                    PolicyEntry{std::move(description), std::move(factory)});
 }
 
 void PolicyRegistry::add_assigner(const std::string& name,
                                   AssignerFactory factory) {
+  add_assigner(name, "", std::move(factory));
+}
+
+void PolicyRegistry::add_assigner(const std::string& name,
+                                  std::string description,
+                                  AssignerFactory factory) {
   const util::WriterLock lock(mutex_);
   BSLD_REQUIRE(!assigners_.contains(name),
                "PolicyRegistry: assigner `" + name + "` already registered");
-  assigners_.emplace(name, std::move(factory));
+  assigners_.emplace(
+      name, AssignerEntry{std::move(description), std::move(factory)});
 }
 
 bool PolicyRegistry::has_policy(const std::string& name) const {
@@ -119,6 +147,28 @@ std::vector<std::string> PolicyRegistry::assigner_names() const {
   return names;
 }
 
+std::vector<std::pair<std::string, std::string>>
+PolicyRegistry::policy_entries() const {
+  const util::ReaderLock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(policies_.size());
+  for (const auto& [name, entry] : policies_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+PolicyRegistry::assigner_entries() const {
+  const util::ReaderLock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(assigners_.size());
+  for (const auto& [name, entry] : assigners_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
 std::unique_ptr<SchedulingPolicy> PolicyRegistry::make(
     const PolicySpec& spec) const {
   const std::string name = spec.resolved_name();
@@ -126,7 +176,7 @@ std::unique_ptr<SchedulingPolicy> PolicyRegistry::make(
   {
     const util::ReaderLock lock(mutex_);
     const auto it = policies_.find(name);
-    if (it != policies_.end()) factory = it->second;
+    if (it != policies_.end()) factory = it->second.factory;
   }
   if (!factory) {
     throw Error("PolicyRegistry: unknown policy `" + name +
@@ -142,7 +192,7 @@ std::unique_ptr<FrequencyAssigner> PolicyRegistry::make_assigner(
   {
     const util::ReaderLock lock(mutex_);
     const auto it = assigners_.find(name);
-    if (it != assigners_.end()) factory = it->second;
+    if (it != assigners_.end()) factory = it->second.factory;
   }
   if (!factory) {
     throw Error("PolicyRegistry: unknown assigner `" + name +

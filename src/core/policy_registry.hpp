@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dynamic_raise.hpp"
@@ -66,8 +67,16 @@ class PolicyRegistry {
   /// Registers a policy factory. Throws bsld::Error on a duplicate name.
   void add_policy(const std::string& name, PolicyFactory factory);
 
+  /// Same, with a one-line description shown by `bsldsim --list-policies`.
+  void add_policy(const std::string& name, std::string description,
+                  PolicyFactory factory);
+
   /// Registers an assigner factory. Throws bsld::Error on a duplicate name.
   void add_assigner(const std::string& name, AssignerFactory factory);
+
+  /// Same, with a one-line description shown by `bsldsim --list-policies`.
+  void add_assigner(const std::string& name, std::string description,
+                    AssignerFactory factory);
 
   [[nodiscard]] bool has_policy(const std::string& name) const;
   [[nodiscard]] bool has_assigner(const std::string& name) const;
@@ -75,6 +84,13 @@ class PolicyRegistry {
   /// Registered names in sorted order (for error messages and --help).
   [[nodiscard]] std::vector<std::string> policy_names() const;
   [[nodiscard]] std::vector<std::string> assigner_names() const;
+
+  /// (name, description) pairs in sorted order; descriptions registered
+  /// without one are empty.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  policy_entries() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  assigner_entries() const;
 
   /// Builds the policy `spec` describes (via resolved_name()). Throws
   /// bsld::Error on unknown names, listing what is registered.
@@ -87,9 +103,18 @@ class PolicyRegistry {
       const PolicySpec& spec) const;
 
  private:
+  struct PolicyEntry {
+    std::string description;
+    PolicyFactory factory;
+  };
+  struct AssignerEntry {
+    std::string description;
+    AssignerFactory factory;
+  };
+
   mutable util::SharedMutex mutex_;
-  std::map<std::string, PolicyFactory> policies_ BSLD_GUARDED_BY(mutex_);
-  std::map<std::string, AssignerFactory> assigners_ BSLD_GUARDED_BY(mutex_);
+  std::map<std::string, PolicyEntry> policies_ BSLD_GUARDED_BY(mutex_);
+  std::map<std::string, AssignerEntry> assigners_ BSLD_GUARDED_BY(mutex_);
 };
 
 /// Reads a PolicySpec from `policy.*` config keys (see policy_to_config).

@@ -1,0 +1,295 @@
+#include "pm/cap.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsld::pm {
+
+namespace {
+
+/// Absolute tolerance for cap comparisons: powers are O(1e2..1e6) W and
+/// built from a handful of multiplies, so 1e-9 W absorbs rounding noise
+/// without ever admitting real overshoot.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+CapManager::CapManager(const power::PowerModel& model, double cap_watts,
+                       Share share)
+    : model_(model), cap_watts_(cap_watts), share_(share) {
+  BSLD_REQUIRE(cap_watts > 0.0, "CapManager: cap must be positive");
+}
+
+const char* CapManager::name() const {
+  return share_ == Share::kUniform ? "cap-uniform" : "cap-proportional";
+}
+
+void CapManager::on_run_begin(PmContext& context) {
+  (void)context;
+  jobs_.clear();
+  gate_order_.clear();
+}
+
+CapManager::ActiveLoad CapManager::active_load() const {
+  ActiveLoad load;
+  for (const auto& [id, job] : jobs_) {
+    if (job.gated) continue;
+    load.watts += job.cpus * model_.active_power(job.current);
+    load.cpus += job.cpus;
+  }
+  return load;
+}
+
+bool CapManager::fits_with(std::int32_t extra_cpus) const {
+  const double floor_gear_power = model_.active_power(0);
+  double watts = extra_cpus * floor_gear_power;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.gated) watts += job.cpus * floor_gear_power;
+  }
+  return watts <= cap_watts_ + kEps;
+}
+
+std::map<JobId, GearIndex> CapManager::assign() const {
+  std::map<JobId, GearIndex> targets;
+  const GearIndex top = model_.gears().top_index();
+
+  if (share_ == Share::kUniform) {
+    // Highest uniform level that fits; jobs below the level keep their
+    // desired gear. Falls through to 0 when even the floor is over the
+    // cap (forced admissions) — over-cap at the floor is tolerated.
+    GearIndex level = 0;
+    for (GearIndex u = top; u >= 0; --u) {
+      double watts = 0.0;
+      for (const auto& [id, job] : jobs_) {
+        if (job.gated) continue;
+        watts += job.cpus * model_.active_power(std::min(job.desired, u));
+      }
+      if (watts <= cap_watts_ + kEps) {
+        level = u;
+        break;
+      }
+    }
+    for (const auto& [id, job] : jobs_) {
+      if (!job.gated) targets.emplace(id, std::min(job.desired, level));
+    }
+    return targets;
+  }
+
+  // Proportional: demand at desired gears; if it already fits, nobody is
+  // throttled.
+  double demand = 0.0;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.gated) demand += job.cpus * model_.active_power(job.desired);
+  }
+  if (demand <= cap_watts_ + kEps) {
+    for (const auto& [id, job] : jobs_) {
+      if (!job.gated) targets.emplace(id, job.desired);
+    }
+    return targets;
+  }
+
+  // Each job's share of the cap is proportional to its desired demand;
+  // take the best gear that fits the share (floor at 0).
+  double used = 0.0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.gated) continue;
+    const double share =
+        cap_watts_ * (job.cpus * model_.active_power(job.desired)) / demand;
+    GearIndex gear = 0;
+    for (GearIndex g = std::min(job.desired, top); g >= 1; --g) {
+      if (job.cpus * model_.active_power(g) <= share + kEps) {
+        gear = g;
+        break;
+      }
+    }
+    targets.emplace(id, gear);
+    used += job.cpus * model_.active_power(gear);
+  }
+
+  // Redistribute leftover slack one gear step at a time, JobId order, until
+  // no raise fits (PoLiMEr-style increase loop).
+  bool raised = true;
+  while (raised) {
+    raised = false;
+    for (auto& [id, gear] : targets) {
+      const Job& job = jobs_.at(id);
+      if (gear >= job.desired) continue;
+      const double step = job.cpus * (model_.active_power(gear + 1) -
+                                      model_.active_power(gear));
+      if (used + step <= cap_watts_ + kEps) {
+        used += step;
+        ++gear;
+        raised = true;
+      }
+    }
+  }
+  return targets;
+}
+
+void CapManager::apply(PmContext& context,
+                       const std::map<JobId, GearIndex>& targets, JobId skip) {
+  for (const auto& [id, gear] : targets) {
+    if (id == skip) continue;
+    Job& job = jobs_.at(id);
+    if (gear == job.current) continue;
+    PmEvent event;
+    event.kind = gear < job.current ? PmEventKind::kThrottle : PmEventKind::kRaise;
+    event.time = context.now();
+    event.job = id;
+    event.cpu_count = job.cpus;
+    event.gear_from = job.current;
+    event.gear_to = gear;
+    context.set_job_gear(id, gear);
+    job.current = gear;
+    context.emit(event);
+  }
+}
+
+void CapManager::rebalance(PmContext& context) {
+  apply(context, assign(), kNoJob);
+}
+
+void CapManager::try_release(PmContext& context) {
+  while (!gate_order_.empty()) {
+    const JobId head = gate_order_.front();
+    Job& job = jobs_.at(head);
+    bool any_active = false;
+    for (const auto& [id, other] : jobs_) {
+      if (!other.gated) {
+        any_active = true;
+        break;
+      }
+    }
+    const bool fits = fits_with(job.cpus);
+    if (!fits && any_active) {
+      return;  // A future finish will free budget; keep waiting.
+    }
+    PmEvent release;
+    release.time = context.now();
+    release.job = head;
+    release.cpu_count = job.cpus;
+    release.seconds = static_cast<double>(context.now() - job.gate_start);
+    if (!fits) {
+      // Nothing active to wait for: the cap cannot fit this job at any
+      // gear. Force it through at the floor so the run terminates.
+      PmEvent infeasible;
+      infeasible.kind = PmEventKind::kInfeasible;
+      infeasible.time = context.now();
+      infeasible.job = head;
+      infeasible.cpu_count = job.cpus;
+      infeasible.watts = cap_watts_;
+      context.emit(infeasible);
+    }
+    gate_order_.pop_front();
+    job.gated = false;
+    job.gate_start = kNoTime;
+    if (fits) {
+      const std::map<JobId, GearIndex> targets = assign();
+      job.current = targets.at(head);
+      context.release_job(head, job.current);
+      release.kind = PmEventKind::kRelease;
+      release.gear_to = job.current;
+      context.emit(release);
+      apply(context, targets, head);
+    } else {
+      job.current = 0;
+      context.release_job(head, 0);
+      release.kind = PmEventKind::kRelease;
+      release.gear_to = 0;
+      context.emit(release);
+    }
+  }
+}
+
+StartDecision CapManager::on_job_start(PmContext& context, JobId id,
+                                       const std::vector<CpuId>& cpus,
+                                       GearIndex gear) {
+  const auto size = static_cast<std::int32_t>(cpus.size());
+  if (fits_with(size)) {
+    Job job;
+    job.cpus = size;
+    job.desired = gear;
+    jobs_.emplace(id, job);
+    const std::map<JobId, GearIndex> targets = assign();
+    const GearIndex start_gear = targets.at(id);
+    jobs_.at(id).current = start_gear;
+    if (start_gear < gear) {
+      PmEvent event;
+      event.kind = PmEventKind::kThrottle;
+      event.time = context.now();
+      event.job = id;
+      event.cpu_count = size;
+      event.gear_from = gear;
+      event.gear_to = start_gear;
+      context.emit(event);
+    }
+    apply(context, targets, id);
+    return StartDecision{false, start_gear, 0};
+  }
+
+  bool any_active = false;
+  for (const auto& [other_id, other] : jobs_) {
+    if (!other.gated) {
+      any_active = true;
+      break;
+    }
+  }
+  if (any_active) {
+    Job job;
+    job.cpus = size;
+    job.desired = gear;
+    job.current = gear;
+    job.gated = true;
+    job.gate_start = context.now();
+    jobs_.emplace(id, job);
+    gate_order_.push_back(id);
+    PmEvent event;
+    event.kind = PmEventKind::kGate;
+    event.time = context.now();
+    event.job = id;
+    event.cpu_count = size;
+    context.emit(event);
+    return StartDecision{true, gear, 0};
+  }
+
+  // The cap cannot fit even this one job at gear 0 and nothing else is
+  // running: force-admit at the floor rather than deadlock the run.
+  Job job;
+  job.cpus = size;
+  job.desired = gear;
+  job.current = 0;
+  jobs_.emplace(id, job);
+  PmEvent event;
+  event.kind = PmEventKind::kInfeasible;
+  event.time = context.now();
+  event.job = id;
+  event.cpu_count = size;
+  event.watts = cap_watts_;
+  context.emit(event);
+  return StartDecision{false, 0, 0};
+}
+
+void CapManager::on_job_finish(PmContext& context, JobId id,
+                               const std::vector<CpuId>& cpus) {
+  (void)cpus;
+  jobs_.erase(id);
+  try_release(context);
+  rebalance(context);
+}
+
+void CapManager::on_job_raised(PmContext& context, JobId id, GearIndex gear) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.desired = gear;
+  if (it->second.gated) {
+    it->second.current = gear;  // Planned release gear follows the raise.
+    return;
+  }
+  // The simulation already applied the raise; record it, then re-level —
+  // the cap may immediately take part or all of it back.
+  it->second.current = gear;
+  rebalance(context);
+}
+
+}  // namespace bsld::pm

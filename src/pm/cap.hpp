@@ -1,0 +1,97 @@
+/// \file cap.hpp
+/// \brief Cluster power capping with slack redistribution.
+///
+/// CapManager enforces one budget over the whole cluster's *active* power
+/// (running CPUs at their gears; idle power is outside the cap, matching
+/// the powercap policies in flux-power-monitor). Two sharing rules:
+///
+///  * kUniform — one gear level for everyone: the highest level u such
+///    that running every job at min(desired, u) fits the cap.
+///  * kProportional — each job gets a budget share proportional to its
+///    desired-gear demand, picks the best gear within its share, then
+///    leftover slack is redistributed one gear step at a time in JobId
+///    order (PoLiMEr's increase/decrease scheme).
+///
+/// Admission control: a start that would push the lowest-gear floor of
+/// the active set over the cap is *gated* — the job keeps its allocation
+/// but makes no progress until a finish frees enough budget (FIFO
+/// release). When the cap cannot fit even one job at gear 0, the manager
+/// force-admits rather than deadlock and emits kInfeasible: the cap
+/// starves admission, it never livelocks the run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "pm/power_manager.hpp"
+#include "power/power_model.hpp"
+
+namespace bsld::pm {
+
+/// Power-cap manager: families "cap-uniform" and "cap-proportional".
+class CapManager : public PowerManager {
+ public:
+  enum class Share { kUniform, kProportional };
+
+  CapManager(const power::PowerModel& model, double cap_watts, Share share);
+
+  [[nodiscard]] const char* name() const override;
+
+  void on_run_begin(PmContext& context) override;
+  [[nodiscard]] StartDecision on_job_start(PmContext& context, JobId id,
+                                           const std::vector<CpuId>& cpus,
+                                           GearIndex gear) override;
+  void on_job_finish(PmContext& context, JobId id,
+                     const std::vector<CpuId>& cpus) override;
+  void on_job_raised(PmContext& context, JobId id, GearIndex gear) override;
+
+ protected:
+  /// One admitted (running or gated) job under the cap.
+  struct Job {
+    std::int32_t cpus = 0;      ///< Allocation size.
+    GearIndex desired = 0;      ///< Policy-assigned (or raised) gear.
+    GearIndex current = 0;      ///< Gear actually engaged (when !gated).
+    bool gated = false;
+    Time gate_start = kNoTime;  ///< When the job was gated (for kRelease).
+  };
+
+  /// Active (non-gated) power at the current gear assignment, plus the
+  /// number of active CPUs — the measurement the setpoint controller uses.
+  struct ActiveLoad {
+    double watts = 0.0;
+    std::int32_t cpus = 0;
+  };
+  [[nodiscard]] ActiveLoad active_load() const;
+
+  /// Lowest-gear active power if `extra_cpus` more CPUs joined: the
+  /// admission feasibility test.
+  [[nodiscard]] bool fits_with(std::int32_t extra_cpus) const;
+
+  /// Target gears for every non-gated job under the sharing rule.
+  [[nodiscard]] std::map<JobId, GearIndex> assign() const;
+
+  /// Applies `targets` to the simulation, emitting kThrottle/kRaise for
+  /// each change. `skip` (kNoJob = none) is excluded — used for a job
+  /// whose start is still in flight.
+  void apply(PmContext& context, const std::map<JobId, GearIndex>& targets,
+             JobId skip);
+
+  /// Releases gated jobs FIFO while they fit; when nothing is active to
+  /// wait for, force-releases the head at gear 0 (kInfeasible) so the run
+  /// always makes progress.
+  void try_release(PmContext& context);
+
+  /// Re-levels everyone after the cap or the job set changed.
+  void rebalance(PmContext& context);
+
+  const power::PowerModel& model_;
+  double cap_watts_;
+  Share share_;
+  /// Ordered by JobId so every scan is deterministic.
+  std::map<JobId, Job> jobs_;
+  std::deque<JobId> gate_order_;
+};
+
+}  // namespace bsld::pm

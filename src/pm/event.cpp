@@ -1,0 +1,19 @@
+#include "pm/event.hpp"
+
+namespace bsld::pm {
+
+const char* to_string(PmEventKind kind) {
+  switch (kind) {
+    case PmEventKind::kCapChange: return "cap-change";
+    case PmEventKind::kThrottle: return "throttle";
+    case PmEventKind::kRaise: return "raise";
+    case PmEventKind::kGate: return "gate";
+    case PmEventKind::kRelease: return "release";
+    case PmEventKind::kInfeasible: return "infeasible";
+    case PmEventKind::kSleepInterval: return "sleep";
+    case PmEventKind::kWake: return "wake";
+  }
+  return "unknown";
+}
+
+}  // namespace bsld::pm

@@ -1,0 +1,124 @@
+/// \file power_manager.hpp
+/// \brief The pm::PowerManager interface and the context the simulation
+/// exposes to it.
+///
+/// A PowerManager is the cluster-level counterpart of the paper's per-job
+/// DVFS policy: it sees every submit/start/finish transition plus its own
+/// timers, and acts through a narrow PmContext seam — re-gearing running
+/// jobs, gating admissions under a power cap, releasing them later, and
+/// charging wake latencies to allocations that hit sleeping CPUs. The
+/// simulation owns the manager for the duration of one run; managers keep
+/// per-run state and reset it in on_run_begin. Everything is
+/// single-threaded within a run (one Simulation per thread), so managers
+/// need no locking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/event.hpp"
+#include "util/types.hpp"
+
+namespace bsld::power {
+class PowerModel;
+}  // namespace bsld::power
+
+namespace bsld::pm {
+
+/// The manager's verdict on one job start. The default-constructed value
+/// means "start exactly as the scheduler asked" — the no-op manager path.
+struct StartDecision {
+  /// Admit the job's allocation but keep it power-gated: it holds its CPUs
+  /// and makes no progress until PmContext::release_job.
+  bool gate = false;
+  /// Gear to start (or, when gated, to plan for). Must be a valid index;
+  /// capping managers lower it below the scheduler's choice.
+  GearIndex gear = 0;
+  /// Seconds of wake latency charged before execution begins (sleeping
+  /// CPUs spinning up). Mutually exclusive with gate.
+  Time wake_delay = 0;
+};
+
+/// What the simulation lets a manager do. Implemented by sim::Simulation;
+/// abstract here so pm stays below sim in the layer DAG.
+class PmContext {
+ public:
+  PmContext() = default;
+  PmContext(const PmContext&) = delete;
+  PmContext& operator=(const PmContext&) = delete;
+  virtual ~PmContext() = default;
+
+  /// Current simulation time.
+  [[nodiscard]] virtual Time now() const = 0;
+  /// Total CPUs in the cluster.
+  [[nodiscard]] virtual std::int32_t cpu_count() const = 0;
+  /// The run's power model (gear powers, idle power, sleep states).
+  [[nodiscard]] virtual const power::PowerModel& power_model() const = 0;
+  /// Re-gear a running (non-gated) job, lowering or raising it; remaining
+  /// work is re-timed exactly like a policy boost. No-op if unchanged.
+  virtual void set_job_gear(JobId id, GearIndex gear) = 0;
+  /// Start execution of a job previously gated by a StartDecision, at the
+  /// given gear. Its runtime clock begins at now().
+  virtual void release_job(JobId id, GearIndex gear) = 0;
+  /// Request an on_timer callback at an absolute future time.
+  virtual void schedule_timer(Time at) = 0;
+  /// Publish a PmEvent to the run's observer stream.
+  virtual void emit(const PmEvent& event) = 0;
+};
+
+/// Cluster power-management policy, driven by the simulation at every job
+/// transition. All hooks default to no-ops so a manager overrides only
+/// the transitions it cares about; `pm=none` installs a manager that
+/// overrides nothing, which the parity suite pins to be bit-identical to
+/// running without one.
+class PowerManager {
+ public:
+  PowerManager() = default;
+  PowerManager(const PowerManager&) = delete;
+  PowerManager& operator=(const PowerManager&) = delete;
+  virtual ~PowerManager() = default;
+
+  /// Registry key of this manager ("none", "cap-uniform", ...).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Called once before any job is scheduled (time 0).
+  virtual void on_run_begin(PmContext& context) { (void)context; }
+  /// A job entered the wait queue (before the scheduler sees it).
+  virtual void on_job_submit(PmContext& context, JobId id) {
+    (void)context;
+    (void)id;
+  }
+  /// The scheduler is starting `id` on `cpus` at `gear`; the manager may
+  /// lower the gear, gate the admission, or charge a wake delay.
+  [[nodiscard]] virtual StartDecision on_job_start(PmContext& context,
+                                                  JobId id,
+                                                  const std::vector<CpuId>& cpus,
+                                                  GearIndex gear) {
+    (void)context;
+    (void)id;
+    (void)cpus;
+    return StartDecision{false, gear, 0};
+  }
+  /// A running job completed and released `cpus`.
+  virtual void on_job_finish(PmContext& context, JobId id,
+                             const std::vector<CpuId>& cpus) {
+    (void)context;
+    (void)id;
+    (void)cpus;
+  }
+  /// The DVFS policy raised a running job to `gear` (dynamic raise); the
+  /// manager may immediately throttle it back via set_job_gear.
+  virtual void on_job_raised(PmContext& context, JobId id, GearIndex gear) {
+    (void)context;
+    (void)id;
+    (void)gear;
+  }
+  /// A timer requested via PmContext::schedule_timer fired.
+  virtual void on_timer(PmContext& context) { (void)context; }
+  /// Called once after the last job finished, before observers see
+  /// on_run_end — final accounting events emitted here still reach the
+  /// run's instruments.
+  virtual void on_run_end(PmContext& context) { (void)context; }
+};
+
+}  // namespace bsld::pm

@@ -1,0 +1,137 @@
+#include "pm/registry.hpp"
+
+#include "pm/cap.hpp"
+#include "pm/setpoint.hpp"
+#include "pm/sleep.hpp"
+#include "util/error.hpp"
+
+namespace bsld::pm {
+
+namespace {
+
+constexpr Time kDefaultIntervalS = 300;
+constexpr double kDefaultGain = 0.5;
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// `pm=none`: a real manager whose hooks all default to no-ops, so the
+/// parity suite proves the hook plumbing itself is inert.
+class NoopPowerManager final : public PowerManager {
+ public:
+  [[nodiscard]] const char* name() const override { return "none"; }
+};
+
+void register_builtins(PowerManagerRegistry& registry) {
+  registry.add("none",
+               "no power management (the default; bit-identical to the "
+               "paper's baseline)",
+               [](const PmSpec&, const power::PowerModel&) {
+                 return std::make_unique<NoopPowerManager>();
+               });
+  registry.add("cap-uniform",
+               "cluster power cap (pm.cap_watts): throttle every running "
+               "job to one uniform gear level that fits",
+               [](const PmSpec& spec, const power::PowerModel& model) {
+                 return std::make_unique<CapManager>(
+                     model, *spec.cap_watts, CapManager::Share::kUniform);
+               });
+  registry.add("cap-proportional",
+               "cluster power cap (pm.cap_watts): split the budget in "
+               "proportion to demand, then redistribute slack",
+               [](const PmSpec& spec, const power::PowerModel& model) {
+                 return std::make_unique<CapManager>(
+                     model, *spec.cap_watts, CapManager::Share::kProportional);
+               });
+  registry.add("sleep",
+               "idle-CPU C-states (power.sleep.* ladder or defaults): "
+               "reduced idle power, wake latency charged to allocations",
+               [](const PmSpec&, const power::PowerModel& model) {
+                 return std::make_unique<SleepManager>(model);
+               });
+  registry.add("setpoint",
+               "closed-loop controller: drive measured cluster power to "
+               "pm.setpoint_watts by moving the cap every pm.interval_s",
+               [](const PmSpec& spec, const power::PowerModel& model) {
+                 return std::make_unique<SetpointController>(
+                     model, *spec.setpoint_watts,
+                     spec.cap_watts.value_or(*spec.setpoint_watts),
+                     spec.interval_s.value_or(kDefaultIntervalS),
+                     spec.gain.value_or(kDefaultGain));
+               });
+}
+
+}  // namespace
+
+PowerManagerRegistry& PowerManagerRegistry::global() {
+  static PowerManagerRegistry* registry = [] {
+    // bsld-lint: allow(new-delete): leaked singleton, outlives static dtors
+    auto* r = new PowerManagerRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PowerManagerRegistry::add(const std::string& name,
+                               std::string description, Factory factory) {
+  const util::WriterLock lock(mutex_);
+  BSLD_REQUIRE(!entries_.contains(name),
+               "PowerManagerRegistry: `" + name + "` already registered");
+  entries_.emplace(name,
+                   Entry{std::move(description), std::move(factory)});
+}
+
+bool PowerManagerRegistry::has(const std::string& name) const {
+  const util::ReaderLock lock(mutex_);
+  return entries_.contains(name);
+}
+
+void PowerManagerRegistry::require(const std::string& name) const {
+  if (!has(name)) {
+    throw Error("PowerManagerRegistry: unknown power manager `" + name +
+                "` (registered: " + join(names()) + ")");
+  }
+}
+
+std::vector<std::string> PowerManagerRegistry::names() const {
+  const util::ReaderLock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+PowerManagerRegistry::entries() const {
+  const util::ReaderLock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
+std::unique_ptr<PowerManager> PowerManagerRegistry::make(
+    const PmSpec& spec, const power::PowerModel& model) const {
+  validate(spec);
+  Factory factory;
+  {
+    const util::ReaderLock lock(mutex_);
+    const auto it = entries_.find(spec.name);
+    if (it != entries_.end()) factory = it->second.factory;
+  }
+  BSLD_REQUIRE(static_cast<bool>(factory),
+               "PowerManagerRegistry: unknown power manager `" + spec.name +
+                   "`");
+  return factory(spec, model);
+}
+
+}  // namespace bsld::pm

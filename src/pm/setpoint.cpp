@@ -1,0 +1,78 @@
+#include "pm/setpoint.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsld::pm {
+
+SetpointController::SetpointController(const power::PowerModel& model,
+                                       double setpoint_watts,
+                                       double initial_cap, Time interval_s,
+                                       double gain)
+    : CapManager(model, initial_cap, Share::kProportional),
+      setpoint_watts_(setpoint_watts),
+      interval_s_(interval_s),
+      gain_(gain) {
+  BSLD_REQUIRE(setpoint_watts > 0.0,
+               "SetpointController: setpoint must be positive");
+  BSLD_REQUIRE(interval_s >= 1,
+               "SetpointController: interval must be at least 1 second");
+  BSLD_REQUIRE(gain > 0.0, "SetpointController: gain must be positive");
+}
+
+const char* SetpointController::name() const { return "setpoint"; }
+
+void SetpointController::on_run_begin(PmContext& context) {
+  CapManager::on_run_begin(context);
+  cluster_cpus_ = context.cpu_count();
+  armed_ = false;
+}
+
+void SetpointController::arm(PmContext& context) {
+  if (armed_) return;
+  context.schedule_timer(context.now() + interval_s_);
+  armed_ = true;
+}
+
+void SetpointController::on_job_submit(PmContext& context, JobId id) {
+  (void)id;
+  arm(context);
+}
+
+StartDecision SetpointController::on_job_start(PmContext& context, JobId id,
+                                               const std::vector<CpuId>& cpus,
+                                               GearIndex gear) {
+  arm(context);
+  return CapManager::on_job_start(context, id, cpus, gear);
+}
+
+void SetpointController::on_timer(PmContext& context) {
+  armed_ = false;
+  if (jobs_.empty()) {
+    // Nothing admitted: measuring an idle cluster would just wind the cap
+    // around; stay quiet until the next submission re-arms the timer.
+    return;
+  }
+  const ActiveLoad load = active_load();
+  const double idle_cpus =
+      static_cast<double>(cluster_cpus_) - static_cast<double>(load.cpus);
+  const double measured = load.watts + idle_cpus * model_.idle_power();
+  const double max_cap = static_cast<double>(cluster_cpus_) *
+                         model_.active_power(model_.gears().top_index());
+  cap_watts_ = std::clamp(
+      cap_watts_ + gain_ * (setpoint_watts_ - measured), 0.0, max_cap);
+  PmEvent event;
+  event.kind = PmEventKind::kCapChange;
+  event.time = context.now();
+  event.watts = cap_watts_;
+  event.aux_watts = measured;
+  context.emit(event);
+  // A higher cap may release gated jobs; a lower one throttles the
+  // running set — same machinery as a static cap move.
+  try_release(context);
+  rebalance(context);
+  arm(context);
+}
+
+}  // namespace bsld::pm

@@ -1,0 +1,56 @@
+/// \file setpoint.hpp
+/// \brief Closed-loop cluster power control to a target (Cerf et al.).
+///
+/// SetpointController is a CapManager whose cap is not fixed: every
+/// control interval it measures cluster power (active CPUs at their
+/// engaged gears plus idle power for the rest), computes the error
+/// against the setpoint, and moves the effective cap by gain * error
+/// (clamped to [0, cluster max active power]) — an integral controller
+/// over the simulation's own observer-visible state. Each step emits
+/// kCapChange with the new cap and the measurement, then re-levels
+/// running jobs and releases gated ones the way any cap move would.
+///
+/// The timer only runs while jobs are admitted (it re-arms from submit
+/// and start hooks), so an idle simulation schedules no events and a run
+/// always drains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/cap.hpp"
+
+namespace bsld::pm {
+
+/// Family "setpoint".
+class SetpointController : public CapManager {
+ public:
+  /// `initial_cap` seeds the effective cap (specs default it to the
+  /// setpoint); `interval_s` is the control period; `gain` the cap
+  /// correction per watt of error.
+  SetpointController(const power::PowerModel& model, double setpoint_watts,
+                     double initial_cap, Time interval_s, double gain);
+
+  [[nodiscard]] const char* name() const override;
+
+  void on_run_begin(PmContext& context) override;
+  void on_job_submit(PmContext& context, JobId id) override;
+  [[nodiscard]] StartDecision on_job_start(PmContext& context, JobId id,
+                                           const std::vector<CpuId>& cpus,
+                                           GearIndex gear) override;
+  void on_timer(PmContext& context) override;
+
+  /// Current effective cap (tests observe convergence through this).
+  [[nodiscard]] double effective_cap() const { return cap_watts_; }
+
+ private:
+  void arm(PmContext& context);
+
+  double setpoint_watts_;
+  Time interval_s_;
+  double gain_;
+  std::int32_t cluster_cpus_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace bsld::pm

@@ -1,0 +1,132 @@
+#include "pm/sleep.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsld::pm {
+
+std::vector<power::SleepState> default_sleep_states(
+    const power::PowerModel& model) {
+  const double idle = model.idle_power();
+  std::vector<power::SleepState> states;
+  states.push_back(power::SleepState{idle * 0.5, 300, 10});
+  states.push_back(power::SleepState{idle * 0.1, 3600, 60});
+  return states;
+}
+
+SleepManager::SleepManager(const power::PowerModel& model)
+    : states_(model.sleep_states().empty() ? default_sleep_states(model)
+                                           : model.sleep_states()) {}
+
+const char* SleepManager::name() const { return "sleep"; }
+
+void SleepManager::on_run_begin(PmContext& context) {
+  idle_since_.assign(static_cast<std::size_t>(context.cpu_count()), kNoTime);
+  tracking_ = false;
+}
+
+void SleepManager::on_job_submit(PmContext& context, JobId id) {
+  (void)id;
+  if (tracking_) return;
+  // The energy meter's horizon starts at the first submission; so does
+  // idle tracking, or pre-horizon idleness would be accounted.
+  tracking_ = true;
+  std::fill(idle_since_.begin(), idle_since_.end(), context.now());
+}
+
+Time SleepManager::account_idle(PmContext& context,
+                                const std::vector<CpuId>& cpus,
+                                bool charge_wake) {
+  const Time now = context.now();
+  // Per-state core-seconds and CPU counts across the whole batch, so one
+  // event per state is emitted no matter how many CPUs are claimed.
+  std::vector<double> state_seconds(states_.size(), 0.0);
+  std::vector<std::int32_t> state_cpus(states_.size(), 0);
+  Time wake_delay = 0;
+  std::int32_t woken = 0;
+  for (const CpuId cpu : cpus) {
+    const std::size_t index = static_cast<std::size_t>(cpu);
+    BSLD_REQUIRE(index < idle_since_.size(), "SleepManager: CPU out of range");
+    const Time since = idle_since_[index];
+    idle_since_[index] = kNoTime;
+    if (since == kNoTime) continue;
+    const Time span = now - since;
+    if (span <= 0) continue;
+    std::int32_t deepest = -1;
+    for (std::size_t k = 0; k < states_.size(); ++k) {
+      const Time begin = states_[k].enter_after_s;
+      const Time end = k + 1 < states_.size()
+                           ? std::min(span, states_[k + 1].enter_after_s)
+                           : span;
+      if (end > begin) {
+        state_seconds[k] += static_cast<double>(end - begin);
+        ++state_cpus[k];
+      }
+      if (span >= states_[k].enter_after_s) {
+        deepest = static_cast<std::int32_t>(k);
+      }
+    }
+    if (deepest >= 0) {
+      ++woken;
+      if (charge_wake) {
+        wake_delay = std::max(
+            wake_delay, states_[static_cast<std::size_t>(deepest)].wake_latency_s);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < states_.size(); ++k) {
+    if (state_seconds[k] <= 0.0) continue;
+    PmEvent event;
+    event.kind = PmEventKind::kSleepInterval;
+    event.time = now;
+    event.cpu_count = state_cpus[k];
+    event.watts = states_[k].power_watts;
+    event.seconds = state_seconds[k];
+    event.sleep_state = static_cast<std::int32_t>(k);
+    context.emit(event);
+  }
+  if (wake_delay > 0) {
+    PmEvent event;
+    event.kind = PmEventKind::kWake;
+    event.time = now;
+    event.cpu_count = woken;
+    event.seconds = static_cast<double>(wake_delay);
+    context.emit(event);
+  }
+  return wake_delay;
+}
+
+StartDecision SleepManager::on_job_start(PmContext& context, JobId id,
+                                         const std::vector<CpuId>& cpus,
+                                         GearIndex gear) {
+  (void)id;
+  const Time wake_delay = account_idle(context, cpus, /*charge_wake=*/true);
+  return StartDecision{false, gear, wake_delay};
+}
+
+void SleepManager::on_job_finish(PmContext& context, JobId id,
+                                 const std::vector<CpuId>& cpus) {
+  (void)id;
+  if (!tracking_) return;
+  const Time now = context.now();
+  for (const CpuId cpu : cpus) {
+    const std::size_t index = static_cast<std::size_t>(cpu);
+    BSLD_REQUIRE(index < idle_since_.size(), "SleepManager: CPU out of range");
+    idle_since_[index] = now;
+  }
+}
+
+void SleepManager::on_run_end(PmContext& context) {
+  if (!tracking_) return;
+  // Flush idle spans still open at the end of the horizon; nothing wakes.
+  std::vector<CpuId> idle;
+  for (std::size_t cpu = 0; cpu < idle_since_.size(); ++cpu) {
+    if (idle_since_[cpu] != kNoTime) {
+      idle.push_back(static_cast<CpuId>(cpu));
+    }
+  }
+  (void)account_idle(context, idle, /*charge_wake=*/false);
+}
+
+}  // namespace bsld::pm

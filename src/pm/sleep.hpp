@@ -1,0 +1,60 @@
+/// \file sleep.hpp
+/// \brief SleepScale-style idle C-state management.
+///
+/// Tracks per-CPU idle spans between allocations. When an allocation
+/// claims CPUs that have been idle long enough to have descended the
+/// sleep ladder (power::PowerModel::sleep_states, or a default two-state
+/// ladder), the manager emits one kSleepInterval event per state with the
+/// core-seconds spent there — EnergyProbe reprices those intervals below
+/// idle power — and charges the deepest reached state's wake latency to
+/// the allocation as a StartDecision::wake_delay. Remaining idle spans
+/// are flushed at on_run_end so end-of-run idleness is priced too.
+///
+/// Idle tracking starts at the first submission, matching the energy
+/// meter's measurement horizon (first submit to last completion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/power_manager.hpp"
+#include "power/power_model.hpp"
+
+namespace bsld::pm {
+
+/// The default two-state ladder used when the power model declares none:
+/// nap at half idle power after 5 minutes (10 s wake), deep sleep at a
+/// tenth of idle power after an hour (60 s wake).
+[[nodiscard]] std::vector<power::SleepState> default_sleep_states(
+    const power::PowerModel& model);
+
+/// Family "sleep".
+class SleepManager : public PowerManager {
+ public:
+  explicit SleepManager(const power::PowerModel& model);
+
+  [[nodiscard]] const char* name() const override;
+
+  void on_run_begin(PmContext& context) override;
+  void on_job_submit(PmContext& context, JobId id) override;
+  [[nodiscard]] StartDecision on_job_start(PmContext& context, JobId id,
+                                           const std::vector<CpuId>& cpus,
+                                           GearIndex gear) override;
+  void on_job_finish(PmContext& context, JobId id,
+                     const std::vector<CpuId>& cpus) override;
+  void on_run_end(PmContext& context) override;
+
+ private:
+  /// Accounts the sleep intervals of `cpus` idle since their recorded
+  /// times, emitting kSleepInterval per state. Returns the wake latency
+  /// of the deepest state reached by any of them (0 when `charge_wake`
+  /// is false or none slept).
+  Time account_idle(PmContext& context, const std::vector<CpuId>& cpus,
+                    bool charge_wake);
+
+  std::vector<power::SleepState> states_;
+  std::vector<Time> idle_since_;  ///< Per CPU; kNoTime = busy or untracked.
+  bool tracking_ = false;         ///< Becomes true at the first submission.
+};
+
+}  // namespace bsld::pm

@@ -20,6 +20,15 @@ void EnergyMeter::add_execution(std::int32_t size, GearIndex gear,
   ++executions_[static_cast<std::size_t>(gear)];
 }
 
+void EnergyMeter::add_sleep(double core_seconds, double power_watts) {
+  BSLD_REQUIRE(core_seconds >= 0.0, "EnergyMeter: negative sleep interval");
+  BSLD_REQUIRE(power_watts >= 0.0, "EnergyMeter: negative sleep power");
+  BSLD_REQUIRE(power_watts <= model_.idle_power() * (1.0 + 1e-9),
+               "EnergyMeter: sleep power exceeds idle power");
+  sleep_core_seconds_ += core_seconds;
+  sleep_joules_ += core_seconds * power_watts;
+}
+
 EnergyReport EnergyMeter::report(std::int32_t cpus, Time horizon) const {
   BSLD_REQUIRE(cpus > 0, "EnergyMeter: cpus must be positive");
   BSLD_REQUIRE(horizon >= 0, "EnergyMeter: negative horizon");
@@ -37,7 +46,20 @@ EnergyReport EnergyMeter::report(std::int32_t cpus, Time horizon) const {
                "EnergyMeter: busy core-seconds exceed machine capacity over "
                "the horizon");
   out.idle_core_seconds = std::max(0.0, capacity - out.busy_core_seconds);
-  out.idle_joules = out.idle_core_seconds * model_.idle_power();
+  if (sleep_core_seconds_ == 0.0) {
+    // Keep the exact historical expression when no sleep was recorded so
+    // runs without the sleep manager stay bit-identical.
+    out.idle_joules = out.idle_core_seconds * model_.idle_power();
+  } else {
+    BSLD_REQUIRE(
+        sleep_core_seconds_ <= out.idle_core_seconds * (1.0 + 1e-9),
+        "EnergyMeter: sleeping core-seconds exceed idle core-seconds");
+    out.sleep_core_seconds = sleep_core_seconds_;
+    out.sleep_joules = sleep_joules_;
+    out.idle_joules =
+        (out.idle_core_seconds - sleep_core_seconds_) * model_.idle_power() +
+        sleep_joules_;
+  }
   out.total_joules = out.computational_joules + out.idle_joules;
   return out;
 }

@@ -26,6 +26,8 @@ struct EnergyReport {
   double idle_joules = 0.0;           ///< Idle share inside total_joules.
   double busy_core_seconds = 0.0;     ///< Sum over jobs of size * runtime.
   double idle_core_seconds = 0.0;     ///< cpus * horizon - busy.
+  double sleep_core_seconds = 0.0;    ///< Subset of idle spent in C-states.
+  double sleep_joules = 0.0;          ///< Energy of the sleeping intervals.
   Time horizon = 0;                   ///< Measurement span in seconds.
 };
 
@@ -37,6 +39,11 @@ class EnergyMeter {
   /// Records a completed execution: `size` CPUs ran at `gear` for
   /// `scaled_runtime` seconds (already dilated by the time model).
   void add_execution(std::int32_t size, GearIndex gear, Time scaled_runtime);
+
+  /// Records idle core-seconds spent in a sleep C-state drawing
+  /// `power_watts` instead of the model's idle power. The interval stays
+  /// part of idle_core_seconds; report() swaps its price.
+  void add_sleep(double core_seconds, double power_watts);
 
   /// Produces the report for a machine of `cpus` processors observed over
   /// `horizon` seconds. Throws bsld::Error when the horizon is too short to
@@ -56,6 +63,8 @@ class EnergyMeter {
   const PowerModel& model_;
   std::vector<double> core_seconds_;   ///< Indexed by gear.
   std::vector<std::int64_t> executions_;
+  double sleep_core_seconds_ = 0.0;
+  double sleep_joules_ = 0.0;
 };
 
 }  // namespace bsld::power

@@ -1,5 +1,7 @@
 #include "power/power_model.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace bsld::power {
@@ -21,6 +23,31 @@ PowerModel::PowerModel(cluster::GearSet gears, PowerModelConfig config)
   dynamic_unit_ = (1.0 - config_.static_fraction_at_top) * p_top /
                   (top.frequency_ghz * top.voltage_v * top.voltage_v);
   alpha_ = config_.static_fraction_at_top * p_top / top.voltage_v;
+
+  // Sleep ladder sanity: states deepen over idle time — later states must
+  // wait longer, draw no more power, and never exceed the idle power they
+  // improve on. (Validated after alpha_/dynamic_unit_ so idle_power()
+  // works.)
+  const double idle = idle_power();
+  for (std::size_t i = 0; i < config_.sleep_states.size(); ++i) {
+    const SleepState& state = config_.sleep_states[i];
+    BSLD_REQUIRE(state.power_watts >= 0.0,
+                 "PowerModel: sleep-state power must be non-negative");
+    BSLD_REQUIRE(state.power_watts <= idle * (1.0 + 1e-9),
+                 "PowerModel: sleep-state power must not exceed idle power");
+    BSLD_REQUIRE(state.enter_after_s >= 0,
+                 "PowerModel: sleep-state enter_after_s must be non-negative");
+    BSLD_REQUIRE(state.wake_latency_s >= 0,
+                 "PowerModel: sleep-state wake_latency_s must be non-negative");
+    if (i > 0) {
+      BSLD_REQUIRE(
+          state.enter_after_s > config_.sleep_states[i - 1].enter_after_s,
+          "PowerModel: sleep-state enter_after_s must be strictly ascending");
+      BSLD_REQUIRE(
+          state.power_watts <= config_.sleep_states[i - 1].power_watts,
+          "PowerModel: sleep-state power must be non-increasing with depth");
+    }
+  }
 }
 
 double PowerModel::dynamic_power(GearIndex gear) const {
@@ -54,6 +81,31 @@ PowerModelConfig power_config_from(const util::Config& config) {
       config.get_double("power.static_fraction_at_top", out.static_fraction_at_top);
   out.top_active_power_watts =
       config.get_double("power.top_active_power_watts", out.top_active_power_watts);
+  const bool has_power = config.contains("power.sleep.power_watts");
+  const bool has_enter = config.contains("power.sleep.enter_after_s");
+  const bool has_wake = config.contains("power.sleep.wake_latency_s");
+  BSLD_REQUIRE(has_power == has_enter && has_enter == has_wake,
+               "power.sleep.{power_watts,enter_after_s,wake_latency_s} must "
+               "be given together");
+  if (has_power) {
+    const std::vector<double> watts =
+        config.get_double_list("power.sleep.power_watts", {});
+    const std::vector<double> enter =
+        config.get_double_list("power.sleep.enter_after_s", {});
+    const std::vector<double> wake =
+        config.get_double_list("power.sleep.wake_latency_s", {});
+    BSLD_REQUIRE(watts.size() == enter.size() && enter.size() == wake.size(),
+                 "power.sleep.* lists must have equal lengths");
+    BSLD_REQUIRE(!watts.empty(), "power.sleep.* lists must not be empty");
+    out.sleep_states.reserve(watts.size());
+    for (std::size_t i = 0; i < watts.size(); ++i) {
+      SleepState state;
+      state.power_watts = watts[i];
+      state.enter_after_s = static_cast<Time>(std::llround(enter[i]));
+      state.wake_latency_s = static_cast<Time>(std::llround(wake[i]));
+      out.sleep_states.push_back(state);
+    }
+  }
   return out;
 }
 

@@ -17,16 +17,35 @@
 /// `top_active_power_watts`; energy ratios are invariant to that anchor.
 #pragma once
 
+#include <vector>
+
 #include "cluster/gears.hpp"
 #include "util/config.hpp"
+#include "util/types.hpp"
 
 namespace bsld::power {
+
+/// One idle C-state of the SleepScale-style ladder consumed by the
+/// `sleep` power manager: a CPU idle for `enter_after_s` seconds drops to
+/// `power_watts` (below the model's idle power) and pays `wake_latency_s`
+/// when an allocation claims it again.
+struct SleepState {
+  double power_watts = 0.0;  ///< Per-CPU power while in this state (W).
+  Time enter_after_s = 0;    ///< Idle seconds before the state is entered.
+  Time wake_latency_s = 0;   ///< Seconds to come back to active.
+
+  friend bool operator==(const SleepState&, const SleepState&) = default;
+};
 
 /// Calibration constants (paper defaults).
 struct PowerModelConfig {
   double activity_ratio = 2.5;          ///< running / idle activity factor.
   double static_fraction_at_top = 0.25; ///< share of static power at Ftop.
   double top_active_power_watts = 95.0; ///< anchor: P_active(Ftop) in W.
+  /// Optional sleep-state ladder, ascending by enter_after_s with
+  /// non-increasing power. Empty = the `sleep` manager uses its default
+  /// ladder; never consulted unless that manager is selected.
+  std::vector<SleepState> sleep_states;
 
   friend bool operator==(const PowerModelConfig&,
                          const PowerModelConfig&) = default;
@@ -56,6 +75,11 @@ class PowerModel {
   [[nodiscard]] const cluster::GearSet& gears() const { return gears_; }
   [[nodiscard]] const PowerModelConfig& config() const { return config_; }
 
+  /// The configured sleep-state ladder (possibly empty).
+  [[nodiscard]] const std::vector<SleepState>& sleep_states() const {
+    return config_.sleep_states;
+  }
+
  private:
   cluster::GearSet gears_;
   PowerModelConfig config_;
@@ -64,7 +88,10 @@ class PowerModel {
 };
 
 /// Reads `power.activity_ratio`, `power.static_fraction_at_top` and
-/// `power.top_active_power_watts` from a Config (paper defaults otherwise).
+/// `power.top_active_power_watts` from a Config (paper defaults otherwise),
+/// plus the optional sleep ladder: `power.sleep.power_watts`,
+/// `power.sleep.enter_after_s`, `power.sleep.wake_latency_s` — three
+/// equal-length comma-separated lists, all present or all absent.
 PowerModelConfig power_config_from(const util::Config& config);
 
 }  // namespace bsld::power

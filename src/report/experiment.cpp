@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "pm/registry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +24,7 @@ RunSpec RunSpec::parse(const util::Config& config) {
                  "RunSpec: beta.per_job expects `low, high`");
     spec.per_job_beta = {range[0], range[1]};
   }
+  spec.pm = pm::pm_from_config(config);
   spec.instruments = config.get_string_list("instruments", {});
   for (const std::string& name : spec.instruments) {
     sim::InstrumentRegistry::global().require(name);
@@ -55,6 +57,7 @@ util::Config RunSpec::to_config() const {
                util::config_double_list(
                    {per_job_beta->first, per_job_beta->second}));
   }
+  pm::pm_to_config(pm, config);
   if (!instruments.empty()) {
     config.set("instruments", util::config_string_list(instruments));
   }
@@ -68,6 +71,7 @@ std::string RunSpec::label() const {
   std::ostringstream os;
   os << wl::source_label(workload) << " x" << size_scale << ' '
      << core::policy_label(policy);
+  if (pm.enabled()) os << " PM:" << pm::pm_label(pm);
   return os.str();
 }
 
@@ -117,10 +121,18 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
       power::PowerModel(spec.gears, spec.power),
       power::BetaTimeModel(spec.gears, spec.beta));
   const auto policy = core::PolicyRegistry::global().make(spec.policy);
+  // nullptr when the spec says pm = none: the simulation takes the exact
+  // pre-pm code paths, keeping the baseline bit-identical.
+  std::unique_ptr<pm::PowerManager> manager;
+  if (spec.pm.enabled()) {
+    manager = pm::PowerManagerRegistry::global().make(spec.pm,
+                                                      platform->power);
+  }
 
   sim::SimulationConfig config;
   config.cpus = scaled_cpus;
   config.retain_jobs = spec.retain_jobs;
+  config.power_manager = manager.get();
   sim::Simulation simulation(workload, *policy, platform->power,
                              platform->time, config);
 

@@ -11,6 +11,9 @@
 ///     policy plugins flow through unchanged;
 ///   * platform — gear set, power model calibration and the beta time
 ///     model, all serializable;
+///   * power management — any pm::PmSpec resolved by name through
+///     pm::PowerManagerRegistry (pm/registry.hpp); "none" (the default)
+///     is bit-identical to running without a manager;
 ///   * measurement — extra instruments by sim::InstrumentRegistry name
 ///     plus a retain_jobs switch for streaming aggregate-only runs.
 /// It round-trips through util::Config (parse/to_config) byte-identically,
@@ -28,6 +31,7 @@
 
 #include "cluster/gears.hpp"
 #include "core/policy_registry.hpp"
+#include "pm/spec.hpp"
 #include "power/power_model.hpp"
 #include "sim/instrument_registry.hpp"
 #include "sim/simulation.hpp"
@@ -47,6 +51,10 @@ struct RunSpec {
   /// Extension (paper §7 future work): per-job beta drawn uniformly from
   /// [first, second] instead of the single platform beta.
   std::optional<std::pair<double, double>> per_job_beta;
+  /// Power management, by pm::PowerManagerRegistry name plus tunables.
+  /// The default ("none") is bit-identical to running without a manager;
+  /// serialized as `pm` / `pm.*` keys only when enabled.
+  pm::PmSpec pm;
   /// Extra measurement instruments attached to the run, by
   /// sim::InstrumentRegistry name (e.g. "wait-trace", "utilization").
   /// Serialized as the `instruments` config key; unknown names fail at

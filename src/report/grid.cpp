@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "pm/registry.hpp"
 #include "util/error.hpp"
 #include "util/parse.hpp"
 #include "workload/source.hpp"
@@ -31,9 +32,13 @@ std::vector<RunSpec> expand_grid(const util::Config& config) {
   const std::vector<std::string> wqs =
       config.get_string_list("sweep.wq_thresholds", {});
   const std::vector<double> scales = config.get_double_list("sweep.scales", {});
+  const std::vector<std::string> pms = config.get_string_list("sweep.pm", {});
+  const std::vector<double> pm_watts =
+      config.get_double_list("sweep.pm_cap_watts", {});
 
   // Each absent axis contributes its base value once, so the cross-product
-  // below is uniform: workloads outermost, then BSLD, then WQ, then scale.
+  // below is uniform: workloads outermost, then BSLD, then WQ, then scale,
+  // then pm names, then pm watts innermost.
   std::vector<wl::WorkloadSource> workload_axis;
   if (workloads.empty()) {
     workload_axis.push_back(base.workload);
@@ -57,28 +62,66 @@ std::vector<RunSpec> expand_grid(const util::Config& config) {
   }
   std::vector<double> scale_axis =
       scales.empty() ? std::vector<double>{base.size_scale} : scales;
+  std::vector<std::optional<std::string>> pm_axis;
+  if (pms.empty()) {
+    pm_axis.push_back(std::nullopt);  // keep the base spec's power manager.
+  } else {
+    for (const std::string& name : pms) {
+      pm::PowerManagerRegistry::global().require(name);
+      pm_axis.push_back(name);
+    }
+  }
+  std::vector<std::optional<double>> pm_watts_axis;
+  if (pm_watts.empty()) {
+    pm_watts_axis.push_back(std::nullopt);
+  } else {
+    for (const double watts : pm_watts) {
+      BSLD_REQUIRE(watts > 0.0,
+                   "expand_grid: sweep.pm_cap_watts items must be positive");
+      pm_watts_axis.push_back(watts);
+    }
+  }
 
   std::vector<RunSpec> specs;
   specs.reserve(workload_axis.size() * bsld_axis.size() * wq_axis.size() *
-                scale_axis.size());
+                scale_axis.size() * pm_axis.size() * pm_watts_axis.size());
   for (const wl::WorkloadSource& workload : workload_axis) {
     for (const std::optional<double>& bsld : bsld_axis) {
       for (const auto& wq : wq_axis) {
         for (const double scale : scale_axis) {
-          RunSpec spec = base;
-          spec.workload = workload;
-          if (bsld || wq) {
-            // A threshold axis implies the DVFS algorithm: refine the base
-            // DVFS config (or the default one when the base is a no-DVFS
-            // baseline).
-            core::DvfsConfig dvfs =
-                spec.policy.dvfs.value_or(core::DvfsConfig{});
-            if (bsld) dvfs.bsld_threshold = *bsld;
-            if (wq) dvfs.wq_threshold = *wq;
-            spec.policy.dvfs = dvfs;
+          for (const auto& pm_name : pm_axis) {
+            for (const auto& watts : pm_watts_axis) {
+              RunSpec spec = base;
+              spec.workload = workload;
+              if (bsld || wq) {
+                // A threshold axis implies the DVFS algorithm: refine the
+                // base DVFS config (or the default one when the base is a
+                // no-DVFS baseline).
+                core::DvfsConfig dvfs =
+                    spec.policy.dvfs.value_or(core::DvfsConfig{});
+                if (bsld) dvfs.bsld_threshold = *bsld;
+                if (wq) dvfs.wq_threshold = *wq;
+                spec.policy.dvfs = dvfs;
+              }
+              spec.size_scale = scale;
+              // The name axis keeps the base spec's tunables (interval,
+              // gain); the watts axis lands on the knob the named family
+              // regulates: the setpoint for "setpoint", the hard cap for
+              // the cap-* families. "none"/"sleep" take no watts, so the
+              // axis value is ignored there (SweepRunner deduplicates the
+              // resulting identical specs).
+              if (pm_name) spec.pm.name = *pm_name;
+              if (watts && spec.pm.name != "none" && spec.pm.name != "sleep") {
+                if (spec.pm.name == "setpoint") {
+                  spec.pm.setpoint_watts = *watts;
+                } else {
+                  spec.pm.cap_watts = *watts;
+                }
+              }
+              pm::validate(spec.pm);  // fail at expansion, not mid-sweep.
+              specs.push_back(std::move(spec));
+            }
           }
-          spec.size_scale = scale;
-          specs.push_back(std::move(spec));
         }
       }
     }

@@ -9,10 +9,13 @@
 ///   sweep.bsld_thresholds = 1.5, 2, 3             # enables DVFS per value
 ///   sweep.wq_thresholds   = 0, 4, 16, NO          # NO = no limit
 ///   sweep.scales          = 1, 1.2, 1.5           # machine size multipliers
+///   sweep.pm              = none, cap-uniform     # power managers by name
+///   sweep.pm_cap_watts    = 400000, 600000        # cap (or setpoint) watts
 ///
 /// expand_grid() returns the full cross-product in a fixed, documented
 /// order — workloads outermost, then BSLD thresholds, then WQ thresholds,
-/// then scales — so a grid file denotes one exact spec sequence everywhere:
+/// then scales, then pm names, then pm watts innermost — so a grid file
+/// denotes one exact spec sequence everywhere:
 /// the serial run, every shard of a sharded run, and any future re-run
 /// agree on grid indices. Axes left out inherit the base spec's value.
 /// This is the seam bsldsim --sweep consumes; paper figures keep their

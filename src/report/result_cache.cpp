@@ -176,6 +176,13 @@ std::string serialize_entry(const RunResult& result) {
                  util::config_double(sim.energy.busy_core_seconds));
   aggregates.set("energy.idle_core_seconds",
                  util::config_double(sim.energy.idle_core_seconds));
+  // Sleep-state fields (pm = sleep): written unconditionally for a stable
+  // entry shape; 0 for every run without a sleep manager. Entries written
+  // before these keys existed parse as 0 — correct, they are pm-none runs.
+  aggregates.set("energy.sleep_core_seconds",
+                 util::config_double(sim.energy.sleep_core_seconds));
+  aggregates.set("energy.sleep_joules",
+                 util::config_double(sim.energy.sleep_joules));
   aggregates.set("energy.horizon", std::to_string(sim.energy.horizon));
   aggregates.set("makespan", std::to_string(sim.makespan));
   aggregates.set("utilization", util::config_double(sim.utilization));
@@ -256,6 +263,9 @@ bool parse_aggregates(const std::string& text, sim::SimulationResult& sim) {
         config.get_double("energy.busy_core_seconds", 0.0);
     sim.energy.idle_core_seconds =
         config.get_double("energy.idle_core_seconds", 0.0);
+    sim.energy.sleep_core_seconds =
+        config.get_double("energy.sleep_core_seconds", 0.0);
+    sim.energy.sleep_joules = config.get_double("energy.sleep_joules", 0.0);
     sim.energy.horizon = config.get_int("energy.horizon", 0);
     sim.makespan = config.get_int("makespan", 0);
     sim.utilization = config.get_double("utilization", 0.0);

@@ -17,6 +17,8 @@ namespace bsld::sim {
 enum class EventKind : int {
   kJobEnd = 0,    ///< A running job completed.
   kJobSubmit = 1, ///< A job entered the system.
+  kPmTimer = 2,   ///< A power-manager control timer fired (after arrivals,
+                  ///< so a control step observes the instant's final state).
 };
 
 /// One scheduled event.

@@ -16,21 +16,36 @@ std::string join(const std::vector<std::string>& names) {
 }
 
 void register_builtins(InstrumentRegistry& registry) {
-  registry.add("jobs", [](const InstrumentContext&) {
-    return std::make_unique<JobRecorder>();
-  });
-  registry.add("aggregates", [](const InstrumentContext&) {
-    return std::make_unique<AggregateAccumulator>();
-  });
-  registry.add("energy", [](const InstrumentContext& context) {
-    return std::make_unique<EnergyProbe>(context.power_model);
-  });
-  registry.add("wait-trace", [](const InstrumentContext&) {
-    return std::make_unique<WaitQueueTrace>();
-  });
-  registry.add("utilization", [](const InstrumentContext& context) {
-    return std::make_unique<UtilizationTrace>(context.power_model);
-  });
+  registry.add("jobs", "per-job outcomes in trace order (id, gears, wait, "
+               "BSLD)",
+               [](const InstrumentContext&) {
+                 return std::make_unique<JobRecorder>();
+               });
+  registry.add("aggregates", "run aggregates: avg BSLD/wait, "
+               "reduced/boosted counts, jobs per gear, makespan",
+               [](const InstrumentContext&) {
+                 return std::make_unique<AggregateAccumulator>();
+               });
+  registry.add("energy", "energy meter over the run horizon "
+               "(computational/idle/total joules, utilization)",
+               [](const InstrumentContext& context) {
+                 return std::make_unique<EnergyProbe>(context.power_model);
+               });
+  registry.add("wait-trace", "per-job waits plus wait-queue depth over "
+               "time (paper Fig. 6)",
+               [](const InstrumentContext&) {
+                 return std::make_unique<WaitQueueTrace>();
+               });
+  registry.add("utilization", "busy cores, utilization and active power "
+               "over time",
+               [](const InstrumentContext& context) {
+                 return std::make_unique<UtilizationTrace>(context.power_model);
+               });
+  registry.add("pm-trace", "every power-management event: cap moves, "
+               "throttles, gates, sleep intervals",
+               [](const InstrumentContext&) {
+                 return std::make_unique<PmTrace>();
+               });
 }
 
 }  // namespace
@@ -46,10 +61,16 @@ InstrumentRegistry& InstrumentRegistry::global() {
 }
 
 void InstrumentRegistry::add(const std::string& name, Factory factory) {
+  add(name, "", std::move(factory));
+}
+
+void InstrumentRegistry::add(const std::string& name, std::string description,
+                             Factory factory) {
   BSLD_REQUIRE(!name.empty(), "InstrumentRegistry: empty instrument name");
   BSLD_REQUIRE(factory != nullptr, "InstrumentRegistry: null factory");
   const util::WriterLock lock(mutex_);
-  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  const auto [it, inserted] = factories_.emplace(
+      name, Entry{std::move(description), std::move(factory)});
   (void)it;
   BSLD_REQUIRE(inserted,
                "InstrumentRegistry: instrument `" + name +
@@ -75,13 +96,24 @@ std::vector<std::string> InstrumentRegistry::names() const {
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>> InstrumentRegistry::entries()
+    const {
+  const util::ReaderLock lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, entry] : factories_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
 std::unique_ptr<Instrument> InstrumentRegistry::make(
     const std::string& name, const InstrumentContext& context) const {
   Factory factory;
   {
     const util::ReaderLock lock(mutex_);
     const auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
+    if (it != factories_.end()) factory = it->second.factory;
   }
   if (factory == nullptr) require(name);  // throws, listing the registry
   auto instrument = factory(context);

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "power/power_model.hpp"
@@ -49,6 +50,10 @@ class InstrumentRegistry {
   /// name.
   void add(const std::string& name, Factory factory);
 
+  /// Same, with a one-line description shown by `bsldsim
+  /// --list-instruments`.
+  void add(const std::string& name, std::string description, Factory factory);
+
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// Validates that `name` is registered without constructing it: throws
@@ -59,14 +64,24 @@ class InstrumentRegistry {
   /// Registered names in sorted order (for error messages and --help).
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// (name, description) pairs in sorted order; the description is empty
+  /// for entries registered without one.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries()
+      const;
+
   /// Builds the named instrument. Throws bsld::Error on unknown names,
   /// listing what is registered.
   [[nodiscard]] std::unique_ptr<Instrument> make(
       const std::string& name, const InstrumentContext& context) const;
 
  private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+
   mutable util::SharedMutex mutex_;
-  std::map<std::string, Factory> factories_ BSLD_GUARDED_BY(mutex_);
+  std::map<std::string, Entry> factories_ BSLD_GUARDED_BY(mutex_);
 };
 
 }  // namespace bsld::sim

@@ -52,6 +52,32 @@ void AggregateAccumulator::on_run_begin(const RunBeginEvent& event) {
   makespan_ = 0;
   next_index_ = 0;
   pending_bsld_.clear();
+  pm_events_.clear();
+  gated_seconds_ = 0.0;
+  sleep_core_seconds_ = 0.0;
+  wake_delay_seconds_ = 0.0;
+}
+
+void AggregateAccumulator::on_pm(const pm::PmEvent& event) {
+  ++pm_events_[event.kind];
+  switch (event.kind) {
+    case pm::PmEventKind::kRelease:
+      gated_seconds_ += event.seconds;
+      break;
+    case pm::PmEventKind::kSleepInterval:
+      sleep_core_seconds_ += event.seconds;
+      break;
+    case pm::PmEventKind::kWake:
+      wake_delay_seconds_ += event.seconds;
+      break;
+    default:
+      break;
+  }
+}
+
+std::int64_t AggregateAccumulator::pm_events(pm::PmEventKind kind) const {
+  const auto it = pm_events_.find(kind);
+  return it == pm_events_.end() ? 0 : it->second;
 }
 
 void AggregateAccumulator::on_finish(const FinishEvent& event) {
@@ -130,6 +156,12 @@ void EnergyProbe::on_gear_change(const GearChangeEvent& event) {
 void EnergyProbe::on_finish(const FinishEvent& event) {
   meter_->add_execution(event.outcome.size, event.outcome.final_gear,
                         event.final_segment_seconds);
+}
+
+void EnergyProbe::on_pm(const pm::PmEvent& event) {
+  if (event.kind == pm::PmEventKind::kSleepInterval) {
+    meter_->add_sleep(event.seconds, event.watts);
+  }
 }
 
 void EnergyProbe::on_run_end(const RunEndEvent& event) {
@@ -250,6 +282,33 @@ void UtilizationTrace::write_csv(std::ostream& out) const {
                    std::to_string(sample.busy_cores),
                    util::fmt_double(sample.utilization, 6),
                    util::fmt_double(sample.power_watts, 1)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PmTrace
+// ---------------------------------------------------------------------------
+
+void PmTrace::on_run_begin(const RunBeginEvent& event) {
+  (void)event;
+  events_.clear();
+}
+
+void PmTrace::on_pm(const pm::PmEvent& event) { events_.push_back(event); }
+
+void PmTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.write_row({"time_s", "kind", "job", "cpu_count", "gear_from", "gear_to",
+                 "watts", "aux_watts", "seconds", "sleep_state"});
+  for (const pm::PmEvent& event : events_) {
+    csv.write_row({std::to_string(event.time), pm::to_string(event.kind),
+                   std::to_string(event.job), std::to_string(event.cpu_count),
+                   std::to_string(event.gear_from),
+                   std::to_string(event.gear_to),
+                   util::fmt_double(event.watts, 3),
+                   util::fmt_double(event.aux_watts, 3),
+                   util::fmt_double(event.seconds, 3),
+                   std::to_string(event.sleep_state)});
   }
 }
 

@@ -85,6 +85,7 @@ class AggregateAccumulator final : public Instrument {
 
   void on_run_begin(const RunBeginEvent& event) override;
   void on_finish(const FinishEvent& event) override;
+  void on_pm(const pm::PmEvent& event) override;
 
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] double avg_bsld() const;
@@ -95,6 +96,21 @@ class AggregateAccumulator final : public Instrument {
     return jobs_per_gear_;
   }
   [[nodiscard]] Time makespan() const { return makespan_; }
+
+  // Power-management accounting (all zero when no manager ran; the CSV
+  // shape is unchanged so pm=none output stays byte-identical).
+  /// Events of `kind` observed this run.
+  [[nodiscard]] std::int64_t pm_events(pm::PmEventKind kind) const;
+  /// Seconds jobs spent power-gated (sum of kRelease durations).
+  [[nodiscard]] double gated_seconds() const { return gated_seconds_; }
+  /// Core-seconds spent in sleep C-states (sum over kSleepInterval).
+  [[nodiscard]] double sleep_core_seconds() const {
+    return sleep_core_seconds_;
+  }
+  /// Seconds of wake latency charged to allocations (sum over kWake).
+  [[nodiscard]] double wake_delay_seconds() const {
+    return wake_delay_seconds_;
+  }
 
  private:
   std::int64_t count_ = 0;
@@ -108,6 +124,10 @@ class AggregateAccumulator final : public Instrument {
   /// Trace-order reorder buffer for the BSLD sum.
   std::size_t next_index_ = 0;
   std::map<std::size_t, double> pending_bsld_;
+  std::map<pm::PmEventKind, std::int64_t> pm_events_;
+  double gated_seconds_ = 0.0;
+  double sleep_core_seconds_ = 0.0;
+  double wake_delay_seconds_ = 0.0;
 };
 
 /// Drives a power::EnergyMeter from gear segments (start..boost..finish)
@@ -124,6 +144,9 @@ class EnergyProbe final : public Instrument {
   void on_run_begin(const RunBeginEvent& event) override;
   void on_gear_change(const GearChangeEvent& event) override;
   void on_finish(const FinishEvent& event) override;
+  /// Sleep intervals (kSleepInterval) reprice idle time below idle power;
+  /// other pm events carry no energy.
+  void on_pm(const pm::PmEvent& event) override;
   void on_run_end(const RunEndEvent& event) override;
 
   /// Valid after on_run_end.
@@ -215,6 +238,28 @@ class UtilizationTrace final : public Instrument {
   std::int64_t busy_ = 0;
   double power_ = 0.0;
   std::int32_t cpus_ = 0;
+};
+
+/// Records every power-management event of the run verbatim — cap moves,
+/// throttles, gated admissions, sleep intervals (pm/event.hpp). Empty
+/// under pm=none; the registry key is "pm-trace".
+class PmTrace final : public Instrument {
+ public:
+  [[nodiscard]] std::string name() const override { return "pm-trace"; }
+  /// One row per event: time_s, kind, job, cpu_count, gear_from, gear_to,
+  /// watts, aux_watts, seconds, sleep_state.
+  void write_csv(std::ostream& out) const override;
+  [[nodiscard]] std::size_t rows() const override { return events_.size(); }
+
+  void on_run_begin(const RunBeginEvent& event) override;
+  void on_pm(const pm::PmEvent& event) override;
+
+  [[nodiscard]] const std::vector<pm::PmEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  std::vector<pm::PmEvent> events_;
 };
 
 }  // namespace bsld::sim

@@ -10,6 +10,8 @@
 ///   on_start      a job began executing at a gear;
 ///   on_gear_change a running job was raised mid-flight (boost_job);
 ///   on_finish     a job completed, with its fully-populated JobOutcome;
+///   on_pm         the run's power manager acted (cap moves, throttles,
+///                 gated admissions, sleep intervals — pm/event.hpp);
 ///   on_run_end    once, after the event queue drained.
 ///
 /// All built-in measurement (per-job recording, aggregate BSLD/wait
@@ -32,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "pm/event.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
 
@@ -128,6 +131,9 @@ class SimObserver {
   virtual void on_start(const StartEvent& event) { (void)event; }
   virtual void on_gear_change(const GearChangeEvent& event) { (void)event; }
   virtual void on_finish(const FinishEvent& event) { (void)event; }
+  /// A power-management action (pm/event.hpp). Runs without a manager —
+  /// or under `pm=none` — never deliver one.
+  virtual void on_pm(const pm::PmEvent& event) { (void)event; }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
 };
 

@@ -18,6 +18,7 @@ Simulation::Simulation(const wl::Workload& workload,
       power_model_(power_model),
       time_model_(time_model),
       config_(config),
+      pm_(config.power_manager),
       machine_(config.cpus > 0 ? config.cpus : workload.cpus) {
   BSLD_REQUIRE(!workload_.jobs.empty(), "Simulation: empty workload");
   BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
@@ -67,28 +68,56 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
                "Simulation: job started before submission");
   started_[index] = 1;
 
-  const Time scaled_runtime =
-      time_model_.scale_duration_with_beta(trace.run_time, gear, trace.beta);
+  // The power manager rules on every start: it may lower the gear under a
+  // cap, gate the admission entirely, or charge a wake delay for sleeping
+  // CPUs. Without a manager the decision is exactly the scheduler's ask.
+  pm::StartDecision decision{false, gear, 0};
+  if (pm_ != nullptr) {
+    decision = pm_->on_job_start(*this, id, cpus, gear);
+    BSLD_REQUIRE(decision.gear >= 0 &&
+                     decision.gear <= time_model_.gears().top_index(),
+                 "Simulation: power manager chose a gear out of range");
+    BSLD_REQUIRE(decision.wake_delay >= 0,
+                 "Simulation: negative wake delay");
+    BSLD_REQUIRE(!decision.gate || decision.wake_delay == 0,
+                 "Simulation: a gated admission cannot carry a wake delay");
+  }
+  const GearIndex start_gear = decision.gear;
+
+  const Time scaled_runtime = time_model_.scale_duration_with_beta(
+      trace.run_time, start_gear, trace.beta);
 
   Running state;
   state.cpus = cpus;
-  state.gear = gear;
-  state.segment_start = engine_.now();
+  state.gear = start_gear;
   state.remaining_run_top = static_cast<double>(trace.run_time);
   state.remaining_req_top = static_cast<double>(trace.requested_time);
-  state.pending_end = engine_.now() + scaled_runtime;
   state.start = engine_.now();
-  state.start_gear = gear;
-  state.scaled_requested = std::max(
-      time_model_.scale_duration_with_beta(trace.requested_time, gear,
-                                           trace.beta),
-      scaled_runtime);
+  state.start_gear = start_gear;
+  state.gated = decision.gate;
+  state.scaled_requested =
+      decision.wake_delay +
+      std::max(time_model_.scale_duration_with_beta(trace.requested_time,
+                                                    start_gear, trace.beta),
+               scaled_runtime);
+  if (decision.gate) {
+    // Gated: the allocation is held but no work happens and no completion
+    // is scheduled; release_job() starts the clock later. The machine's
+    // expected end is a planning estimate the release will correct.
+    state.segment_start = kNoTime;
+    state.pending_end = kNoTime;
+  } else {
+    state.segment_start = engine_.now() + decision.wake_delay;
+    state.pending_end = engine_.now() + decision.wake_delay + scaled_runtime;
+  }
 
   machine_.assign(id, cpus, engine_.now() + state.scaled_requested);
-  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+  if (!decision.gate) {
+    engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+  }
 
   const StartEvent event{trace,          index,
-                         engine_.now(),  gear,
+                         engine_.now(),  start_gear,
                          scaled_runtime, state.scaled_requested};
   running_.emplace(id, std::move(state));
   notify([&](SimObserver& observer) { observer.on_start(event); });
@@ -113,12 +142,33 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
   Running& state = running(id);
   BSLD_REQUIRE(gear >= state.gear,
                "Simulation: boost_job() cannot lower the gear");
-  BSLD_REQUIRE(gear <= time_model_.gears().top_index(),
+  const GearIndex before = state.gear;
+  retime_job(id, gear, /*mark_boosted=*/true);
+  if (pm_ != nullptr && gear != before) {
+    // The manager may take the raise straight back under a cap.
+    pm_->on_job_raised(*this, id, gear);
+  }
+}
+
+void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
+  Running& state = running(id);
+  BSLD_REQUIRE(gear >= 0 && gear <= time_model_.gears().top_index(),
                "Simulation: gear out of range");
   if (gear == state.gear) return;
 
+  if (state.gated) {
+    // No clock is running; only the gear planned for release changes.
+    state.gear = gear;
+    state.start_gear = gear;
+    return;
+  }
+
   const Time now = engine_.now();
-  const Time elapsed = now - state.segment_start;
+  // During a wake delay the busy segment begins in the future: no work is
+  // done yet (elapsed clamps to 0) and the new segment re-bases on the
+  // pending wake, not on `now`.
+  const Time base = std::max(now, state.segment_start);
+  const Time elapsed = std::max<Time>(0, now - state.segment_start);
   const wl::Job& trace = job(id);
   const double old_coefficient =
       time_model_.coefficient_with_beta(state.gear, trace.beta);
@@ -134,8 +184,8 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
   state.remaining_req_top =
       std::max(0.0, state.remaining_req_top - progress_top);
   state.gear = gear;
-  state.segment_start = now;
-  state.boosted = true;
+  state.segment_start = base;
+  if (mark_boosted) state.boosted = true;
 
   // Re-time completion and the machine's expected end at the new gear.
   const double new_coefficient =
@@ -145,9 +195,46 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
   const Time req_left = std::max(
       run_left, static_cast<Time>(
                     std::llround(state.remaining_req_top * new_coefficient)));
+  state.pending_end = base + run_left;
+  machine_.update_expected_end(id, state.cpus, base + req_left);
+  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+}
+
+void Simulation::set_job_gear(JobId id, GearIndex gear) {
+  retime_job(id, gear, /*mark_boosted=*/false);
+}
+
+void Simulation::release_job(JobId id, GearIndex gear) {
+  Running& state = running(id);
+  BSLD_REQUIRE(state.gated,
+               "Simulation: release_job() on a job that is not gated");
+  BSLD_REQUIRE(gear >= 0 && gear <= time_model_.gears().top_index(),
+               "Simulation: gear out of range");
+  const Time now = engine_.now();
+  const wl::Job& trace = job(id);
+  state.gated = false;
+  state.gear = gear;
+  state.start_gear = gear;  // The gear execution actually begins at.
+  state.segment_start = now;
+  const double coefficient =
+      time_model_.coefficient_with_beta(gear, trace.beta);
+  const Time run_left = static_cast<Time>(
+      std::llround(state.remaining_run_top * coefficient));
+  const Time req_left = std::max(
+      run_left, static_cast<Time>(
+                    std::llround(state.remaining_req_top * coefficient)));
   state.pending_end = now + run_left;
+  state.scaled_requested = (now - state.start) + req_left;
   machine_.update_expected_end(id, state.cpus, now + req_left);
   engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+}
+
+void Simulation::schedule_timer(Time at) {
+  engine_.schedule(Event{at, EventKind::kPmTimer, 0, kNoJob});
+}
+
+void Simulation::emit(const pm::PmEvent& event) {
+  notify([&](SimObserver& observer) { observer.on_pm(event); });
 }
 
 void Simulation::finish_job(JobId id) {
@@ -174,10 +261,12 @@ void Simulation::finish_job(JobId id) {
   const FinishEvent event{outcome, index, engine_.now() - state.segment_start};
   notify([&](SimObserver& observer) { observer.on_finish(event); });
 
-  machine_.release(id, state.cpus);
+  const std::vector<CpuId> cpus = state.cpus;  // Outlives the erase below.
+  machine_.release(id, cpus);
   running_.erase(id);
   ++finished_;
   last_end_ = std::max(last_end_, outcome.end);
+  if (pm_ != nullptr) pm_->on_job_finish(*this, id, cpus);
 }
 
 SimulationResult Simulation::run() {
@@ -198,6 +287,7 @@ SimulationResult Simulation::run() {
   const RunBeginEvent begin{workload_, machine_.cpu_count(),
                             power_model_.gears().size(), config_.bsld_floor};
   notify([&](SimObserver& observer) { observer.on_run_begin(begin); });
+  if (pm_ != nullptr) pm_->on_run_begin(*this);
 
   for (const wl::Job& trace : workload_.jobs) {
     engine_.schedule(Event{trace.submit, EventKind::kJobSubmit, 0, trace.id});
@@ -210,6 +300,7 @@ SimulationResult Simulation::run() {
         const SubmitEvent submitted{workload_.jobs[index], index,
                                     event->time};
         notify([&](SimObserver& observer) { observer.on_submit(submitted); });
+        if (pm_ != nullptr) pm_->on_job_submit(*this, event->job);
         policy_.on_submit(*this, event->job);
         break;
       }
@@ -224,6 +315,10 @@ SimulationResult Simulation::run() {
         policy_.on_job_end(*this, event->job);
         break;
       }
+      case EventKind::kPmTimer: {
+        if (pm_ != nullptr) pm_->on_timer(*this);
+        break;
+      }
     }
   }
 
@@ -233,6 +328,10 @@ SimulationResult Simulation::run() {
                "Simulation: drained event queue but jobs are still running");
   BSLD_REQUIRE(finished_ == workload_.jobs.size(),
                "Simulation: job never ran");
+
+  // Final power-manager accounting (e.g. trailing sleep intervals) must
+  // reach the instruments before they close out in on_run_end.
+  if (pm_ != nullptr) pm_->on_run_end(*this);
 
   const Time first_submit = workload_.jobs.front().submit;
   const Time horizon = std::max<Time>(last_end_ - first_submit, 1);

@@ -19,6 +19,7 @@
 #include "cluster/machine.hpp"
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
+#include "pm/power_manager.hpp"
 #include "power/energy_meter.hpp"
 #include "power/power_model.hpp"
 #include "power/time_model.hpp"
@@ -40,6 +41,10 @@ struct SimulationConfig {
   /// synthetic workloads run in O(1) memory per worker; SimulationResult
   /// aggregates are bit-identical either way.
   bool retain_jobs = true;
+  /// Optional cluster power manager (non-owning; must outlive run()).
+  /// nullptr — like the registered `pm=none` manager — leaves every run
+  /// bit-identical to the pre-pm simulator.
+  pm::PowerManager* power_manager = nullptr;
 };
 
 /// Aggregate results of one run — the product of the default observer set.
@@ -62,10 +67,12 @@ struct SimulationResult {
   std::uint64_t events_processed = 0;
 };
 
-/// One simulation run. The Simulation is the policy's SchedulerContext; it
-/// owns the machine and the clock, while the policy owns the wait queue
-/// and all decisions, and observers own every measurement.
-class Simulation final : public core::SchedulerContext {
+/// One simulation run. The Simulation is the policy's SchedulerContext and
+/// the power manager's PmContext; it owns the machine and the clock, while
+/// the policy owns the wait queue and all decisions, the manager owns
+/// power actuation, and observers own every measurement.
+class Simulation final : public core::SchedulerContext,
+                         public pm::PmContext {
  public:
   /// All references must outlive run(). Throws bsld::Error on an empty
   /// workload, non-positive machine size, or jobs larger than the machine.
@@ -83,7 +90,7 @@ class Simulation final : public core::SchedulerContext {
   /// call throws.
   SimulationResult run();
 
-  // SchedulerContext interface.
+  // SchedulerContext interface (now() also satisfies PmContext).
   [[nodiscard]] Time now() const override { return engine_.now(); }
   [[nodiscard]] const cluster::Machine& machine() const override {
     return machine_;
@@ -98,6 +105,18 @@ class Simulation final : public core::SchedulerContext {
   [[nodiscard]] GearIndex running_gear(JobId id) const override;
   void boost_job(JobId id, GearIndex gear) override;
 
+  // PmContext interface.
+  [[nodiscard]] std::int32_t cpu_count() const override {
+    return machine_.cpu_count();
+  }
+  [[nodiscard]] const power::PowerModel& power_model() const override {
+    return power_model_;
+  }
+  void set_job_gear(JobId id, GearIndex gear) override;
+  void release_job(JobId id, GearIndex gear) override;
+  void schedule_timer(Time at) override;
+  void emit(const pm::PmEvent& event) override;
+
  private:
   /// Live state of an executing job. Energy is accounted per gear segment
   /// so mid-flight gear raises stay exact; remaining work is tracked in
@@ -106,7 +125,8 @@ class Simulation final : public core::SchedulerContext {
   struct Running {
     std::vector<CpuId> cpus;
     GearIndex gear = 0;
-    Time segment_start = 0;         ///< When the current gear was engaged.
+    Time segment_start = 0;         ///< When the current gear was engaged
+                                    ///< (in the future during a wake delay).
     double remaining_run_top = 0;   ///< Runtime work left, top-gear seconds.
     double remaining_req_top = 0;   ///< Requested work left, top-gear seconds.
     Time pending_end = kNoTime;     ///< Valid completion event time.
@@ -114,11 +134,17 @@ class Simulation final : public core::SchedulerContext {
     GearIndex start_gear = 0;       ///< Gear engaged at start.
     bool boosted = false;           ///< Raised mid-flight.
     Time scaled_requested = 0;      ///< Requested time dilated at start.
+    bool gated = false;             ///< Power-gated: holds CPUs, no progress,
+                                    ///< no completion event until released.
   };
 
   [[nodiscard]] std::size_t trace_index(JobId id) const;
   [[nodiscard]] Running& running(JobId id);
   void finish_job(JobId id);
+  /// Shared re-gearing path of boost_job (policy raise) and set_job_gear
+  /// (power-manager throttle/raise): closes the current gear segment and
+  /// re-times completion. Gated jobs only update their planned gear.
+  void retime_job(JobId id, GearIndex gear, bool mark_boosted);
 
   /// Invokes `hook` on every attached observer (defaults first, then
   /// add_observer order).
@@ -132,6 +158,7 @@ class Simulation final : public core::SchedulerContext {
   const power::PowerModel& power_model_;
   const power::BetaTimeModel& time_model_;
   SimulationConfig config_;
+  pm::PowerManager* pm_ = nullptr;  ///< == config_.power_manager.
 
   cluster::Machine machine_;
   Engine engine_;

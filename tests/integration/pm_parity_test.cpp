@@ -1,0 +1,76 @@
+/// \file pm_parity_test.cpp
+/// \brief The power-management subsystem's correctness anchor: with
+/// pm=none (the default), every archive x policy-mode run renders CSV and
+/// JSONL output byte-identical to the goldens captured before the pm
+/// subsystem existed (tests/golden/pm_parity/). Any drift here means the
+/// subsystem perturbed an unmanaged simulation.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/experiment.hpp"
+#include "report/sinks.hpp"
+#include "workload/source.hpp"
+
+namespace bsld::report {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The spec of one golden run, mirroring the bsldsim invocations the
+/// goldens were captured with: 5000 jobs, canonical seed, EASY/FirstFit;
+/// "base" = no DVFS, "dvfs" = BSLD<=2 WQ<=16, "raise" = dvfs + raise@16.
+RunSpec golden_spec(const std::string& archive, const std::string& mode) {
+  RunSpec spec;
+  spec.workload = wl::resolve_source(archive, 5000, 0);
+  if (mode == "base") {
+    spec.policy.dvfs = std::nullopt;
+  } else {
+    core::DvfsConfig dvfs;
+    dvfs.bsld_threshold = 2.0;
+    dvfs.wq_threshold = 16;
+    spec.policy.dvfs = dvfs;
+    if (mode == "raise") {
+      core::DynamicRaiseConfig raise;
+      raise.queue_limit = 16;
+      spec.policy.raise = raise;
+    }
+  }
+  return spec;
+}
+
+TEST(PmParity, DefaultSpecRendersTheGoldenBytesOnEveryArchive) {
+  const std::string dir = BSLD_PM_PARITY_GOLDEN_DIR;
+  for (const char* archive :
+       {"CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"}) {
+    for (const char* mode : {"base", "dvfs", "raise"}) {
+      const RunSpec spec = golden_spec(archive, mode);
+      ASSERT_FALSE(spec.pm.enabled());
+      const RunResult result = run_one(spec);
+
+      const std::string stem =
+          dir + "/" + archive + "_" + mode;
+      std::ostringstream csv;
+      CsvResultSink csv_sink(csv);
+      csv_sink.on_result(0, result);
+      EXPECT_EQ(csv.str(), read_file(stem + ".csv")) << stem;
+
+      std::ostringstream jsonl;
+      JsonlResultSink jsonl_sink(jsonl);
+      jsonl_sink.on_result(0, result);
+      EXPECT_EQ(jsonl.str(), read_file(stem + ".jsonl")) << stem;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsld::report

@@ -1,0 +1,9 @@
+// Fixture: a pm source reaching *up* the stack. report is two layers
+// above pm and is not among pm's declared dependencies, so the include
+// must be reported as a layer violation regardless of direction or
+// interface lists.
+#include "report/api.hpp"  // arch-expect: layer-violation
+
+namespace fix::pm {
+int gate() { return fix::report::Store{}.must_not_fail(1); }
+}  // namespace fix::pm

@@ -1,4 +1,4 @@
-// Fixture: report sits two layers above cluster, which declares an
+// Fixture: report sits three layers above cluster, which declares an
 // interface (cluster/iface.hpp). Reaching for cluster internals instead
 // must be reported as a skip-interface violation.
 #pragma once

@@ -1,0 +1,238 @@
+/// \file cap_test.cpp
+/// \brief pm::CapManager unit tests against a recording fake context:
+/// level selection, slack redistribution, gating with FIFO release, and
+/// the infeasible-cap edge cases (cap below the lowest-gear power, single
+/// job on the cluster).
+
+#include "pm/cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pm/fake_context.hpp"
+#include "testing/helpers.hpp"
+
+namespace bsld::pm {
+namespace {
+
+using testing::FakePmContext;
+using testing::Models;
+
+/// CPU ids [0, n).
+std::vector<CpuId> cpus(std::int32_t n) {
+  std::vector<CpuId> out(static_cast<std::size_t>(n));
+  std::iota(out.begin(), out.end(), CpuId{0});
+  return out;
+}
+
+TEST(CapManager, LooseCapLeavesTheStartUntouched) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  const GearIndex top = models.gears.top_index();
+  CapManager manager(models.power, 1e9, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  const StartDecision decision =
+      manager.on_job_start(context, 1, cpus(4), top);
+  EXPECT_FALSE(decision.gate);
+  EXPECT_EQ(decision.gear, top);
+  EXPECT_EQ(decision.wake_delay, 0);
+  EXPECT_TRUE(context.events.empty());
+  EXPECT_TRUE(context.gear_calls.empty());
+}
+
+TEST(CapManager, UniformLevelThrottlesEveryoneToTheSameGear) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  const GearIndex top = models.gears.top_index();
+  // Cap sized for four CPUs at gear 3: two 2-CPU jobs at the top gear are
+  // over it, and gear 3 is the highest uniform level that fits.
+  const double cap = 4.0 * models.power.active_power(3);
+  ASSERT_GT(4.0 * models.power.active_power(top), cap);
+  CapManager manager(models.power, cap, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  // Alone, job 1 fits at the top.
+  const StartDecision first = manager.on_job_start(context, 1, {0, 1}, top);
+  EXPECT_EQ(first.gear, top);
+
+  // Job 2 pushes the set over: both land on the uniform level 3.
+  const StartDecision second = manager.on_job_start(context, 2, {2, 3}, top);
+  EXPECT_FALSE(second.gate);
+  EXPECT_EQ(second.gear, 3);
+  ASSERT_EQ(context.gear_calls.size(), 1U);  // Job 1 re-geared; job 2 starts at 3.
+  EXPECT_EQ(context.gear_calls[0].id, 1);
+  EXPECT_EQ(context.gear_calls[0].gear, 3);
+  const auto throttles = context.of(PmEventKind::kThrottle);
+  ASSERT_EQ(throttles.size(), 2U);  // One per throttled job.
+  for (const PmEvent& event : throttles) {
+    EXPECT_EQ(event.gear_from, top);
+    EXPECT_EQ(event.gear_to, 3);
+  }
+
+  // Job 2 finishing hands the slack back: job 1 returns to the top.
+  manager.on_job_finish(context, 2, {2, 3});
+  const auto raises = context.of(PmEventKind::kRaise);
+  ASSERT_EQ(raises.size(), 1U);
+  EXPECT_EQ(raises[0].job, 1);
+  EXPECT_EQ(raises[0].gear_to, top);
+  EXPECT_EQ(context.gears.at(1), top);
+}
+
+TEST(CapManager, ProportionalAssignmentIsCapRespectingAndMaximal) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  const GearIndex top = models.gears.top_index();
+  const double cap = 300.0;  // Binding: 4 CPUs at the top want ~380 W.
+  CapManager manager(models.power, cap, CapManager::Share::kProportional);
+  manager.on_run_begin(context);
+
+  const StartDecision first = manager.on_job_start(context, 1, {0}, top);
+  const StartDecision second =
+      manager.on_job_start(context, 2, {1, 2, 3}, top);
+
+  // A job's engaged gear is its start gear, updated by any re-gear call.
+  const auto engaged = [&](JobId id, GearIndex start_gear) {
+    GearIndex gear = start_gear;
+    for (const auto& call : context.gear_calls) {
+      if (call.id == id) gear = call.gear;
+    }
+    return gear;
+  };
+  const GearIndex gear1 = engaged(1, first.gear);
+  const GearIndex gear2 = engaged(2, second.gear);
+  const auto watts = [&](GearIndex g1, GearIndex g2) {
+    return 1.0 * models.power.active_power(g1) +
+           3.0 * models.power.active_power(g2);
+  };
+  // Nobody above their desired gear, the assignment fits the cap, and no
+  // single one-step raise still fits (the slack loop ran dry).
+  EXPECT_LE(gear1, top);
+  EXPECT_LE(gear2, top);
+  EXPECT_LE(watts(gear1, gear2), cap + 1e-6);
+  if (gear1 < top) {
+    EXPECT_GT(watts(gear1 + 1, gear2), cap);
+  }
+  if (gear2 < top) {
+    EXPECT_GT(watts(gear1, gear2 + 1), cap);
+  }
+  // The binding cap really throttled someone.
+  EXPECT_TRUE(gear1 < top || gear2 < top);
+}
+
+TEST(CapManager, GatesAdmissionsAndReleasesThemFifo) {
+  const Models models;
+  FakePmContext context(16, models.power);
+  const GearIndex top = models.gears.top_index();
+  // Room for 8 CPUs at the floor gear, not 12: job 1 runs, jobs 2 and 3
+  // are gated in arrival order.
+  const double cap = 8.0 * models.power.active_power(0);
+  CapManager manager(models.power, cap, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  const StartDecision first = manager.on_job_start(context, 1, cpus(8), top);
+  EXPECT_FALSE(first.gate);
+  EXPECT_EQ(first.gear, 0);  // The cap only fits the floor.
+
+  context.set_now(10);
+  const StartDecision second =
+      manager.on_job_start(context, 2, {8, 9, 10, 11}, top);
+  EXPECT_TRUE(second.gate);
+  context.set_now(20);
+  const StartDecision third = manager.on_job_start(context, 3, {12, 13}, top);
+  EXPECT_TRUE(third.gate);
+  EXPECT_EQ(context.of(PmEventKind::kGate).size(), 2U);
+
+  // Job 1 finishing frees the whole budget: both gated jobs release, FIFO.
+  context.set_now(100);
+  manager.on_job_finish(context, 1, cpus(8));
+  ASSERT_EQ(context.releases.size(), 2U);
+  EXPECT_EQ(context.releases[0].id, 2);
+  EXPECT_EQ(context.releases[1].id, 3);
+  const auto released = context.of(PmEventKind::kRelease);
+  ASSERT_EQ(released.size(), 2U);
+  EXPECT_DOUBLE_EQ(released[0].seconds, 90.0);  // Gated 10 -> 100.
+  EXPECT_DOUBLE_EQ(released[1].seconds, 80.0);  // Gated 20 -> 100.
+  EXPECT_TRUE(context.of(PmEventKind::kInfeasible).empty());
+}
+
+TEST(CapManager, CapBelowTheFloorForceAdmitsInsteadOfDeadlocking) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  const GearIndex top = models.gears.top_index();
+  // Below even one CPU at the lowest gear: the cap can never be met.
+  const double cap = models.power.active_power(0) * 0.5;
+  CapManager manager(models.power, cap, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  // Nothing active to wait for: the start is forced through at the floor.
+  const StartDecision decision = manager.on_job_start(context, 1, {0}, top);
+  EXPECT_FALSE(decision.gate);
+  EXPECT_EQ(decision.gear, 0);
+  const auto infeasible = context.of(PmEventKind::kInfeasible);
+  ASSERT_EQ(infeasible.size(), 1U);
+  EXPECT_EQ(infeasible[0].job, 1);
+  EXPECT_DOUBLE_EQ(infeasible[0].watts, cap);
+
+  // A second arrival gates behind the running job...
+  context.set_now(5);
+  const StartDecision second = manager.on_job_start(context, 2, {1}, top);
+  EXPECT_TRUE(second.gate);
+
+  // ...and is force-released at the floor when the finish leaves nothing
+  // active — the cap starves admission but the run always terminates.
+  context.set_now(50);
+  manager.on_job_finish(context, 1, {0});
+  ASSERT_EQ(context.releases.size(), 1U);
+  EXPECT_EQ(context.releases[0].id, 2);
+  EXPECT_EQ(context.releases[0].gear, 0);
+  EXPECT_EQ(context.of(PmEventKind::kInfeasible).size(), 2U);
+}
+
+TEST(CapManager, SingleJobClusterThrottlesAndFinishesCleanly) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  const GearIndex top = models.gears.top_index();
+  const double cap = 4.0 * models.power.active_power(2);
+  CapManager manager(models.power, cap, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  const StartDecision decision = manager.on_job_start(context, 1, cpus(4), top);
+  EXPECT_FALSE(decision.gate);
+  EXPECT_EQ(decision.gear, 2);
+  const auto throttles = context.of(PmEventKind::kThrottle);
+  ASSERT_EQ(throttles.size(), 1U);
+  EXPECT_EQ(throttles[0].gear_from, top);
+  EXPECT_EQ(throttles[0].gear_to, 2);
+
+  manager.on_job_finish(context, 1, cpus(4));
+  EXPECT_TRUE(context.releases.empty());
+  EXPECT_EQ(context.of(PmEventKind::kInfeasible).size(), 0U);
+}
+
+TEST(CapManager, PolicyRaiseIsClampedBackUnderTheCap) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  const GearIndex top = models.gears.top_index();
+  const double cap = 4.0 * models.power.active_power(3);
+  CapManager manager(models.power, cap, CapManager::Share::kUniform);
+  manager.on_run_begin(context);
+
+  // Starts at its desired gear 2, well under the cap.
+  const StartDecision decision = manager.on_job_start(context, 1, cpus(4), 2);
+  EXPECT_EQ(decision.gear, 2);
+
+  // The DVFS policy raises it to the top; the cap immediately takes the
+  // raise back down to the highest level that fits (gear 3).
+  manager.on_job_raised(context, 1, top);
+  EXPECT_EQ(context.gears.at(1), 3);
+  const auto throttles = context.of(PmEventKind::kThrottle);
+  ASSERT_EQ(throttles.size(), 1U);
+  EXPECT_EQ(throttles[0].gear_from, top);
+  EXPECT_EQ(throttles[0].gear_to, 3);
+}
+
+}  // namespace
+}  // namespace bsld::pm

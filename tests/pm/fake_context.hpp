@@ -1,0 +1,65 @@
+/// \file fake_context.hpp
+/// \brief A recording pm::PmContext for unit-testing power managers
+/// without a simulation: every action the manager takes is captured for
+/// assertion, and the clock is set by hand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pm/event.hpp"
+#include "pm/power_manager.hpp"
+#include "power/power_model.hpp"
+
+namespace bsld::testing {
+
+class FakePmContext final : public pm::PmContext {
+ public:
+  FakePmContext(std::int32_t cpus, const power::PowerModel& model)
+      : cpus_(cpus), model_(model) {}
+
+  void set_now(Time now) { now_ = now; }
+
+  [[nodiscard]] Time now() const override { return now_; }
+  [[nodiscard]] std::int32_t cpu_count() const override { return cpus_; }
+  [[nodiscard]] const power::PowerModel& power_model() const override {
+    return model_;
+  }
+  void set_job_gear(JobId id, GearIndex gear) override {
+    gear_calls.push_back({id, gear});
+    gears[id] = gear;
+  }
+  void release_job(JobId id, GearIndex gear) override {
+    releases.push_back({id, gear});
+    gears[id] = gear;
+  }
+  void schedule_timer(Time at) override { timers.push_back(at); }
+  void emit(const pm::PmEvent& event) override { events.push_back(event); }
+
+  /// Events of one kind, in emission order.
+  [[nodiscard]] std::vector<pm::PmEvent> of(pm::PmEventKind kind) const {
+    std::vector<pm::PmEvent> out;
+    for (const pm::PmEvent& event : events) {
+      if (event.kind == kind) out.push_back(event);
+    }
+    return out;
+  }
+
+  struct GearCall {
+    JobId id;
+    GearIndex gear;
+  };
+  std::vector<GearCall> gear_calls;
+  std::vector<GearCall> releases;
+  std::vector<Time> timers;
+  std::vector<pm::PmEvent> events;
+  std::map<JobId, GearIndex> gears;  ///< Last gear seen per job.
+
+ private:
+  std::int32_t cpus_;
+  const power::PowerModel& model_;
+  Time now_ = 0;
+};
+
+}  // namespace bsld::testing

@@ -1,0 +1,142 @@
+/// \file setpoint_test.cpp
+/// \brief pm::SetpointController unit tests: construction guards, timer
+/// arming, the integral control step (including the mid-run throttle when
+/// the cap drops below demand), and clamping.
+
+#include "pm/setpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm/fake_context.hpp"
+#include "testing/helpers.hpp"
+#include "util/error.hpp"
+
+namespace bsld::pm {
+namespace {
+
+using testing::FakePmContext;
+using testing::Models;
+
+TEST(SetpointController, ConstructorRejectsNonPhysicalParameters) {
+  const Models models;
+  EXPECT_THROW(SetpointController(models.power, 0.0, 500.0, 300, 0.5), Error);
+  EXPECT_THROW(SetpointController(models.power, 500.0, 500.0, 0, 0.5), Error);
+  EXPECT_THROW(SetpointController(models.power, 500.0, 500.0, 300, 0.0),
+               Error);
+  EXPECT_THROW(SetpointController(models.power, 500.0, -1.0, 300, 0.5),
+               Error);
+}
+
+TEST(SetpointController, ArmsOneTimerPerInterval) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  SetpointController controller(models.power, 500.0, 500.0, 300, 0.5);
+  controller.on_run_begin(context);
+
+  controller.on_job_submit(context, 1);
+  ASSERT_EQ(context.timers.size(), 1U);
+  EXPECT_EQ(context.timers[0], 300);
+  // Further submits and starts while armed add no timer.
+  controller.on_job_submit(context, 2);
+  (void)controller.on_job_start(context, 1, {0}, 0);
+  EXPECT_EQ(context.timers.size(), 1U);
+}
+
+TEST(SetpointController, StaysQuietOnAnEmptyCluster) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  SetpointController controller(models.power, 500.0, 500.0, 300, 0.5);
+  controller.on_run_begin(context);
+
+  // A timer fires with nothing admitted: no measurement, no re-arm —
+  // otherwise an idle simulation would never drain its event queue.
+  context.set_now(300);
+  controller.on_timer(context);
+  EXPECT_TRUE(context.events.empty());
+  EXPECT_TRUE(context.timers.empty());
+
+  // The next submission re-arms relative to now.
+  context.set_now(400);
+  controller.on_job_submit(context, 1);
+  ASSERT_EQ(context.timers.size(), 1U);
+  EXPECT_EQ(context.timers[0], 700);
+}
+
+TEST(SetpointController, IntegralStepsMoveTheCapAndThrottleMidRun) {
+  const Models models;
+  FakePmContext context(8, models.power);
+  const GearIndex top = models.gears.top_index();
+  const double setpoint = 300.0;
+  const double gain = 0.5;
+  SetpointController controller(models.power, setpoint, 500.0, 300, gain);
+  controller.on_run_begin(context);
+
+  // One 4-CPU job at the top gear; the other four CPUs idle.
+  (void)controller.on_job_start(context, 1, {0, 1, 2, 3}, top);
+  const double measured_at_top = 4.0 * models.power.active_power(top) +
+                                 4.0 * models.power.idle_power();
+  ASSERT_GT(measured_at_top, setpoint);  // The controller must push down.
+
+  // Step 1: cap moves by gain * error but stays above the job's demand —
+  // measured power is unchanged.
+  context.set_now(300);
+  controller.on_timer(context);
+  const double cap1 = 500.0 + gain * (setpoint - measured_at_top);
+  EXPECT_DOUBLE_EQ(controller.effective_cap(), cap1);
+  ASSERT_GT(cap1, 4.0 * models.power.active_power(top));
+  auto changes = context.of(PmEventKind::kCapChange);
+  ASSERT_EQ(changes.size(), 1U);
+  EXPECT_DOUBLE_EQ(changes[0].watts, cap1);
+  EXPECT_DOUBLE_EQ(changes[0].aux_watts, measured_at_top);
+  EXPECT_TRUE(context.gear_calls.empty());
+  EXPECT_EQ(context.timers.size(), 2U);  // Re-armed while jobs are admitted.
+
+  // Step 2: the integral keeps pushing; the cap drops below the top-gear
+  // demand and the running job is throttled mid-run.
+  context.set_now(600);
+  controller.on_timer(context);
+  const double cap2 = cap1 + gain * (setpoint - measured_at_top);
+  EXPECT_DOUBLE_EQ(controller.effective_cap(), cap2);
+  ASSERT_LT(cap2, 4.0 * models.power.active_power(top));
+  ASSERT_FALSE(context.gear_calls.empty());
+  const GearIndex throttled = context.gear_calls.back().gear;
+  EXPECT_LT(throttled, top);
+  EXPECT_LE(4.0 * models.power.active_power(throttled),
+            controller.effective_cap() + 1e-6);
+  const auto throttles = context.of(PmEventKind::kThrottle);
+  ASSERT_EQ(throttles.size(), 1U);
+  EXPECT_EQ(throttles[0].job, 1);
+  EXPECT_EQ(throttles[0].gear_to, throttled);
+}
+
+TEST(SetpointController, CapIsClampedToThePhysicalRange) {
+  const Models models;
+  const GearIndex top = models.gears.top_index();
+  const double max_cap = 8.0 * models.power.active_power(top);
+
+  {
+    // A huge positive error clamps at the cluster's maximum active power.
+    FakePmContext context(8, models.power);
+    SetpointController controller(models.power, 1e6, 500.0, 300, 1.0);
+    controller.on_run_begin(context);
+    (void)controller.on_job_start(context, 1, {0}, top);
+    context.set_now(300);
+    controller.on_timer(context);
+    EXPECT_DOUBLE_EQ(controller.effective_cap(), max_cap);
+  }
+  {
+    // A huge negative error clamps at zero instead of going negative.
+    FakePmContext context(8, models.power);
+    SetpointController controller(models.power, 1.0, 500.0, 300, 1e9);
+    controller.on_run_begin(context);
+    (void)controller.on_job_start(context, 1, {0}, top);
+    context.set_now(300);
+    controller.on_timer(context);
+    EXPECT_DOUBLE_EQ(controller.effective_cap(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bsld::pm

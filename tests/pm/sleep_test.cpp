@@ -1,0 +1,150 @@
+/// \file sleep_test.cpp
+/// \brief pm::SleepManager unit tests: the default C-state ladder, idle
+/// span accounting across the ladder, wake-latency charging, and the
+/// end-of-run flush.
+
+#include "pm/sleep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pm/fake_context.hpp"
+#include "testing/helpers.hpp"
+
+namespace bsld::pm {
+namespace {
+
+using testing::FakePmContext;
+using testing::Models;
+
+TEST(SleepManager, DefaultLadderHalvesThenDecimatesIdlePower) {
+  const Models models;
+  const std::vector<power::SleepState> states =
+      default_sleep_states(models.power);
+  const double idle = models.power.idle_power();
+  ASSERT_EQ(states.size(), 2U);
+  EXPECT_DOUBLE_EQ(states[0].power_watts, idle * 0.5);
+  EXPECT_EQ(states[0].enter_after_s, 300);
+  EXPECT_EQ(states[0].wake_latency_s, 10);
+  EXPECT_DOUBLE_EQ(states[1].power_watts, idle * 0.1);
+  EXPECT_EQ(states[1].enter_after_s, 3600);
+  EXPECT_EQ(states[1].wake_latency_s, 60);
+}
+
+TEST(SleepManager, ModelLadderOverridesTheDefault) {
+  Models models;
+  power::PowerModelConfig config;
+  config.sleep_states.push_back(power::SleepState{1.0, 100, 5});
+  const power::PowerModel model(models.gears, config);
+  SleepManager manager(model);
+
+  FakePmContext context(2, model);
+  manager.on_run_begin(context);
+  manager.on_job_submit(context, 1);
+  context.set_now(200);
+  const StartDecision decision = manager.on_job_start(context, 1, {0}, 0);
+  // 200 s idle crossed the custom 100 s threshold: 100 core-seconds in
+  // state 0 at 1 W, and the custom 5 s wake latency.
+  EXPECT_EQ(decision.wake_delay, 5);
+  const auto intervals = context.of(PmEventKind::kSleepInterval);
+  ASSERT_EQ(intervals.size(), 1U);
+  EXPECT_DOUBLE_EQ(intervals[0].watts, 1.0);
+  EXPECT_DOUBLE_EQ(intervals[0].seconds, 100.0);
+}
+
+TEST(SleepManager, ShortIdleSpansSleepNothing) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  SleepManager manager(models.power);
+  manager.on_run_begin(context);
+  manager.on_job_submit(context, 1);
+
+  // 200 s idle is below the 300 s first threshold: no events, no wake.
+  context.set_now(200);
+  const StartDecision decision = manager.on_job_start(context, 1, {0, 1}, 0);
+  EXPECT_EQ(decision.wake_delay, 0);
+  EXPECT_TRUE(context.events.empty());
+}
+
+TEST(SleepManager, LongIdleDescendsTheLadderAndChargesTheDeepestWake) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  const double idle = models.power.idle_power();
+  SleepManager manager(models.power);
+  manager.on_run_begin(context);
+  manager.on_job_submit(context, 1);
+
+  // One CPU idle for 4000 s: 300..3600 in the nap state (3300 s), then
+  // 3600..4000 in deep sleep (400 s); the allocation pays the 60 s wake.
+  context.set_now(4000);
+  const StartDecision decision = manager.on_job_start(context, 1, {0}, 0);
+  EXPECT_EQ(decision.wake_delay, 60);
+
+  const auto intervals = context.of(PmEventKind::kSleepInterval);
+  ASSERT_EQ(intervals.size(), 2U);
+  EXPECT_EQ(intervals[0].sleep_state, 0);
+  EXPECT_DOUBLE_EQ(intervals[0].seconds, 3300.0);
+  EXPECT_DOUBLE_EQ(intervals[0].watts, idle * 0.5);
+  EXPECT_EQ(intervals[0].cpu_count, 1);
+  EXPECT_EQ(intervals[1].sleep_state, 1);
+  EXPECT_DOUBLE_EQ(intervals[1].seconds, 400.0);
+  EXPECT_DOUBLE_EQ(intervals[1].watts, idle * 0.1);
+
+  const auto wakes = context.of(PmEventKind::kWake);
+  ASSERT_EQ(wakes.size(), 1U);
+  EXPECT_EQ(wakes[0].cpu_count, 1);
+  EXPECT_DOUBLE_EQ(wakes[0].seconds, 60.0);
+}
+
+TEST(SleepManager, FinishRestartsTheIdleClock) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  SleepManager manager(models.power);
+  manager.on_run_begin(context);
+  manager.on_job_submit(context, 1);
+
+  // CPUs 0-1 busy 0..50, idle 50..500: a 450 s span, not a 500 s one.
+  (void)manager.on_job_start(context, 1, {0, 1}, 0);
+  context.set_now(50);
+  manager.on_job_finish(context, 1, {0, 1});
+  context.set_now(500);
+  const StartDecision decision = manager.on_job_start(context, 2, {0}, 0);
+  EXPECT_EQ(decision.wake_delay, 10);
+  const auto intervals = context.of(PmEventKind::kSleepInterval);
+  ASSERT_EQ(intervals.size(), 1U);
+  EXPECT_EQ(intervals[0].sleep_state, 0);
+  EXPECT_DOUBLE_EQ(intervals[0].seconds, 150.0);  // 300..450 of the span.
+}
+
+TEST(SleepManager, TrackingStartsAtTheFirstSubmission) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  SleepManager manager(models.power);
+  manager.on_run_begin(context);
+
+  // No submission yet: pre-horizon idleness is never accounted.
+  context.set_now(5000);
+  const StartDecision decision = manager.on_job_start(context, 1, {0}, 0);
+  EXPECT_EQ(decision.wake_delay, 0);
+  EXPECT_TRUE(context.events.empty());
+}
+
+TEST(SleepManager, RunEndFlushesOpenSpansWithoutWaking) {
+  const Models models;
+  FakePmContext context(4, models.power);
+  SleepManager manager(models.power);
+  manager.on_run_begin(context);
+  manager.on_job_submit(context, 1);
+
+  // All four CPUs idle 0..1000; the run ends with them asleep.
+  context.set_now(1000);
+  manager.on_run_end(context);
+  const auto intervals = context.of(PmEventKind::kSleepInterval);
+  ASSERT_EQ(intervals.size(), 1U);
+  EXPECT_EQ(intervals[0].sleep_state, 0);
+  EXPECT_EQ(intervals[0].cpu_count, 4);
+  EXPECT_DOUBLE_EQ(intervals[0].seconds, 4 * 700.0);
+  EXPECT_TRUE(context.of(PmEventKind::kWake).empty());
+}
+
+}  // namespace
+}  // namespace bsld::pm

@@ -84,6 +84,60 @@ TEST(GridTest, BadWqTokenThrows) {
   EXPECT_THROW((void)expand_grid(negative), Error);
 }
 
+TEST(GridTest, PmAxesExpandInnermostWithTheWattsOnTheRightKnob) {
+  util::Config config;
+  config.set("workload.jobs", "100");
+  config.set("sweep.workloads", "CTC, SDSC");
+  config.set("sweep.pm", "cap-uniform, setpoint");
+  config.set("sweep.pm_cap_watts", "4000, 8000");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 8u);  // 2 workloads x 2 managers x 2 budgets.
+
+  // Workloads outermost, pm names next, watts innermost.
+  EXPECT_EQ(specs[0].workload.archive, wl::Archive::kCTC);
+  EXPECT_EQ(specs[4].workload.archive, wl::Archive::kSDSC);
+  EXPECT_EQ(specs[0].pm.name, "cap-uniform");
+  EXPECT_EQ(specs[2].pm.name, "setpoint");
+  // The cap families take the watts as their hard cap...
+  EXPECT_EQ(specs[0].pm.cap_watts, 4000.0);
+  EXPECT_EQ(specs[1].pm.cap_watts, 8000.0);
+  EXPECT_FALSE(specs[0].pm.setpoint_watts.has_value());
+  // ...while "setpoint" takes them as the control target.
+  EXPECT_EQ(specs[2].pm.setpoint_watts, 4000.0);
+  EXPECT_EQ(specs[3].pm.setpoint_watts, 8000.0);
+  EXPECT_FALSE(specs[2].pm.cap_watts.has_value());
+}
+
+TEST(GridTest, PmWattsAxisIsIgnoredForParameterlessManagers) {
+  util::Config config;
+  config.set("sweep.pm", "none, sleep");
+  config.set("sweep.pm_cap_watts", "4000, 8000");
+  const std::vector<RunSpec> specs = expand_grid(config);
+  ASSERT_EQ(specs.size(), 4u);
+  for (const RunSpec& spec : specs) {
+    EXPECT_FALSE(spec.pm.cap_watts.has_value());
+    EXPECT_FALSE(spec.pm.setpoint_watts.has_value());
+  }
+  // The watts collapse to duplicate specs, which a sweep deduplicates by
+  // key: only two distinct runs remain.
+  EXPECT_EQ(specs[0].key(), specs[1].key());
+  EXPECT_EQ(specs[2].key(), specs[3].key());
+  EXPECT_NE(specs[0].key(), specs[2].key());
+}
+
+TEST(GridTest, PmAxisValidatesEverySpecAtExpansion) {
+  util::Config unknown;
+  unknown.set("sweep.pm", "cap-uniform, warp-drive");
+  unknown.set("sweep.pm_cap_watts", "4000");
+  EXPECT_THROW((void)expand_grid(unknown), Error);
+
+  // A capping family swept without any watts fails the family rule up
+  // front instead of mid-sweep.
+  util::Config capless;
+  capless.set("sweep.pm", "cap-uniform");
+  EXPECT_THROW((void)expand_grid(capless), Error);
+}
+
 TEST(GridTest, UnknownWorkloadNameSurfacesAsError) {
   util::Config config;
   config.set("sweep.workloads", "CTC, /no/such/trace.swf");

@@ -49,6 +49,8 @@ void expect_same_sim(const sim::SimulationResult& a,
   EXPECT_EQ(a.energy.idle_joules, b.energy.idle_joules);
   EXPECT_EQ(a.energy.busy_core_seconds, b.energy.busy_core_seconds);
   EXPECT_EQ(a.energy.idle_core_seconds, b.energy.idle_core_seconds);
+  EXPECT_EQ(a.energy.sleep_core_seconds, b.energy.sleep_core_seconds);
+  EXPECT_EQ(a.energy.sleep_joules, b.energy.sleep_joules);
   EXPECT_EQ(a.energy.horizon, b.energy.horizon);
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.utilization, b.utilization);
@@ -139,6 +141,24 @@ TEST_F(ResultCacheTest, RetainJobsOffRoundTripsWithoutJobs) {
   // The retained variant is a different run identity: no false sharing.
   RunSpec retained = small_spec();
   EXPECT_FALSE(cache.lookup(retained).has_value());
+}
+
+TEST_F(ResultCacheTest, PowerManagedRunsRoundTripWithTheirSleepEnergy) {
+  // A sleep-managed run populates the sleep energy fields; the cache
+  // entry must replay them bit-for-bit (expect_same_sim covers them), and
+  // the managed spec's key must differ from the unmanaged one's.
+  RunSpec spec = small_spec();
+  spec.pm.name = "sleep";
+  const RunResult fresh = run_one(spec);
+  EXPECT_GT(fresh.sim.energy.sleep_core_seconds, 0.0);
+
+  ResultCache cache(root_);
+  cache.store(fresh);
+  const auto cached = cache.lookup(spec);
+  ASSERT_TRUE(cached.has_value());
+  expect_same_sim(fresh.sim, cached->sim);
+  EXPECT_NE(spec.key(), small_spec().key());
+  EXPECT_FALSE(cache.lookup(small_spec()).has_value());
 }
 
 TEST_F(ResultCacheTest, TruncatedEntryIsCorruptMissAndRecovers) {

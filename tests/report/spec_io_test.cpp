@@ -63,6 +63,21 @@ std::vector<RunSpec> representative_specs() {
     specs.push_back(spec);
   }
   {
+    RunSpec spec;  // power-capped run
+    spec.pm.name = "cap-proportional";
+    spec.pm.cap_watts = 4000.0;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;  // closed-loop power control, every tunable set
+    spec.pm.name = "setpoint";
+    spec.pm.setpoint_watts = 350000.0;
+    spec.pm.cap_watts = 400000.0;
+    spec.pm.interval_s = 120;
+    spec.pm.gain = 0.25;
+    specs.push_back(spec);
+  }
+  {
     wl::WorkloadSpec workload;
     workload.name = "inline";
     workload.cpus = 48;
@@ -112,6 +127,33 @@ TEST(SpecIoTest, ReplayedSpecReproducesResults) {
                    replay.sim.energy.total_joules);
   EXPECT_EQ(original.sim.makespan, replay.sim.makespan);
   EXPECT_EQ(original.sim.reduced_jobs, replay.sim.reduced_jobs);
+}
+
+TEST(SpecIoTest, PmKeysParseAndLabelTheRun) {
+  const RunSpec parsed = RunSpec::parse(util::Config::parse(
+      "pm = cap-uniform\npm.cap_watts = 4000\n"));
+  ASSERT_TRUE(parsed.pm.enabled());
+  EXPECT_EQ(parsed.pm.name, "cap-uniform");
+  EXPECT_EQ(parsed.pm.cap_watts, 4000.0);
+  EXPECT_NE(parsed.label().find("PM:cap-uniform@4000W"), std::string::npos)
+      << parsed.label();
+  // The default spec's label carries no PM segment.
+  EXPECT_EQ(RunSpec{}.label().find("PM:"), std::string::npos);
+}
+
+TEST(SpecIoTest, UnknownPmManagerRejected) {
+  EXPECT_THROW(RunSpec::parse(util::Config::parse("pm = warp-drive\n")),
+               Error);
+}
+
+TEST(SpecIoTest, PmFamilyRulesEnforcedAtParseTime) {
+  // A capping manager without its cap fails when the spec is read, not
+  // mid-sweep when the manager is built.
+  EXPECT_THROW(RunSpec::parse(util::Config::parse("pm = cap-uniform\n")),
+               Error);
+  EXPECT_THROW(
+      RunSpec::parse(util::Config::parse("pm = sleep\npm.gain = 0.5\n")),
+      Error);
 }
 
 TEST(SpecIoTest, EqualSpecsShareTheKey) {
