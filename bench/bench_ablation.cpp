@@ -51,12 +51,12 @@ void print_rows(const std::string& title,
                      "Avg BSLD", "Avg wait (s)"});
   for (std::size_t c = 1; c < 6; ++c) table.set_align(c, util::Align::kRight);
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto norm = report::normalized_energy(results[i].sim, base.sim);
+    const auto norm = report::normalized_energy(results[i].sim(), base.sim());
     table.add_row({rows[i].first, util::fmt_double(norm.computational, 3),
                    util::fmt_double(norm.total, 3),
-                   std::to_string(results[i].sim.reduced_jobs),
-                   util::fmt_double(results[i].sim.avg_bsld, 2),
-                   util::fmt_double(results[i].sim.avg_wait, 0)});
+                   std::to_string(results[i].sim().reduced_jobs),
+                   util::fmt_double(results[i].sim().avg_bsld, 2),
+                   util::fmt_double(results[i].sim().avg_wait, 0)});
   }
   std::cout << table << '\n';
 }

@@ -19,7 +19,7 @@ int main() {
       "E",
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).computational, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).computational, 3);
       });
   std::cout << '\n';
   benchtool::print_original_size_figure(
@@ -27,7 +27,7 @@ int main() {
       "E",
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).total, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).total, 3);
       });
   std::cout << "\nShape check: values < 1 are savings; SDSC stays ~1.0; "
                "WQ=NO columns give the largest savings.\n";

@@ -16,7 +16,7 @@ int main() {
       "Figure 4 — Number of jobs run at reduced frequency",
       "reduced",
       [](const report::RunResult& run, const report::RunResult&) {
-        return std::to_string(run.sim.reduced_jobs);
+        return std::to_string(run.sim().reduced_jobs);
       });
   std::cout << "\nShape check: counts grow as the WQ limit relaxes; on the "
                "lightly-loaded LLNL traces the BSLDthr=1.5 rows can exceed "

@@ -14,7 +14,7 @@ int main() {
       "Figure 5 — Average BSLD, original system size (baseline in Table 1)",
       "BSLD",
       [](const report::RunResult& run, const report::RunResult&) {
-        return util::fmt_double(run.sim.avg_bsld, 2);
+        return util::fmt_double(run.sim().avg_bsld, 2);
       });
   std::cout << "\nShape check: penalties grow toward WQ=NO; SDSC dominates "
                "the scale as in the paper's figure.\n";

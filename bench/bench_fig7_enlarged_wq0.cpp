@@ -18,7 +18,7 @@ int main() {
       std::int64_t{0},
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).computational, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).computational, 3);
       });
   std::cout << '\n';
   benchtool::print_enlarged_figure(
@@ -27,7 +27,7 @@ int main() {
       std::int64_t{0},
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).total, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).total, 3);
       });
   std::cout << "\nShape check: panel (a) decreases monotonically with size; "
                "panel (b) reaches a minimum and then rises (idle power of "

@@ -16,7 +16,7 @@ int main() {
       std::nullopt,
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).computational, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).computational, 3);
       });
   std::cout << '\n';
   benchtool::print_enlarged_figure(
@@ -25,7 +25,7 @@ int main() {
       std::nullopt,
       [](const report::RunResult& run, const report::RunResult& baseline) {
         return util::fmt_double(
-            report::normalized_energy(run.sim, baseline.sim).total, 3);
+            report::normalized_energy(run.sim(), baseline.sim()).total, 3);
       });
   std::cout << "\nShape check: the +20% column of panel (a) sits near 0.7-0.75 "
                "for the non-saturated workloads (the paper's 'almost 30%').\n";

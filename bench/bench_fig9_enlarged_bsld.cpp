@@ -15,21 +15,21 @@ int main() {
       "Figure 9 (left) — Avg BSLD on enlarged systems, WQ = NO, BSLDthr = 2",
       std::nullopt,
       [](const report::RunResult& run, const report::RunResult&) {
-        return util::fmt_double(run.sim.avg_bsld, 2);
+        return util::fmt_double(run.sim().avg_bsld, 2);
       });
   std::cout << '\n';
   benchtool::print_enlarged_figure(
       "Figure 9 (right) — Avg BSLD on enlarged systems, WQ = 0, BSLDthr = 2",
       std::int64_t{0},
       [](const report::RunResult& run, const report::RunResult&) {
-        return util::fmt_double(run.sim.avg_bsld, 2);
+        return util::fmt_double(run.sim().avg_bsld, 2);
       });
   std::cout << "\nBaselines (original size, no DVFS): ";
   for (const wl::Archive archive : wl::all_archives()) {
     report::RunSpec spec;
     spec.workload = wl::WorkloadSource::from_archive(archive);
     std::cout << wl::archive_name(archive) << "="
-              << util::fmt_double(report::run_one(spec).sim.avg_bsld, 2) << ' ';
+              << util::fmt_double(report::run_one(spec).sim().avg_bsld, 2) << ' ';
   }
   std::cout << "\nShape check: every row decreases monotonically to the "
                "right (more processors, better performance).\n";

@@ -159,8 +159,8 @@ void BM_RetainJobsMode(benchmark::State& state) {
   double retained_kb = 0.0;
   for (auto _ : state) {
     const report::RunResult result = report::run_one(spec);
-    benchmark::DoNotOptimize(result.sim.avg_bsld);
-    retained_kb = static_cast<double>(result.sim.jobs.capacity() *
+    benchmark::DoNotOptimize(result.sim().avg_bsld);
+    retained_kb = static_cast<double>(result.sim().jobs.capacity() *
                                       sizeof(sim::JobOutcome)) /
                   1024.0;
   }

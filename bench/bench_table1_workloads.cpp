@@ -39,9 +39,9 @@ int main() {
                    std::to_string(wl::paper_cpus(archive)),
                    std::to_string(stats.jobs),
                    util::fmt_double(wl::paper_avg_bsld(archive)),
-                   util::fmt_double(result.sim.avg_bsld),
-                   util::fmt_double(result.sim.avg_wait, 0),
-                   util::fmt_double(result.sim.utilization, 3),
+                   util::fmt_double(result.sim().avg_bsld),
+                   util::fmt_double(result.sim().avg_wait, 0),
+                   util::fmt_double(result.sim().utilization, 3),
                    util::fmt_percent(stats.sequential_fraction),
                    util::fmt_percent(stats.short_fraction),
                    util::fmt_double(stats.mean_size, 1)});

@@ -55,7 +55,7 @@ int main() {
   for (const wl::Archive archive : wl::all_archives()) {
     std::vector<std::string> row = {wl::archive_name(archive)};
     for (int k = 0; k < 5; ++k) {
-      row.push_back(util::fmt_double(results[index++].sim.avg_wait, 0));
+      row.push_back(util::fmt_double(results[index++].sim().avg_wait, 0));
     }
     table.add_row(std::move(row));
   }

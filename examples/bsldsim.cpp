@@ -706,7 +706,7 @@ int main(int argc, char** argv) try {
       notice << "cache miss, stored (" << cache->root().string() << ")\n";
     }
   }
-  const sim::SimulationResult& result = run.sim;
+  const sim::SimulationResult& result = run.sim();
 
   if (format == "csv") {
     report::CsvResultSink sink(std::cout);

@@ -48,24 +48,24 @@ int main(int argc, char** argv) {
             << ", WQ=" << report::wq_label(dvfs.wq_threshold) << "\n"
             << "All values relative to the original "
             << wl::paper_cpus(archive) << "-CPU system without DVFS (avg BSLD "
-            << util::fmt_double(base.sim.avg_bsld, 2) << ")\n\n";
+            << util::fmt_double(base.sim().avg_bsld, 2) << ")\n\n";
 
   util::Table table({"System size", "CPUs", "E(idle=0)", "E(idle=low)",
                      "Avg BSLD", "Avg wait (s)", "Utilization"});
   for (std::size_t c = 1; c < 7; ++c) table.set_align(c, util::Align::kRight);
   for (std::size_t i = 1; i < results.size(); ++i) {
-    const auto norm = report::normalized_energy(results[i].sim, base.sim);
+    const auto norm = report::normalized_energy(results[i].sim(), base.sim());
     const double scale = results[i].spec.size_scale;
     std::string size_label = "+";
     size_label += util::fmt_double((scale - 1.0) * 100.0, 0);
     size_label += '%';
     table.add_row({std::move(size_label),
-                   std::to_string(results[i].sim.cpus),
+                   std::to_string(results[i].sim().cpus),
                    util::fmt_double(norm.computational, 3),
                    util::fmt_double(norm.total, 3),
-                   util::fmt_double(results[i].sim.avg_bsld, 2),
-                   util::fmt_double(results[i].sim.avg_wait, 0),
-                   util::fmt_double(results[i].sim.utilization, 3)});
+                   util::fmt_double(results[i].sim().avg_bsld, 2),
+                   util::fmt_double(results[i].sim().avg_wait, 0),
+                   util::fmt_double(results[i].sim().utilization, 3)});
   }
   std::cout << table
             << "\nReading: E(idle=0) keeps falling with size; E(idle=low) "

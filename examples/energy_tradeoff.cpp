@@ -44,20 +44,20 @@ int main(int argc, char** argv) {
 
   std::cout << "Energy-performance trade-off for " << wl::archive_name(archive)
             << " (" << jobs << " jobs, baseline avg BSLD "
-            << util::fmt_double(base.sim.avg_bsld, 2) << ")\n\n";
+            << util::fmt_double(base.sim().avg_bsld, 2) << ")\n\n";
 
   util::Table table({"BSLDthr", "WQthr", "Energy saved (idle=0)",
                      "Energy saved (idle=low)", "Avg BSLD", "Reduced jobs"});
   for (std::size_t c = 2; c < 6; ++c) table.set_align(c, util::Align::kRight);
   for (std::size_t i = 1; i < results.size(); ++i) {
-    const auto norm = report::normalized_energy(results[i].sim, base.sim);
+    const auto norm = report::normalized_energy(results[i].sim(), base.sim());
     table.add_row(
         {util::fmt_double(results[i].spec.policy.dvfs->bsld_threshold, 1),
          report::wq_label(results[i].spec.policy.dvfs->wq_threshold),
          util::fmt_percent(1.0 - norm.computational),
          util::fmt_percent(1.0 - norm.total),
-         util::fmt_double(results[i].sim.avg_bsld, 2),
-         std::to_string(results[i].sim.reduced_jobs)});
+         util::fmt_double(results[i].sim().avg_bsld, 2),
+         std::to_string(results[i].sim().reduced_jobs)});
   }
   std::cout << table
             << "\nPick the row with the largest savings whose BSLD penalty "

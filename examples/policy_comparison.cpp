@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                      "Utilization"});
   for (std::size_t c = 1; c < 8; ++c) table.set_align(c, util::Align::kRight);
   for (const report::RunResult& run : results) {
-    const sim::SimulationResult& result = run.sim;
+    const sim::SimulationResult& result = run.sim();
     table.add_row({core::policy_label(run.spec.policy),
                    util::fmt_double(result.avg_bsld, 2),
                    util::fmt_double(result.avg_wait, 0),

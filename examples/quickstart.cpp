@@ -39,7 +39,7 @@ int main() {
   spec.policy.dvfs = dvfs;
 
   const sim::SimulationResult result =
-      report::run_workload(workload, spec).sim;
+      report::run_workload(workload, spec).sim();
 
   std::cout << "Policy: " << result.policy << "\n\n";
   util::Table table({"Job", "Size", "Submit", "Start", "End", "Gear (GHz)",

@@ -63,8 +63,8 @@ int main(int argc, char** argv) {
 
   const std::vector<report::RunResult> results =
       report::run_all({baseline, power_aware});
-  const sim::SimulationResult& base_run = results[0].sim;
-  const sim::SimulationResult& dvfs_run = results[1].sim;
+  const sim::SimulationResult& base_run = results[0].sim();
+  const sim::SimulationResult& dvfs_run = results[1].sim();
 
   util::Table table({"Run", "Avg BSLD", "Avg wait (s)", "Reduced jobs",
                      "E(idle=0) MJ", "E(idle=low) MJ"});

@@ -32,6 +32,10 @@ Two modes, both stdlib-only:
       the code, so mismatched (or missing) stamps abort the compare
       before any numbers are looked at.
 
+      Under GitHub Actions (when $GITHUB_STEP_SUMMARY is set) the compare
+      also appends a markdown baseline/current/ratio table to the job
+      summary, so the gate's numbers are readable without opening logs.
+
 The baseline lives in bench/BENCH_baseline.json and is refreshed with
 `scripts/run_bench.sh --update-baseline` on quiet hardware. To land a PR
 with a known, accepted regression, apply the `bench-regression-override`
@@ -40,6 +44,7 @@ label (see .github/workflows/ci.yml) — the gate job is skipped.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -89,6 +94,36 @@ def by_name(data):
         if entry.get("name") and rate is not None:
             table[entry["name"]] = rate
     return table
+
+
+def write_step_summary(rows, max_regression_pct, failed):
+    """Append a markdown baseline/current ratio table to the file named by
+    $GITHUB_STEP_SUMMARY (the CI job-summary panel). A no-op outside
+    GitHub Actions; summary I/O never fails the gate itself."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    verdict = "regression over limit" if failed else "within limits"
+    lines = [
+        "### Bench gate — guarded throughput vs checked-in baseline",
+        "",
+        f"Gate: fail under {1.0 - max_regression_pct / 100.0:.2f}x "
+        f"(-{max_regression_pct:g}%). Result: **{verdict}**.",
+        "",
+        "| benchmark | baseline | current | ratio |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, base, now, ratio in rows:
+        base_text = f"{base:.4g}/s" if base is not None else "(new)"
+        now_text = f"{now:.4g}/s" if now is not None else "(missing)"
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
+        lines.append(f"| `{name}` | {base_text} | {now_text} | {ratio_text} |")
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as error:
+        print(f"bench_compare: cannot write step summary: {error}",
+              file=sys.stderr)
 
 
 def main():
@@ -160,26 +195,31 @@ def main():
         guarded = sorted(set(fresh_rates) & set(baseline_rates))
 
     failures = []
+    rows = []  # (name, baseline, fresh, ratio) for the step summary.
     print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
     for name in guarded:
         if name not in fresh_rates:
             failures.append(f"{name}: missing from {args.fresh} (remove it "
                             "from the guard list if it was deleted)")
+            rows.append((name, baseline_rates.get(name), None, None))
             continue
         if name not in baseline_rates:
             print(f"{name:40s} {'(new)':>12s} {fresh_rates[name]:12.3g} "
                   f"{'n/a':>8s}  # enters the gate on the next baseline "
                   "refresh")
+            rows.append((name, None, fresh_rates[name], None))
             continue
         base = baseline_rates[name]
         now = fresh_rates[name]
         delta_pct = (now - base) / base * 100.0
         print(f"{name:40s} {base:12.3g} {now:12.3g} {delta_pct:+7.1f}%")
+        rows.append((name, base, now, now / base))
         if delta_pct < -args.max_regression_pct:
             failures.append(
                 f"{name}: throughput {base:.3g} -> {now:.3g} "
                 f"({delta_pct:+.1f}%, limit -{args.max_regression_pct:g}%)")
 
+    write_step_summary(rows, args.max_regression_pct, bool(failures))
     if failures:
         print("\nbench_compare: FAIL — throughput regression over "
               f"{args.max_regression_pct:g}%:", file=sys.stderr)

@@ -7,6 +7,11 @@
 # Usage:
 #   scripts/run_bench.sh [options] [build-dir] [output.json] [bench args...]
 #
+# The default build dir is build-bench, configured on demand through the
+# `bench-release` CMake preset (-O3 + LTO) — the configuration the
+# committed baseline is recorded under. Pass an explicit build dir to
+# benchmark another tree (CI smokes reuse the tier-1 `build`).
+#
 # Options (must come first):
 #   --compare BASELINE.json   After running, diff the fresh JSON against the
 #                             baseline with scripts/bench_compare.py and exit
@@ -19,6 +24,13 @@
 #                             the build dir is a Release build: a Debug
 #                             baseline would poison every later --compare
 #                             (mirror of bench_compare.py's stamp check).
+#   --if-improved             Only meaningful with --update-baseline: refuse
+#                             the refresh when any guarded benchmark is
+#                             slower than the baseline being replaced (0%
+#                             regression tolerance). Use for routine
+#                             refreshes so a noisy run can never quietly
+#                             lower the bar; omit it only when accepting a
+#                             known regression deliberately.
 #   --self-test               Prove the --update-baseline guard against a
 #                             sandboxed fake build dir (Debug refused,
 #                             Release accepted) and exit. Touches nothing
@@ -90,6 +102,7 @@ STUB
 
 compare_baseline=""
 update_baseline=0
+if_improved=0
 while [[ $# -ge 1 ]]; do
   case "$1" in
     --compare)
@@ -101,6 +114,10 @@ while [[ $# -ge 1 ]]; do
       update_baseline=1
       shift
       ;;
+    --if-improved)
+      if_improved=1
+      shift
+      ;;
     --self-test)
       self_test
       ;;
@@ -110,7 +127,7 @@ while [[ $# -ge 1 ]]; do
   esac
 done
 
-build_dir="${1:-build}"
+build_dir="${1:-build-bench}"
 out="${2:-BENCH_micro.json}"
 # Drop the two fixed arguments; ${1+"$@"} below forwards the rest safely
 # even under `set -u` on old bash (empty "${@:3}" trips bash <= 4.3).
@@ -119,8 +136,20 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 cd "$repo_root"
 
+if [[ $if_improved -eq 1 && $update_baseline -eq 0 ]]; then
+  echo "run_bench.sh: --if-improved only applies with --update-baseline" >&2
+  exit 2
+fi
+
 if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
-  cmake -B "$build_dir" -S .
+  # The default tree comes from the bench-release preset so every
+  # measurement (and every committed baseline) is -O3 + LTO; explicitly
+  # named trees are configured plainly, preserving whatever they are.
+  if [[ "$build_dir" == "build-bench" ]]; then
+    cmake --preset bench-release
+  else
+    cmake -B "$build_dir" -S .
+  fi
   cmake --build "$build_dir" --target bench_micro -j
 fi
 if [[ ! -x "$build_dir/bench/bench_micro" ]]; then
@@ -175,6 +204,18 @@ if [[ -n "$compare_baseline" ]]; then
 fi
 
 if [[ $update_baseline -eq 1 ]]; then
+  if [[ $if_improved -eq 1 && -s "$baseline_path" ]]; then
+    # Zero tolerance against the baseline being replaced: a refresh must
+    # never lower the bar. Failing the compare (including a build-type
+    # stamp mismatch) refuses the update.
+    if ! python3 scripts/bench_compare.py "$out" "$baseline_path" \
+        --max-regression-pct 0 --guard bench/bench_guard.list; then
+      echo "run_bench.sh: refusing --update-baseline: a guarded benchmark" \
+           "is slower than the current baseline (drop --if-improved to" \
+           "accept a regression deliberately)" >&2
+      exit 1
+    fi
+  fi
   cp "$out" "$baseline_path"
   echo "Updated $baseline_path"
 fi

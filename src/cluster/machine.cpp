@@ -13,42 +13,34 @@ Machine::Machine(std::int32_t cpu_count)
   BSLD_REQUIRE(cpu_count > 0, "Machine: cpu_count must be positive");
 }
 
-void Machine::check_cpu(CpuId cpu) const {
-  BSLD_REQUIRE(cpu >= 0 && cpu < cpu_count(), "Machine: cpu out of range");
-}
-
-JobId Machine::running_job(CpuId cpu) const {
-  check_cpu(cpu);
-  return jobs_[static_cast<std::size_t>(cpu)];
-}
-
-bool Machine::is_free(CpuId cpu) const { return running_job(cpu) == kNoJob; }
-
-Time Machine::avail_time(CpuId cpu, Time now) const {
-  check_cpu(cpu);
-  const auto index = static_cast<std::size_t>(cpu);
-  if (jobs_[index] == kNoJob) return now;
-  return std::max(expected_end_[index], now + 1);
-}
-
 Time Machine::earliest_start(std::int32_t size, Time now) const {
   BSLD_REQUIRE(size > 0 && size <= cpu_count(),
                "Machine: allocation size must be within [1, cpu_count]");
   if (free_now_ >= size) return now;
-  std::vector<Time> avail;
-  avail.reserve(jobs_.size());
-  for (CpuId cpu = 0; cpu < cpu_count(); ++cpu) {
-    avail.push_back(avail_time(cpu, now));
+  // Every free CPU is available at `now`, strictly before any busy CPU
+  // (whose availability clamps to >= now + 1). The k-th smallest
+  // availability overall is therefore the (size - free_now_)-th smallest
+  // among the busy CPUs only — select over the busy subset, in a reused
+  // scratch buffer, instead of building and partitioning the full vector.
+  scratch_.clear();
+  const std::size_t n = jobs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jobs_[i] != kNoJob) {
+      scratch_.push_back(std::max(expected_end_[i], now + 1));
+    }
   }
-  auto kth = avail.begin() + (size - 1);
-  std::nth_element(avail.begin(), kth, avail.end());
+  auto kth = scratch_.begin() + (size - free_now_ - 1);
+  std::nth_element(scratch_.begin(), kth, scratch_.end());
   return *kth;
 }
 
 std::int32_t Machine::available_by(Time t, Time now) const {
   std::int32_t count = 0;
-  for (CpuId cpu = 0; cpu < cpu_count(); ++cpu) {
-    if (avail_time(cpu, now) <= t) ++count;
+  const std::size_t n = jobs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time avail =
+        jobs_[i] == kNoJob ? now : std::max(expected_end_[i], now + 1);
+    if (avail <= t) ++count;
   }
   return count;
 }

@@ -12,9 +12,11 @@
 /// than a search.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "cluster/gears.hpp"
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace bsld::cluster {
@@ -29,9 +31,16 @@ class Machine {
     return static_cast<std::int32_t>(jobs_.size());
   }
 
-  /// Job currently on `cpu`, or kNoJob.
-  [[nodiscard]] JobId running_job(CpuId cpu) const;
-  [[nodiscard]] bool is_free(CpuId cpu) const;
+  /// Job currently on `cpu`, or kNoJob. Defined inline: the backfill
+  /// selectors probe every CPU per candidate, so these must not cost a
+  /// cross-TU call.
+  [[nodiscard]] JobId running_job(CpuId cpu) const {
+    check_cpu(cpu);
+    return jobs_[static_cast<std::size_t>(cpu)];
+  }
+  [[nodiscard]] bool is_free(CpuId cpu) const {
+    return running_job(cpu) == kNoJob;
+  }
 
   /// Number of CPUs free right now (O(1)).
   [[nodiscard]] std::int32_t free_now() const { return free_now_; }
@@ -40,7 +49,12 @@ class Machine {
   /// `now`: `now` when free, otherwise max(expected end, now + 1) — the
   /// clamp keeps overrunning jobs (actual > requested time) from appearing
   /// free before their real completion event.
-  [[nodiscard]] Time avail_time(CpuId cpu, Time now) const;
+  [[nodiscard]] Time avail_time(CpuId cpu, Time now) const {
+    check_cpu(cpu);
+    const auto index = static_cast<std::size_t>(cpu);
+    if (jobs_[index] == kNoJob) return now;
+    return std::max(expected_end_[index], now + 1);
+  }
 
   /// Earliest time at which `size` CPUs are simultaneously available
   /// (>= now). Throws bsld::Error when size exceeds the machine. O(P).
@@ -69,10 +83,16 @@ class Machine {
   }
 
  private:
-  void check_cpu(CpuId cpu) const;
+  void check_cpu(CpuId cpu) const {
+    BSLD_REQUIRE(cpu >= 0 && cpu < cpu_count(), "Machine: cpu out of range");
+  }
 
   std::vector<JobId> jobs_;          ///< kNoJob when free.
   std::vector<Time> expected_end_;   ///< Valid only for busy CPUs.
+  /// earliest_start() selection scratch, reused across calls so the hot
+  /// query never allocates. Confined to const members on one thread (the
+  /// machine belongs to one simulation); not a logical state change.
+  mutable std::vector<Time> scratch_;
   std::int32_t free_now_ = 0;
 };
 

@@ -17,7 +17,7 @@ GearIndex TopFrequency::reservation_gear(const SchedulerContext& ctx,
 
 std::optional<GearIndex> TopFrequency::backfill_gear(
     const SchedulerContext& ctx, const wl::Job& job,
-    const std::function<bool(GearIndex)>& feasible,
+    util::FunctionRef<bool(GearIndex)> feasible,
     std::size_t wq_size) const {
   (void)job;
   (void)wq_size;
@@ -71,7 +71,7 @@ GearIndex BsldThresholdAssigner::reservation_gear(const SchedulerContext& ctx,
 
 std::optional<GearIndex> BsldThresholdAssigner::backfill_gear(
     const SchedulerContext& ctx, const wl::Job& job,
-    const std::function<bool(GearIndex)>& feasible,
+    util::FunctionRef<bool(GearIndex)> feasible,
     std::size_t wq_size) const {
   const GearIndex top = ctx.time_model().gears().top_index();
   const Time now = ctx.now();

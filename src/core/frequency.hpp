@@ -13,13 +13,13 @@
 ///    `wq_threshold` jobs are waiting; otherwise run at Ftop.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
+#include "util/function_ref.hpp"
 #include "util/types.hpp"
 
 namespace bsld::core {
@@ -74,10 +74,12 @@ class FrequencyAssigner {
   /// Fig. 2 (BackfillJob) path: gear for backfill candidate `job` starting
   /// now. `feasible(g)` reports whether a reservation-respecting allocation
   /// exists at gear g (duration dilates with the gear, so feasibility is
-  /// gear-dependent). Returns nullopt when the job must not be backfilled.
+  /// gear-dependent); the reference is borrowed for this call only (see
+  /// util/function_ref.hpp — no std::function, no per-call allocation).
+  /// Returns nullopt when the job must not be backfilled.
   [[nodiscard]] virtual std::optional<GearIndex> backfill_gear(
       const SchedulerContext& ctx, const wl::Job& job,
-      const std::function<bool(GearIndex)>& feasible,
+      util::FunctionRef<bool(GearIndex)> feasible,
       std::size_t wq_size) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -91,7 +93,7 @@ class TopFrequency final : public FrequencyAssigner {
                                            std::size_t wq_size) const override;
   [[nodiscard]] std::optional<GearIndex> backfill_gear(
       const SchedulerContext& ctx, const wl::Job& job,
-      const std::function<bool(GearIndex)>& feasible,
+      util::FunctionRef<bool(GearIndex)> feasible,
       std::size_t wq_size) const override;
   [[nodiscard]] std::string name() const override { return "Ftop"; }
 };
@@ -106,7 +108,7 @@ class BsldThresholdAssigner final : public FrequencyAssigner {
                                            std::size_t wq_size) const override;
   [[nodiscard]] std::optional<GearIndex> backfill_gear(
       const SchedulerContext& ctx, const wl::Job& job,
-      const std::function<bool(GearIndex)>& feasible,
+      util::FunctionRef<bool(GearIndex)> feasible,
       std::size_t wq_size) const override;
   [[nodiscard]] std::string name() const override;
 

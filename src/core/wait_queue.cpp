@@ -7,7 +7,7 @@
 namespace bsld::core {
 
 void WaitQueue::push(JobId id) {
-  BSLD_REQUIRE(!contains(id), "WaitQueue: duplicate job id");
+  BSLD_REQUIRE(members_.insert(id).second, "WaitQueue: duplicate job id");
   jobs_.push_back(id);
 }
 
@@ -20,17 +20,13 @@ JobId WaitQueue::pop_head() {
   BSLD_REQUIRE(!jobs_.empty(), "WaitQueue: pop_head() on empty queue");
   const JobId id = jobs_.front();
   jobs_.pop_front();
+  members_.erase(id);
   return id;
 }
 
 void WaitQueue::remove(JobId id) {
-  const auto it = std::find(jobs_.begin(), jobs_.end(), id);
-  BSLD_REQUIRE(it != jobs_.end(), "WaitQueue: removing absent job");
-  jobs_.erase(it);
-}
-
-bool WaitQueue::contains(JobId id) const {
-  return std::find(jobs_.begin(), jobs_.end(), id) != jobs_.end();
+  BSLD_REQUIRE(members_.erase(id) == 1, "WaitQueue: removing absent job");
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), id));
 }
 
 }  // namespace bsld::core

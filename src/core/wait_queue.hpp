@@ -3,11 +3,15 @@
 ///
 /// EASY backfilling needs: FCFS iteration, head inspection, pop-head, and
 /// removal of an arbitrary backfilled job without disturbing the relative
-/// order of the rest.
+/// order of the rest. Membership queries are O(1): the deque carries the
+/// order, a hash set mirrors the contents (backfill feasibility probes
+/// call contains() once per candidate per pass — a linear scan here was
+/// 11% of a sweep's profile).
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <unordered_set>
 
 #include "util/types.hpp"
 
@@ -26,19 +30,25 @@ class WaitQueue {
   /// Removes and returns the head; throws bsld::Error when empty.
   JobId pop_head();
 
-  /// Removes `id` wherever it is; throws bsld::Error when absent.
+  /// Removes `id` wherever it is; throws bsld::Error when absent. O(n) in
+  /// queue length (order must be preserved); removal is rare next to
+  /// contains().
   void remove(JobId id);
 
   [[nodiscard]] bool empty() const { return jobs_.empty(); }
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
-  [[nodiscard]] bool contains(JobId id) const;
+  /// O(1) membership via the mirror set.
+  [[nodiscard]] bool contains(JobId id) const {
+    return members_.contains(id);
+  }
 
   /// FCFS-ordered view for backfill scans.
   [[nodiscard]] auto begin() const { return jobs_.begin(); }
   [[nodiscard]] auto end() const { return jobs_.end(); }
 
  private:
-  std::deque<JobId> jobs_;
+  std::deque<JobId> jobs_;             ///< FCFS order.
+  std::unordered_set<JobId> members_;  ///< Mirror of jobs_ for contains().
 };
 
 }  // namespace bsld::core

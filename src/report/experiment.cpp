@@ -65,7 +65,10 @@ util::Config RunSpec::to_config() const {
   return config;
 }
 
-std::string RunSpec::key() const { return to_config().to_string(); }
+const std::string& RunSpec::key() const {
+  if (key_cache.value.empty()) key_cache.value = to_config().to_string();
+  return key_cache.value;
+}
 
 std::string RunSpec::label() const {
   std::ostringstream os;
@@ -154,6 +157,22 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
 
   RunResult result{spec, simulation.run(), std::move(instruments)};
   return result;
+}
+
+RunResult::RunResult(RunSpec spec_in, sim::SimulationResult sim_in,
+                     std::vector<std::shared_ptr<sim::Instrument>>
+                         instruments_in)
+    : spec(std::move(spec_in)), instruments(std::move(instruments_in)) {
+  set_sim(std::move(sim_in));
+}
+
+const sim::SimulationResult& RunResult::sim() const {
+  static const sim::SimulationResult kEmpty{};
+  return sim_ ? *sim_ : kEmpty;
+}
+
+void RunResult::set_sim(sim::SimulationResult value) {
+  sim_ = std::make_shared<const sim::SimulationResult>(std::move(value));
 }
 
 const sim::Instrument* RunResult::instrument(std::string_view name) const {

@@ -75,29 +75,75 @@ struct RunSpec {
   [[nodiscard]] util::Config to_config() const;
 
   /// to_config() rendered as text — the spec's identity. SweepRunner uses
-  /// it to deduplicate identical runs inside a grid.
-  [[nodiscard]] std::string key() const;
+  /// it to deduplicate identical runs inside a grid. Memoized: the first
+  /// call serializes, later calls return the cached text, so a grid that
+  /// keys the same specs repeatedly (SweepRunner dedup + shard + in-flight
+  /// coalescing) pays the serialization once. Mutating a field after key()
+  /// leaves the cache stale — treat a spec as frozen once it has been keyed
+  /// (copy-assignment resets the copy's cache, so the common tweak-a-copy
+  /// pattern stays safe).
+  [[nodiscard]] const std::string& key() const;
 
   /// "CTC x1.2 EASY BSLD<=2,WQ<=0" — derived from the spec's components
   /// (wl::source_label + core::policy_label), for tables and logs.
   [[nodiscard]] std::string label() const;
 
   friend bool operator==(const RunSpec&, const RunSpec&) = default;
+
+  /// key() memo. A distinct type so the defaulted operator== above ignores
+  /// it (two specs are equal regardless of which has been keyed) and so
+  /// copy-assignment drops the cached text instead of carrying it into a
+  /// copy that is about to be tweaked.
+  struct KeyCache {
+    KeyCache() = default;
+    KeyCache(const KeyCache&) noexcept {}
+    KeyCache& operator=(const KeyCache&) noexcept {
+      value.clear();
+      return *this;
+    }
+    KeyCache(KeyCache&&) noexcept = default;
+    KeyCache& operator=(KeyCache&&) noexcept = default;
+    mutable std::string value;  ///< Empty = not yet computed.
+    friend bool operator==(const KeyCache&, const KeyCache&) { return true; }
+  };
+  KeyCache key_cache;  ///< Internal; managed by key().
 };
 
 /// Spec + everything the run produced.
+///
+/// The simulation payload and the instruments are immutable once the run
+/// finishes, so both are shared (not copied) across the grid slots a
+/// deduplicated SweepRunner run fans out to: copying a RunResult is O(1)
+/// in payload size, which is what keeps fanout delivery off the sweep's
+/// critical path even for retained-jobs runs with thousands of outcomes.
 struct RunResult {
   RunSpec spec;
-  sim::SimulationResult sim;
   /// The instruments spec.instruments named, in spec order, holding their
-  /// captured measurement. Shared (not copied) across grid slots a
-  /// deduplicated SweepRunner run fans out to.
+  /// captured measurement.
   std::vector<std::shared_ptr<sim::Instrument>> instruments;
+
+  RunResult() = default;
+  RunResult(RunSpec spec_in, sim::SimulationResult sim_in,
+            std::vector<std::shared_ptr<sim::Instrument>> instruments_in);
+
+  /// The simulation payload (aggregates + per-job outcomes). A
+  /// default-constructed result yields an empty payload, never a crash.
+  [[nodiscard]] const sim::SimulationResult& sim() const;
+
+  /// Installs/replaces the payload. The only writers are run_workload()
+  /// and the result cache's deserializer; everything downstream reads
+  /// through sim().
+  void set_sim(sim::SimulationResult value);
 
   /// The instrument registered under `name`, or nullptr. Use
   /// instrument_as<T>() for the concrete type.
   [[nodiscard]] const sim::Instrument* instrument(
       std::string_view name) const;
+
+ private:
+  /// const payload behind a shared_ptr: slots that alias it can never
+  /// mutate each other's view, and the last owner frees it exactly once.
+  std::shared_ptr<const sim::SimulationResult> sim_;
 };
 
 /// Typed instrument lookup: the WaitQueueTrace of a run is

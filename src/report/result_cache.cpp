@@ -149,7 +149,7 @@ constexpr std::string_view kJobFields =
     "scaled_runtime,scaled_requested,bsld";
 
 std::string serialize_entry(const RunResult& result) {
-  const sim::SimulationResult& sim = result.sim;
+  const sim::SimulationResult& sim = result.sim();
   std::ostringstream out;
   out << header_line() << '\n';
 
@@ -330,18 +330,23 @@ bool parse_entry(std::string_view bytes, const std::string& expected_key,
     sim_text.append(line);
     sim_text += '\n';
   }
-  if (!parse_aggregates(sim_text, out.sim)) return false;
+  // Build the payload locally, then install it in one shot: RunResult
+  // shares its (immutable) payload across aliasing slots, so there is no
+  // in-place mutation path to parse into.
+  sim::SimulationResult payload;
+  if (!parse_aggregates(sim_text, payload)) return false;
 
   if (!section_attrs(line, "jobs", {"count", "fields"}, attrs)) return false;
   std::size_t job_count = 0;
   if (!parse_int(attrs[0], job_count) || attrs[1] != kJobFields) return false;
-  out.sim.jobs.clear();
-  out.sim.jobs.reserve(job_count);
+  payload.jobs.clear();
+  payload.jobs.reserve(job_count);
   for (std::size_t i = 0; i < job_count; ++i) {
     sim::JobOutcome job;
     if (!reader.line(line) || !parse_job_row(line, job)) return false;
-    out.sim.jobs.push_back(job);
+    payload.jobs.push_back(job);
   }
+  out.set_sim(std::move(payload));
 
   out.instruments.clear();
   while (true) {

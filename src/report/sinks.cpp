@@ -46,7 +46,7 @@ std::vector<std::string> result_row_headers() {
 
 std::vector<std::string> result_row(std::size_t index,
                                     const RunResult& result) {
-  const sim::SimulationResult& sim = result.sim;
+  const sim::SimulationResult& sim = result.sim();
   return {std::to_string(index),
           result.spec.label(),
           std::to_string(sim.cpus),
@@ -71,7 +71,7 @@ void CsvResultSink::on_result(std::size_t index, const RunResult& result) {
 JsonlResultSink::JsonlResultSink(std::ostream& out) : out_(out) {}
 
 void JsonlResultSink::on_result(std::size_t index, const RunResult& result) {
-  const sim::SimulationResult& sim = result.sim;
+  const sim::SimulationResult& sim = result.sim();
   std::ostringstream line;
   line << "{\"index\":" << index
        << ",\"run\":\"" << json_escape(result.spec.label())

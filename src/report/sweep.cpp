@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <string_view>
 #include <utility>
 
 #include "report/result_cache.hpp"
@@ -25,7 +26,10 @@ void dedup_specs(const std::vector<RunSpec>& specs, bool dedup,
                  std::vector<std::size_t>& unique,
                  std::vector<std::vector<std::size_t>>& fanout) {
   if (dedup) {
-    std::unordered_map<std::string, std::size_t> by_key;
+    // Views into the specs' memoized key strings: stable for the duration
+    // of this call, so the map never copies the (long) key text.
+    std::unordered_map<std::string_view, std::size_t> by_key;
+    by_key.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const auto [it, inserted] = by_key.emplace(specs[i].key(), unique.size());
       if (inserted) {
@@ -415,9 +419,14 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
             return;
           }
           const util::ScopedLock lock(mutex);
+          // Copy into all fanout slots but move into the last: with a
+          // retained-jobs payload the deep copy is the expensive part of
+          // delivery, and `result` is dead after this loop.
+          const std::size_t last = fanout[u].back();
           for (const std::size_t slot : fanout[u]) {
-            results[slot] = result;
+            if (slot != last) results[slot] = result;
           }
+          results[last] = std::move(result);
           if (from_cache) {
             progress.cache_hits += 1;
           } else {

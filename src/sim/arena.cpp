@@ -1,0 +1,34 @@
+#include "sim/arena.hpp"
+
+#include <utility>
+
+namespace bsld::sim {
+
+RunArena& RunArena::local() {
+  thread_local RunArena arena;
+  return arena;
+}
+
+Engine::Storage RunArena::acquire_engine() {
+  Engine::Storage out = std::move(engine_);
+  engine_ = Engine::Storage{};
+  return out;
+}
+
+void RunArena::recycle_engine(Engine::Storage&& storage) {
+  engine_ = std::move(storage);
+  ++engine_recycles_;
+}
+
+std::vector<CpuId> RunArena::acquire_cpu_slab() {
+  std::vector<CpuId> out = std::move(cpu_slab_);
+  cpu_slab_ = {};
+  out.clear();
+  return out;
+}
+
+void RunArena::recycle_cpu_slab(std::vector<CpuId>&& slab) {
+  cpu_slab_ = std::move(slab);
+}
+
+}  // namespace bsld::sim

@@ -1,23 +1,260 @@
 #include "sim/engine.hpp"
 
-#include "util/error.hpp"
+#include <algorithm>
+#include <utility>
 
 namespace bsld::sim {
 
-void Engine::schedule(Event event) {
-  BSLD_REQUIRE(event.time >= now_, "Engine: scheduling an event in the past");
-  event.sequence = next_sequence_++;
-  heap_.push(event);
+namespace {
+/// Node order: packed (time, kind) key, then insertion sequence.
+constexpr auto kNodeBefore = [](const auto& a, const auto& b) {
+  return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+};
+}  // namespace
+
+Engine::Engine() : Engine(Storage{}) {}
+
+Engine::Engine(Storage&& recycle)
+    : slab_(std::move(recycle.slab)),
+      slab_alt_(std::move(recycle.slab_alt)),
+      slab_nodes_(recycle.slab_nodes),
+      slab_alt_nodes_(recycle.slab_alt_nodes),
+      count_(std::move(recycle.count)),
+      head_(std::move(recycle.head)),
+      sorted_(std::move(recycle.sorted)),
+      overflow_(std::move(recycle.overflow)) {
+  recycle.slab_nodes = 0;
+  recycle.slab_alt_nodes = 0;
+  const std::size_t need = kMinBuckets << kSlotShift;
+  if (slab_nodes_ < need) {
+    slab_ = std::make_unique_for_overwrite<Node[]>(need);
+    slab_nodes_ = need;
+  }
+  count_.assign(kMinBuckets, 0);
+  head_.assign(kMinBuckets, 0);
+  sorted_.assign(kMinBuckets, 0);
+  overflow_.clear();
 }
 
-std::optional<Event> Engine::pop() {
-  if (heap_.empty()) return std::nullopt;
-  const Event event = heap_.top();
-  heap_.pop();
-  BSLD_REQUIRE(event.time >= now_, "Engine: time went backwards");
-  now_ = event.time;
+void Engine::release_storage(Storage& out) {
+  out.slab = std::move(slab_);
+  out.slab_alt = std::move(slab_alt_);
+  out.slab_nodes = slab_nodes_;
+  out.slab_alt_nodes = slab_alt_nodes_;
+  out.count = std::move(count_);
+  out.head = std::move(head_);
+  out.sorted = std::move(sorted_);
+  out.overflow = std::move(overflow_);
+  out.overflow.clear();
+  slab_alt_nodes_ = 0;
+  overflow_head_ = 0;
+  overflow_sorted_ = false;
+  size_ = 0;
+  mask_ = kMinBuckets - 1;
+  shift_ = 0;
+  const std::size_t need = kMinBuckets << kSlotShift;
+  slab_ = std::make_unique_for_overwrite<Node[]>(need);
+  slab_nodes_ = need;
+  count_.assign(kMinBuckets, 0);
+  head_.assign(kMinBuckets, 0);
+  sorted_.assign(kMinBuckets, 0);
+  resync_cursor(now_);
+}
+
+void Engine::resync_cursor(Time at) {
+  cursor_ = bucket_of(at);
+  year_key_ = pack(((at >> shift_) + 1) << shift_, static_cast<EventKind>(0));
+}
+
+void Engine::sort_segment(Node* seg, std::size_t b) {
+  std::sort(seg + head_[b], seg + count_[b], kNodeBefore);
+  sorted_[b] = count_[b];
+}
+
+void Engine::rebuild(std::size_t nbuckets) {
+  // Width (a power of two) chosen so one "year" — nbuckets * width — covers
+  // the pending time span; with occupancy bounded by the resize thresholds
+  // this keeps both the lazy sorts small and the pop scans O(1) amortized.
+  const Time span = std::max<Time>(1, max_time_ - now_ + 1);
+  unsigned shift = 0;
+  while (shift < 40 && (static_cast<std::uint64_t>(nbuckets) << shift) <
+                           static_cast<std::uint64_t>(span)) {
+    ++shift;
+  }
+  const std::size_t need = nbuckets << kSlotShift;
+  if (slab_alt_nodes_ < need) {
+    slab_alt_ = std::make_unique_for_overwrite<Node[]>(need);
+    slab_alt_nodes_ = need;
+  }
+  const std::size_t nmask = nbuckets - 1;
+  std::vector<std::uint8_t> ncount(nbuckets, 0);
+  std::vector<Node> nover;
+  const auto place = [&](const Node& node) {
+    const std::size_t b = (node.key >> (shift + 2)) & nmask;
+    const std::uint8_t c = ncount[b];
+    if (c < kSlot) {
+      slab_alt_[(b << kSlotShift) + c] = node;
+      ncount[b] = static_cast<std::uint8_t>(c + 1);
+    } else {
+      nover.push_back(node);
+    }
+  };
+  const std::size_t old_nb = mask_ + 1;
+  for (std::size_t b = 0; b < old_nb; ++b) {
+    const Node* seg = &slab_[b << kSlotShift];
+    for (std::uint8_t j = head_[b]; j < count_[b]; ++j) place(seg[j]);
+  }
+  for (std::size_t j = overflow_head_; j < overflow_.size(); ++j) {
+    place(overflow_[j]);
+  }
+  overflow_ = std::move(nover);
+  overflow_head_ = 0;
+  overflow_sorted_ = false;
+  std::swap(slab_, slab_alt_);
+  std::swap(slab_nodes_, slab_alt_nodes_);
+  count_ = std::move(ncount);
+  head_.assign(nbuckets, 0);
+  sorted_.assign(nbuckets, 0);
+  mask_ = nmask;
+  shift_ = shift;
+  resync_cursor(now_);
+}
+
+void Engine::grow() { rebuild(std::min(kMaxBuckets, (mask_ + 1) * 4)); }
+
+void Engine::shrink() { rebuild(std::max(kMinBuckets, (mask_ + 1) / 4)); }
+
+void Engine::spill(const Node& node) {
+  const std::size_t b = (node.key >> (shift_ + 2)) & mask_;
+  Node* seg = &slab_[b << kSlotShift];
+  const std::uint8_t h = head_[b];
+  if (h > 0) {
+    // The segment has a consumed prefix: compact it away and reuse the
+    // freed slots instead of spilling.
+    const std::uint8_t n = static_cast<std::uint8_t>(kSlot - h);
+    std::move(seg + h, seg + kSlot, seg);
+    head_[b] = 0;
+    sorted_[b] = sorted_[b] == kSlot ? n : 0;
+    seg[n] = node;
+    count_[b] = static_cast<std::uint8_t>(n + 1);
+    return;
+  }
+  // A genuinely full segment with more than one distinct key means the
+  // bucket width is too coarse: growing the table (finer width) will
+  // separate the keys. Identical packed keys can never be separated, so
+  // those — and saturation at kMaxBuckets — go to the overflow vector.
+  bool distinct = false;
+  for (std::size_t j = 0; j < kSlot; ++j) {
+    if (seg[j].key != node.key) {
+      distinct = true;
+      break;
+    }
+  }
+  if (distinct && mask_ + 1 < kMaxBuckets) {
+    grow();
+    const std::size_t nb = (node.key >> (shift_ + 2)) & mask_;
+    const std::uint8_t c = count_[nb];
+    if (c < kSlot) {
+      slab_[(nb << kSlotShift) + c] = node;
+      count_[nb] = static_cast<std::uint8_t>(c + 1);
+      return;
+    }
+  }
+  overflow_.push_back(node);
+  overflow_sorted_ = false;
+}
+
+std::optional<Event> Engine::take_min_vs_overflow() {
+  if (!overflow_sorted_) {
+    std::sort(overflow_.begin() + overflow_head_, overflow_.end(),
+              kNodeBefore);
+    overflow_sorted_ = true;
+  }
+  // The year-scan candidate (front of bucket cursor_) is the minimum over
+  // all segments; the overflow front is the minimum over all spills. The
+  // earlier of the two is the global minimum.
+  const Node* seg = &slab_[cursor_ << kSlotShift];
+  if (kNodeBefore(overflow_[overflow_head_], seg[head_[cursor_]])) {
+    return take_overflow_front();
+  }
+  return take_front();
+}
+
+std::optional<Event> Engine::take_overflow_front() {
+  const Node node = overflow_[overflow_head_];
+  if (++overflow_head_ == overflow_.size()) {
+    overflow_.clear();
+    overflow_head_ = 0;
+    overflow_sorted_ = false;
+  }
+  --size_;
+  const Time time = time_of(node.key);
+  BSLD_REQUIRE(time >= now_, "Engine: time went backwards");
+  now_ = time;
   ++processed_;
-  return event;
+  // The year scan may have advanced past buckets that still hold events
+  // later than this one; rewind the cursor to the new clock so the next
+  // pop rescans from here.
+  resync_cursor(now_);
+  return Event{time, static_cast<EventKind>(node.key & 3), node.seq,
+               node.job};
+}
+
+std::optional<Event> Engine::pop_slow() {
+  // A whole simulated year held nothing: the bucket width no longer fits
+  // the pending span (it was tuned for a denser or nearer cluster of
+  // events). For any non-trivial queue, re-tune the width and rescan; for
+  // tiny queues, jump straight to the earliest pending event.
+  if (size_ > kTargetLoad / 2) {
+    rebuild(mask_ + 1);
+    for (std::size_t scanned = 0; scanned <= mask_; ++scanned) {
+      const std::uint8_t h = head_[cursor_];
+      const std::uint8_t c = count_[cursor_];
+      if (h < c) {
+        Node* seg = &slab_[cursor_ << kSlotShift];
+        if (sorted_[cursor_] != c) sort_segment(seg, cursor_);
+        if (seg[h].key < year_key_) {
+          if (overflow_head_ < overflow_.size()) return take_min_vs_overflow();
+          return take_front();
+        }
+      }
+      cursor_ = (cursor_ + 1) & mask_;
+      year_key_ += std::uint64_t{1} << (shift_ + 2);
+    }
+  }
+  // Tiny queue (or a rescan miss with everything spilled): global linear
+  // minimum over every segment and the overflow front.
+  std::size_t best_b = mask_ + 1;
+  std::uint8_t best_j = 0;
+  for (std::size_t b = 0; b <= mask_; ++b) {
+    const Node* seg = &slab_[b << kSlotShift];
+    for (std::uint8_t j = head_[b]; j < count_[b]; ++j) {
+      if (best_b > mask_ ||
+          kNodeBefore(seg[j], slab_[(best_b << kSlotShift) + best_j])) {
+        best_b = b;
+        best_j = j;
+      }
+    }
+  }
+  if (overflow_head_ < overflow_.size()) {
+    if (!overflow_sorted_) {
+      std::sort(overflow_.begin() + overflow_head_, overflow_.end(),
+                kNodeBefore);
+      overflow_sorted_ = true;
+    }
+    if (best_b > mask_ || kNodeBefore(overflow_[overflow_head_],
+                                      slab_[(best_b << kSlotShift) + best_j])) {
+      return take_overflow_front();
+    }
+  }
+  BSLD_REQUIRE(best_b <= mask_, "Engine: pending events lost");
+  Node* seg = &slab_[best_b << kSlotShift];
+  std::swap(seg[head_[best_b]], seg[best_j]);
+  sorted_[best_b] = 0;
+  cursor_ = best_b;
+  year_key_ = pack(((time_of(seg[head_[best_b]].key) >> shift_) + 1) << shift_,
+                   static_cast<EventKind>(0));
+  return take_front();
 }
 
 }  // namespace bsld::sim

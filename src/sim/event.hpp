@@ -3,7 +3,9 @@
 ///
 /// Ordering is total and deterministic: by time, then kind (completions
 /// before submissions at the same instant, so arrivals observe the CPUs
-/// freed "now"), then insertion sequence.
+/// freed "now"), then insertion sequence. Every container that holds
+/// pending events — today the calendar queue in engine.hpp — must pop in
+/// exactly this order; golden-file parity across runs depends on it.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,13 @@ enum class EventKind : int {
 };
 
 /// One scheduled event.
+///
+/// `time` is in simulated seconds (the trace unit; see util/types.hpp).
+/// `sequence` is assigned by Engine::schedule and is unique per engine,
+/// which makes the (time, kind, sequence) order total: two events never
+/// compare equal, so processing order cannot depend on container
+/// internals. `job` identifies the subject for kJobEnd/kJobSubmit and is
+/// kNoJob for kPmTimer.
 struct Event {
   Time time = 0;
   EventKind kind = EventKind::kJobSubmit;
@@ -29,7 +38,16 @@ struct Event {
   JobId job = kNoJob;
 };
 
-/// Strict-weak order for the engine's min-heap ("a after b").
+/// Strict-weak order "a pops before b" (ascending engine order).
+struct EventBefore {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tuple(a.time, static_cast<int>(a.kind), a.sequence) <
+           std::tuple(b.time, static_cast<int>(b.kind), b.sequence);
+  }
+};
+
+/// Strict-weak order "a pops after b" (max-heap comparator form, kept for
+/// callers that want the inverted sense).
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const {
     return std::tuple(a.time, static_cast<int>(a.kind), a.sequence) >

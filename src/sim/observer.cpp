@@ -1,0 +1,41 @@
+#include "sim/observer.hpp"
+
+namespace bsld::sim {
+
+void SimObserver::on_events(const wl::Workload& workload,
+                            const BatchedEvent* events, std::size_t count) {
+  // Replay in emission order through the per-event virtuals, rebuilding
+  // the reference-carrying view payloads from the value records.
+  for (std::size_t i = 0; i < count; ++i) {
+    const BatchedEvent& record = events[i];
+    switch (record.index()) {
+      case 0: {
+        const auto& r = std::get<SubmitRecord>(record);
+        on_submit(SubmitEvent{workload.jobs[r.trace_index], r.trace_index,
+                              r.time});
+        break;
+      }
+      case 1: {
+        const auto& r = std::get<StartRecord>(record);
+        on_start(StartEvent{workload.jobs[r.trace_index], r.trace_index,
+                            r.time, r.gear, r.scaled_runtime,
+                            r.scaled_requested});
+        break;
+      }
+      case 2:
+        on_gear_change(std::get<GearChangeEvent>(record));
+        break;
+      case 3: {
+        const auto& r = std::get<FinishRecord>(record);
+        on_finish(
+            FinishEvent{r.outcome, r.trace_index, r.final_segment_seconds});
+        break;
+      }
+      case 4:
+        on_pm(std::get<pm::PmEvent>(record));
+        break;
+    }
+  }
+}
+
+}  // namespace bsld::sim

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <variant>
 
 #include "pm/event.hpp"
 #include "util/types.hpp"
@@ -117,11 +118,56 @@ struct RunEndEvent {
   std::uint64_t events_processed = 0;
 };
 
+/// Value-form records of the batched event stream. The reference-carrying
+/// payloads above are views valid only for the duration of one hook call;
+/// these records store indices and values instead, so the simulation can
+/// buffer a span of them and deliver it later (SimObserver::on_events).
+/// The owning workload resolves trace_index back to the wl::Job.
+struct SubmitRecord {
+  std::uint32_t trace_index = 0;
+  Time time = 0;
+};
+
+/// Value form of StartEvent (see SubmitRecord).
+struct StartRecord {
+  std::uint32_t trace_index = 0;
+  Time time = 0;
+  GearIndex gear = 0;
+  Time scaled_runtime = 0;
+  Time scaled_requested = 0;
+};
+
+/// Value form of FinishEvent: the outcome is carried by value so the
+/// record outlives the simulator's transient per-job state.
+struct FinishRecord {
+  JobOutcome outcome;
+  std::uint32_t trace_index = 0;
+  Time final_segment_seconds = 0;
+};
+
+/// One buffered notification. GearChangeEvent and pm::PmEvent are already
+/// flat value types and are stored verbatim. Relative order inside the
+/// batch is exactly emission order — replay preserves the interleaving of
+/// submits, starts, gear changes, finishes, and pm actions.
+using BatchedEvent = std::variant<SubmitRecord, StartRecord, GearChangeEvent,
+                                  FinishRecord, pm::PmEvent>;
+
 /// Passive view over one simulation run. All hooks default to no-ops so
 /// concrete observers override only what they measure. Observers are
 /// single-run: Simulation::run() delivers exactly one on_run_begin /
 /// on_run_end pair (built-in instruments reset themselves on on_run_begin,
 /// so reusing one across runs observes only the latest).
+///
+/// Dispatch is batched: the simulation buffers the mid-run stream
+/// (submit/start/gear-change/finish/pm) and delivers it in spans through
+/// on_events — one virtual call per observer per span instead of one per
+/// event. The default on_events replays the span through the per-event
+/// virtuals below in emission order, so observers that only override
+/// per-event hooks see exactly the stream they always did; high-volume
+/// observers may override on_events itself to amortize dispatch.
+/// Ordering contract: every buffered event is flushed before on_run_end,
+/// and batching never reorders events — only delays delivery until the
+/// simulation's next flush point. Hooks must not re-enter the simulation.
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -135,6 +181,12 @@ class SimObserver {
   /// or under `pm=none` — never deliver one.
   virtual void on_pm(const pm::PmEvent& event) { (void)event; }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
+
+  /// Batched delivery of `count` records in emission order. `workload`
+  /// resolves the records' trace indices. The default implementation
+  /// replays each record through the matching per-event virtual.
+  virtual void on_events(const wl::Workload& workload,
+                         const BatchedEvent* events, std::size_t count);
 };
 
 }  // namespace bsld::sim

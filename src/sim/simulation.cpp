@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/arena.hpp"
 #include "sim/instruments.hpp"
 #include "util/error.hpp"
 
 namespace bsld::sim {
+
+// Engine events carry the trace slot, not the JobId: the event loop and
+// completion checks index straight into run_state_ without hashing. The
+// JobId resurfaces from workload_.jobs[slot].id where policies and
+// managers need it. kPmTimer events carry kNoJob.
 
 Simulation::Simulation(const wl::Workload& workload,
                        core::SchedulingPolicy& policy,
@@ -19,11 +25,14 @@ Simulation::Simulation(const wl::Workload& workload,
       time_model_(time_model),
       config_(config),
       pm_(config.power_manager),
-      machine_(config.cpus > 0 ? config.cpus : workload.cpus) {
+      machine_(config.cpus > 0 ? config.cpus : workload.cpus),
+      engine_(RunArena::local().acquire_engine()),
+      cpu_slab_(RunArena::local().acquire_cpu_slab()) {
   BSLD_REQUIRE(!workload_.jobs.empty(), "Simulation: empty workload");
   BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
                "Simulation: power and time models must share one gear set");
   index_.reserve(workload_.jobs.size());
+  std::size_t total_cpus = 0;
   for (const wl::Job& job : workload_.jobs) {
     BSLD_REQUIRE(job.size >= 1 && job.size <= machine_.cpu_count(),
                  "Simulation: job size outside [1, cpus] — clean or clamp "
@@ -31,9 +40,23 @@ Simulation::Simulation(const wl::Workload& workload,
     BSLD_REQUIRE(job.run_time >= 0 && job.requested_time >= 1,
                  "Simulation: invalid job durations");
     BSLD_REQUIRE(!index_.contains(job.id), "Simulation: duplicate job id");
-    index_.emplace(job.id, index_.size());
+    index_.emplace(job.id, static_cast<std::uint32_t>(index_.size()));
+    total_cpus += static_cast<std::size_t>(job.size);
   }
   started_.assign(workload_.jobs.size(), 0);
+  run_state_.assign(workload_.jobs.size(), RunningRec{});
+  // Allocations are bump-appended and never freed mid-run, so the slab's
+  // final size is exactly the sum of job sizes — reserve it once.
+  cpu_slab_.reserve(total_cpus);
+  batch_.reserve(kBatchCapacity);
+}
+
+Simulation::~Simulation() {
+  RunArena& arena = RunArena::local();
+  Engine::Storage storage;
+  engine_.release_storage(storage);
+  arena.recycle_engine(std::move(storage));
+  arena.recycle_cpu_slab(std::move(cpu_slab_));
 }
 
 void Simulation::add_observer(SimObserver& observer) {
@@ -45,21 +68,35 @@ const wl::Job& Simulation::job(JobId id) const {
   return workload_.jobs[trace_index(id)];
 }
 
-std::size_t Simulation::trace_index(JobId id) const {
+std::uint32_t Simulation::trace_index(JobId id) const {
   const auto it = index_.find(id);
   BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
   return it->second;
 }
 
-Simulation::Running& Simulation::running(JobId id) {
-  const auto it = running_.find(id);
-  BSLD_REQUIRE(it != running_.end(), "Simulation: job is not running");
-  return it->second;
+Simulation::RunningRec& Simulation::running(JobId id) {
+  RunningRec& rec = run_state_[trace_index(id)];
+  BSLD_REQUIRE(rec.running, "Simulation: job is not running");
+  return rec;
+}
+
+const Simulation::RunningRec& Simulation::running(JobId id) const {
+  const RunningRec& rec = run_state_[trace_index(id)];
+  BSLD_REQUIRE(rec.running, "Simulation: job is not running");
+  return rec;
+}
+
+void Simulation::flush_events() {
+  if (batch_.empty()) return;
+  for (SimObserver* observer : chain_) {
+    observer->on_events(workload_, batch_.data(), batch_.size());
+  }
+  batch_.clear();
 }
 
 void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
                            GearIndex gear) {
-  const std::size_t index = trace_index(id);
+  const std::uint32_t index = trace_index(id);
   const wl::Job& trace = workload_.jobs[index];
   BSLD_REQUIRE(!started_[index], "Simulation: job started twice");
   BSLD_REQUIRE(static_cast<std::int32_t>(cpus.size()) == trace.size,
@@ -87,14 +124,18 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
   const Time scaled_runtime = time_model_.scale_duration_with_beta(
       trace.run_time, start_gear, trace.beta);
 
-  Running state;
-  state.cpus = cpus;
+  RunningRec& state = run_state_[index];
+  state.cpu_offset = static_cast<std::uint32_t>(cpu_slab_.size());
+  state.cpu_len = static_cast<std::uint32_t>(cpus.size());
+  cpu_slab_.insert(cpu_slab_.end(), cpus.begin(), cpus.end());
   state.gear = start_gear;
   state.remaining_run_top = static_cast<double>(trace.run_time);
   state.remaining_req_top = static_cast<double>(trace.requested_time);
   state.start = engine_.now();
   state.start_gear = start_gear;
+  state.boosted = false;
   state.gated = decision.gate;
+  state.running = true;
   state.scaled_requested =
       decision.wake_delay +
       std::max(time_model_.scale_duration_with_beta(trace.requested_time,
@@ -111,35 +152,28 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
     state.pending_end = engine_.now() + decision.wake_delay + scaled_runtime;
   }
 
+  running_ids_.insert(
+      std::lower_bound(running_ids_.begin(), running_ids_.end(), id), id);
   machine_.assign(id, cpus, engine_.now() + state.scaled_requested);
   if (!decision.gate) {
-    engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+    engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
+                           static_cast<JobId>(index)});
   }
 
-  const StartEvent event{trace,          index,
-                         engine_.now(),  start_gear,
-                         scaled_runtime, state.scaled_requested};
-  running_.emplace(id, std::move(state));
-  notify([&](SimObserver& observer) { observer.on_start(event); });
+  push_event(StartRecord{index, engine_.now(), start_gear, scaled_runtime,
+                         state.scaled_requested});
 }
 
 std::vector<JobId> Simulation::running_jobs() const {
-  std::vector<JobId> out;
-  out.reserve(running_.size());
-  for (const auto& [id, _] : running_) out.push_back(id);
-  // Map order is unspecified; sort for deterministic policy behaviour.
-  std::sort(out.begin(), out.end());
-  return out;
+  // Kept sorted incrementally (insert on start, erase on finish), so the
+  // deterministic policy-facing order is a straight copy.
+  return running_ids_;
 }
 
-GearIndex Simulation::running_gear(JobId id) const {
-  const auto it = running_.find(id);
-  BSLD_REQUIRE(it != running_.end(), "Simulation: job is not running");
-  return it->second.gear;
-}
+GearIndex Simulation::running_gear(JobId id) const { return running(id).gear; }
 
 void Simulation::boost_job(JobId id, GearIndex gear) {
-  Running& state = running(id);
+  RunningRec& state = running(id);
   BSLD_REQUIRE(gear >= state.gear,
                "Simulation: boost_job() cannot lower the gear");
   const GearIndex before = state.gear;
@@ -151,7 +185,7 @@ void Simulation::boost_job(JobId id, GearIndex gear) {
 }
 
 void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
-  Running& state = running(id);
+  RunningRec& state = running(id);
   BSLD_REQUIRE(gear >= 0 && gear <= time_model_.gears().top_index(),
                "Simulation: gear out of range");
   if (gear == state.gear) return;
@@ -163,22 +197,22 @@ void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
     return;
   }
 
+  const std::uint32_t index = trace_index(id);
   const Time now = engine_.now();
   // During a wake delay the busy segment begins in the future: no work is
   // done yet (elapsed clamps to 0) and the new segment re-bases on the
   // pending wake, not on `now`.
   const Time base = std::max(now, state.segment_start);
   const Time elapsed = std::max<Time>(0, now - state.segment_start);
-  const wl::Job& trace = job(id);
+  const wl::Job& trace = workload_.jobs[index];
   const double old_coefficient =
       time_model_.coefficient_with_beta(state.gear, trace.beta);
   const double progress_top = static_cast<double>(elapsed) / old_coefficient;
 
   // Close the old gear segment: observers (the energy probe in particular)
   // account it before the new gear takes over.
-  const GearChangeEvent event{id,    trace_index(id), trace.size, now,
-                              state.gear, gear,       elapsed};
-  notify([&](SimObserver& observer) { observer.on_gear_change(event); });
+  push_event(GearChangeEvent{id, index, trace.size, now, state.gear, gear,
+                             elapsed});
   state.remaining_run_top =
       std::max(0.0, state.remaining_run_top - progress_top);
   state.remaining_req_top =
@@ -196,8 +230,11 @@ void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
       run_left, static_cast<Time>(
                     std::llround(state.remaining_req_top * new_coefficient)));
   state.pending_end = base + run_left;
-  machine_.update_expected_end(id, state.cpus, base + req_left);
-  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+  cpu_scratch_.assign(cpu_slab_.begin() + state.cpu_offset,
+                      cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
+  machine_.update_expected_end(id, cpu_scratch_, base + req_left);
+  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
+                         static_cast<JobId>(index)});
 }
 
 void Simulation::set_job_gear(JobId id, GearIndex gear) {
@@ -205,13 +242,14 @@ void Simulation::set_job_gear(JobId id, GearIndex gear) {
 }
 
 void Simulation::release_job(JobId id, GearIndex gear) {
-  Running& state = running(id);
+  RunningRec& state = running(id);
   BSLD_REQUIRE(state.gated,
                "Simulation: release_job() on a job that is not gated");
   BSLD_REQUIRE(gear >= 0 && gear <= time_model_.gears().top_index(),
                "Simulation: gear out of range");
+  const std::uint32_t index = trace_index(id);
   const Time now = engine_.now();
-  const wl::Job& trace = job(id);
+  const wl::Job& trace = workload_.jobs[index];
   state.gated = false;
   state.gear = gear;
   state.start_gear = gear;  // The gear execution actually begins at.
@@ -225,22 +263,23 @@ void Simulation::release_job(JobId id, GearIndex gear) {
                     std::llround(state.remaining_req_top * coefficient)));
   state.pending_end = now + run_left;
   state.scaled_requested = (now - state.start) + req_left;
-  machine_.update_expected_end(id, state.cpus, now + req_left);
-  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0, id});
+  cpu_scratch_.assign(cpu_slab_.begin() + state.cpu_offset,
+                      cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
+  machine_.update_expected_end(id, cpu_scratch_, now + req_left);
+  engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
+                         static_cast<JobId>(index)});
 }
 
 void Simulation::schedule_timer(Time at) {
   engine_.schedule(Event{at, EventKind::kPmTimer, 0, kNoJob});
 }
 
-void Simulation::emit(const pm::PmEvent& event) {
-  notify([&](SimObserver& observer) { observer.on_pm(event); });
-}
+void Simulation::emit(const pm::PmEvent& event) { push_event(event); }
 
-void Simulation::finish_job(JobId id) {
-  Running& state = running(id);
-  const std::size_t index = trace_index(id);
-  const wl::Job& trace = workload_.jobs[index];
+void Simulation::finish_job(std::uint32_t slot) {
+  RunningRec& state = run_state_[slot];
+  const wl::Job& trace = workload_.jobs[slot];
+  const JobId id = trace.id;
 
   JobOutcome outcome;
   outcome.id = id;
@@ -258,15 +297,18 @@ void Simulation::finish_job(JobId id) {
                                       outcome.run_time_top,
                                       config_.bsld_floor);
 
-  const FinishEvent event{outcome, index, engine_.now() - state.segment_start};
-  notify([&](SimObserver& observer) { observer.on_finish(event); });
+  const Time final_segment = engine_.now() - state.segment_start;
+  push_event(FinishRecord{outcome, slot, final_segment});
 
-  const std::vector<CpuId> cpus = state.cpus;  // Outlives the erase below.
-  machine_.release(id, cpus);
-  running_.erase(id);
+  finish_scratch_.assign(cpu_slab_.begin() + state.cpu_offset,
+                         cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
+  machine_.release(id, finish_scratch_);
+  state.running = false;
+  running_ids_.erase(
+      std::lower_bound(running_ids_.begin(), running_ids_.end(), id));
   ++finished_;
   last_end_ = std::max(last_end_, outcome.end);
-  if (pm_ != nullptr) pm_->on_job_finish(*this, id, cpus);
+  if (pm_ != nullptr) pm_->on_job_finish(*this, id, finish_scratch_);
 }
 
 SimulationResult Simulation::run() {
@@ -289,30 +331,29 @@ SimulationResult Simulation::run() {
   notify([&](SimObserver& observer) { observer.on_run_begin(begin); });
   if (pm_ != nullptr) pm_->on_run_begin(*this);
 
-  for (const wl::Job& trace : workload_.jobs) {
-    engine_.schedule(Event{trace.submit, EventKind::kJobSubmit, 0, trace.id});
+  for (std::uint32_t slot = 0; slot < workload_.jobs.size(); ++slot) {
+    engine_.schedule(Event{workload_.jobs[slot].submit, EventKind::kJobSubmit,
+                           0, static_cast<JobId>(slot)});
   }
 
   while (auto event = engine_.pop()) {
     switch (event->kind) {
       case EventKind::kJobSubmit: {
-        const std::size_t index = trace_index(event->job);
-        const SubmitEvent submitted{workload_.jobs[index], index,
-                                    event->time};
-        notify([&](SimObserver& observer) { observer.on_submit(submitted); });
-        if (pm_ != nullptr) pm_->on_job_submit(*this, event->job);
-        policy_.on_submit(*this, event->job);
+        const auto slot = static_cast<std::uint32_t>(event->job);
+        const JobId id = workload_.jobs[slot].id;
+        push_event(SubmitRecord{slot, event->time});
+        if (pm_ != nullptr) pm_->on_job_submit(*this, id);
+        policy_.on_submit(*this, id);
         break;
       }
       case EventKind::kJobEnd: {
         // A boost re-schedules the completion; the superseded event stays
-        // in the heap and is skipped here by timestamp mismatch.
-        const auto it = running_.find(event->job);
-        if (it == running_.end() || it->second.pending_end != event->time) {
-          break;
-        }
-        finish_job(event->job);
-        policy_.on_job_end(*this, event->job);
+        // in the queue and is skipped here by timestamp mismatch.
+        const auto slot = static_cast<std::uint32_t>(event->job);
+        const RunningRec& state = run_state_[slot];
+        if (!state.running || state.pending_end != event->time) break;
+        finish_job(slot);
+        policy_.on_job_end(*this, workload_.jobs[slot].id);
         break;
       }
       case EventKind::kPmTimer: {
@@ -324,14 +365,16 @@ SimulationResult Simulation::run() {
 
   BSLD_REQUIRE(policy_.queue_size() == 0,
                "Simulation: drained event queue but jobs are still waiting");
-  BSLD_REQUIRE(running_.empty(),
+  BSLD_REQUIRE(running_ids_.empty(),
                "Simulation: drained event queue but jobs are still running");
   BSLD_REQUIRE(finished_ == workload_.jobs.size(),
                "Simulation: job never ran");
 
   // Final power-manager accounting (e.g. trailing sleep intervals) must
-  // reach the instruments before they close out in on_run_end.
+  // reach the instruments before they close out in on_run_end; flush the
+  // batch afterwards so every buffered record lands first.
   if (pm_ != nullptr) pm_->on_run_end(*this);
+  flush_events();
 
   const Time first_submit = workload_.jobs.front().submit;
   const Time horizon = std::max<Time>(last_end_ - first_submit, 1);

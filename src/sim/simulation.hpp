@@ -10,6 +10,13 @@
 /// assembles their output into SimulationResult. Additional views
 /// (time-series instruments, downstream custom observers) attach via
 /// add_observer() without touching this class.
+///
+/// Hot-path layout (docs/simulation-internals.md): job state lives in a
+/// flat vector of RunningRec rows indexed by trace slot — engine events
+/// carry the slot, so the event loop never hashes a JobId — CPU lists are
+/// bump-allocated from one run-wide slab, and observer dispatch is
+/// batched (observer.hpp). The engine slab and CPU slab are recycled
+/// across runs through the thread-local sim::RunArena.
 #pragma once
 
 #include <string>
@@ -80,6 +87,8 @@ class Simulation final : public core::SchedulerContext,
              const power::PowerModel& power_model,
              const power::BetaTimeModel& time_model,
              SimulationConfig config = {});
+  /// Recycles the engine and CPU slabs into the thread's RunArena.
+  ~Simulation() override;
 
   /// Registers a non-owning observer of this run's event stream, invoked
   /// after the default instruments, in registration order. Must be called
@@ -118,40 +127,60 @@ class Simulation final : public core::SchedulerContext,
   void emit(const pm::PmEvent& event) override;
 
  private:
-  /// Live state of an executing job. Energy is accounted per gear segment
-  /// so mid-flight gear raises stay exact; remaining work is tracked in
-  /// top-gear seconds (running at gear g consumes 1/Coef(g) top-seconds of
-  /// work per wall second).
-  struct Running {
-    std::vector<CpuId> cpus;
+  /// Live state of an executing job: one flat row per trace slot, valid
+  /// while `running` is set. Rows are index-addressed (engine events carry
+  /// the slot), and the CPU list lives in cpu_slab_ at [cpu_offset,
+  /// cpu_offset + cpu_len) — no per-job heap allocation, no pointer
+  /// chasing. Energy is accounted per gear segment so mid-flight gear
+  /// raises stay exact; remaining work is tracked in top-gear seconds
+  /// (running at gear g consumes 1/Coef(g) top-seconds of work per wall
+  /// second).
+  struct RunningRec {
+    std::uint32_t cpu_offset = 0;   ///< Into cpu_slab_.
+    std::uint32_t cpu_len = 0;
     GearIndex gear = 0;
+    GearIndex start_gear = 0;       ///< Gear engaged at start.
     Time segment_start = 0;         ///< When the current gear was engaged
                                     ///< (in the future during a wake delay).
     double remaining_run_top = 0;   ///< Runtime work left, top-gear seconds.
     double remaining_req_top = 0;   ///< Requested work left, top-gear seconds.
     Time pending_end = kNoTime;     ///< Valid completion event time.
     Time start = kNoTime;           ///< When the job began executing.
-    GearIndex start_gear = 0;       ///< Gear engaged at start.
-    bool boosted = false;           ///< Raised mid-flight.
     Time scaled_requested = 0;      ///< Requested time dilated at start.
+    bool boosted = false;           ///< Raised mid-flight.
     bool gated = false;             ///< Power-gated: holds CPUs, no progress,
                                     ///< no completion event until released.
+    bool running = false;           ///< Row is live.
   };
 
-  [[nodiscard]] std::size_t trace_index(JobId id) const;
-  [[nodiscard]] Running& running(JobId id);
-  void finish_job(JobId id);
+  [[nodiscard]] std::uint32_t trace_index(JobId id) const;
+  [[nodiscard]] RunningRec& running(JobId id);
+  [[nodiscard]] const RunningRec& running(JobId id) const;
+  void finish_job(std::uint32_t slot);
   /// Shared re-gearing path of boost_job (policy raise) and set_job_gear
   /// (power-manager throttle/raise): closes the current gear segment and
   /// re-times completion. Gated jobs only update their planned gear.
   void retime_job(JobId id, GearIndex gear, bool mark_boosted);
 
   /// Invokes `hook` on every attached observer (defaults first, then
-  /// add_observer order).
+  /// add_observer order). Only for the immediate run_begin/run_end hooks;
+  /// the mid-run stream goes through the batch (push_event / flush_events).
   template <typename Hook>
   void notify(Hook&& hook) {
     for (SimObserver* observer : chain_) hook(*observer);
   }
+
+  /// Buffers one mid-run record; flushes when the batch is full.
+  void push_event(BatchedEvent&& record) {
+    batch_.push_back(std::move(record));
+    if (batch_.size() >= kBatchCapacity) flush_events();
+  }
+  /// Delivers the buffered span to every observer, in emission order.
+  void flush_events();
+
+  /// Batched-dispatch span size: large enough to amortize the per-span
+  /// virtual call, small enough to stay cache-resident.
+  static constexpr std::size_t kBatchCapacity = 128;
 
   const wl::Workload& workload_;
   core::SchedulingPolicy& policy_;
@@ -162,11 +191,20 @@ class Simulation final : public core::SchedulerContext,
 
   cluster::Machine machine_;
   Engine engine_;
-  std::unordered_map<JobId, std::size_t> index_;   ///< JobId -> trace slot.
-  std::vector<char> started_;                      ///< By trace slot.
-  std::unordered_map<JobId, Running> running_;
-  std::vector<SimObserver*> observers_;            ///< add_observer order.
-  std::vector<SimObserver*> chain_;                ///< Full set during run().
+  std::unordered_map<JobId, std::uint32_t> index_;  ///< JobId -> trace slot.
+  std::vector<char> started_;                       ///< By trace slot.
+  std::vector<RunningRec> run_state_;               ///< By trace slot.
+  std::vector<CpuId> cpu_slab_;     ///< Bump arena for RunningRec CPU lists.
+  std::vector<CpuId> cpu_scratch_;  ///< Reused for machine re-timing calls.
+  std::vector<CpuId> finish_scratch_;  ///< Reused by finish_job; separate
+                                       ///< from cpu_scratch_ because the pm
+                                       ///< finish hook holds a reference to
+                                       ///< it while it may re-gear other
+                                       ///< jobs (which use cpu_scratch_).
+  std::vector<JobId> running_ids_;  ///< Sorted ascending, kept incrementally.
+  std::vector<BatchedEvent> batch_; ///< Pending observer records.
+  std::vector<SimObserver*> observers_;             ///< add_observer order.
+  std::vector<SimObserver*> chain_;                 ///< Full set during run().
   std::size_t finished_ = 0;
   Time last_end_ = 0;
   bool ran_ = false;

@@ -1,0 +1,52 @@
+/// \file function_ref.hpp
+/// \brief Non-owning callable reference (a lightweight std::function).
+///
+/// std::function type-erases by *owning* a copy of the callable, which
+/// heap-allocates whenever the callable outgrows the small-buffer
+/// optimization — a real cost on hot paths that construct one per call
+/// (the backfill feasibility probe builds millions per sweep). When the
+/// callee only invokes the callable during the call — never stores it —
+/// a borrowed {object pointer, invoke thunk} pair is enough. That is
+/// FunctionRef: two words, trivially copyable, no allocation ever.
+///
+/// Lifetime contract: a FunctionRef borrows; the referenced callable must
+/// outlive every invocation. Binding a temporary lambda in a call
+/// expression is fine (the temporary lives to the end of the full
+/// expression); storing a FunctionRef beyond the statement that made it
+/// is not.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace bsld::util {
+
+template <typename Signature>
+class FunctionRef;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Borrows `callable`. Participates only for invocable non-FunctionRef
+  /// types so it never hijacks the copy constructor.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, const std::remove_cvref_t<F>&, Args...>)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(const F& callable)
+      : object_(&callable), invoke_([](const void* object, Args... args) -> R {
+          return (*static_cast<const std::remove_cvref_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  const void* object_;
+  R (*invoke_)(const void*, Args...);
+};
+
+}  // namespace bsld::util

@@ -49,8 +49,8 @@ TEST(PerJobBetaTest, RunSpecSamplesDeterministically) {
   spec.per_job_beta = {{0.2, 0.8}};
   const auto a = report::run_one(spec);
   const auto b = report::run_one(spec);
-  EXPECT_DOUBLE_EQ(a.sim.avg_bsld, b.sim.avg_bsld);
-  EXPECT_DOUBLE_EQ(a.sim.energy.total_joules, b.sim.energy.total_joules);
+  EXPECT_DOUBLE_EQ(a.sim().avg_bsld, b.sim().avg_bsld);
+  EXPECT_DOUBLE_EQ(a.sim().energy.total_joules, b.sim().energy.total_joules);
 }
 
 TEST(PerJobBetaTest, SpreadBracketsTheUniformCase) {
@@ -68,8 +68,8 @@ TEST(PerJobBetaTest, SpreadBracketsTheUniformCase) {
   spread.per_job_beta = {{0.2, 0.8}};
 
   const auto results = report::run_all({uniform, spread});
-  const double ratio = results[1].sim.energy.computational_joules /
-                       results[0].sim.energy.computational_joules;
+  const double ratio = results[1].sim().energy.computational_joules /
+                       results[0].sim().energy.computational_joules;
   EXPECT_NEAR(ratio, 1.0, 0.15);
 }
 
@@ -89,10 +89,10 @@ TEST(DynamicRaiseSpecTest, RaiseThroughRunSpec) {
 
   const auto results = report::run_all({plain, raised});
   // Raising can only help performance and costs some of the savings.
-  EXPECT_LE(results[1].sim.avg_bsld, results[0].sim.avg_bsld + 1e-9);
-  EXPECT_GE(results[1].sim.energy.computational_joules,
-            results[0].sim.energy.computational_joules * 0.999);
-  EXPECT_GT(results[1].sim.boosted_jobs, 0);
+  EXPECT_LE(results[1].sim().avg_bsld, results[0].sim().avg_bsld + 1e-9);
+  EXPECT_GE(results[1].sim().energy.computational_joules,
+            results[0].sim().energy.computational_joules * 0.999);
+  EXPECT_GT(results[1].sim().boosted_jobs, 0);
 }
 
 TEST(DynamicRaiseSpecTest, NoBoostsWithoutPressure) {
@@ -107,7 +107,7 @@ TEST(DynamicRaiseSpecTest, NoBoostsWithoutPressure) {
   raise.queue_limit = 1000000;  // unreachable
   spec.policy.raise = raise;
   const auto result = report::run_one(spec);
-  EXPECT_EQ(result.sim.boosted_jobs, 0);
+  EXPECT_EQ(result.sim().boosted_jobs, 0);
 }
 
 }  // namespace

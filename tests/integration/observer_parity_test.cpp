@@ -45,10 +45,10 @@ constexpr Golden kGolden[] = {
 TEST(ObserverParityTest, DefaultObserverSetMatchesPreRefactorGoldens) {
   for (const Golden& golden : kGolden) {
     const RunResult result = run_one(dvfs_spec(golden.archive));
-    EXPECT_NEAR(result.sim.avg_bsld, golden.avg_bsld,
+    EXPECT_NEAR(result.sim().avg_bsld, golden.avg_bsld,
                 golden.avg_bsld * 1e-12)
         << wl::source_label(result.spec.workload);
-    EXPECT_NEAR(result.sim.avg_wait, golden.avg_wait,
+    EXPECT_NEAR(result.sim().avg_wait, golden.avg_wait,
                 golden.avg_wait * 1e-12)
         << wl::source_label(result.spec.workload);
   }
@@ -60,8 +60,8 @@ TEST(ObserverParityTest, StreamingAggregatesExactlyMatchRetainedPath) {
     RunSpec streaming = retained;
     streaming.retain_jobs = false;
     const auto results = run_all({retained, streaming});
-    const sim::SimulationResult& a = results[0].sim;
-    const sim::SimulationResult& b = results[1].sim;
+    const sim::SimulationResult& a = results[0].sim();
+    const sim::SimulationResult& b = results[1].sim();
 
     ASSERT_FALSE(a.jobs.empty());
     ASSERT_TRUE(b.jobs.empty());
@@ -104,7 +104,7 @@ TEST(ObserverParityTest, ParallelEqualsSerialWithInstrumentsAttached) {
   const auto parallel = run_all(specs, 4);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].sim.avg_bsld, parallel[i].sim.avg_bsld);
+    EXPECT_EQ(serial[i].sim().avg_bsld, parallel[i].sim().avg_bsld);
     ASSERT_EQ(serial[i].instruments.size(), 3u);
     ASSERT_EQ(parallel[i].instruments.size(), 3u);
     for (std::size_t k = 0; k < serial[i].instruments.size(); ++k) {
@@ -131,8 +131,8 @@ TEST(ObserverParityTest, BoostedRunsStreamIdenticallyToRetainedRuns) {
   streaming.retain_jobs = false;
 
   const auto results = run_all({retained, streaming});
-  const sim::SimulationResult& a = results[0].sim;
-  const sim::SimulationResult& b = results[1].sim;
+  const sim::SimulationResult& a = results[0].sim();
+  const sim::SimulationResult& b = results[1].sim();
   ASSERT_GT(a.boosted_jobs, 0);
   EXPECT_EQ(a.boosted_jobs, b.boosted_jobs);
   EXPECT_EQ(a.avg_bsld, b.avg_bsld);
@@ -163,8 +163,8 @@ TEST(ObserverParityTest, ReturnedInstrumentsOutliveTheRunPlatform) {
   // instruments co-own them, so post-run queries through the meter must
   // stay valid (the ASan job guards the lifetime).
   EXPECT_GT(probe->meter().model().gears().size(), 0u);
-  EXPECT_EQ(probe->report().total_joules, result.sim.energy.total_joules);
-  EXPECT_EQ(probe->utilization(), result.sim.utilization);
+  EXPECT_EQ(probe->report().total_joules, result.sim().energy.total_joules);
+  EXPECT_EQ(probe->utilization(), result.sim().utilization);
 }
 
 TEST(ObserverParityTest, JsonlSinkEmitsOneObjectPerRun) {

@@ -36,11 +36,11 @@ TEST(ReproductionTest, Table1BaselineOrdering) {
     specs.push_back(baseline_spec(archive, 2500));
   }
   const auto results = run_all(specs);
-  const double ctc = results[0].sim.avg_bsld;
-  const double sdsc = results[1].sim.avg_bsld;
-  const double blue = results[2].sim.avg_bsld;
-  const double thunder = results[3].sim.avg_bsld;
-  const double atlas = results[4].sim.avg_bsld;
+  const double ctc = results[0].sim().avg_bsld;
+  const double sdsc = results[1].sim().avg_bsld;
+  const double blue = results[2].sim().avg_bsld;
+  const double thunder = results[3].sim().avg_bsld;
+  const double atlas = results[4].sim().avg_bsld;
 
   EXPECT_NEAR(thunder, 1.0, 0.1);
   EXPECT_NEAR(atlas, 1.08, 0.25);
@@ -57,7 +57,7 @@ TEST(ReproductionTest, Fig3SaturatedSdscCannotSave) {
   const auto results =
       run_all({dvfs_spec(wl::Archive::kSDSC, 2.0, 16),
                baseline_spec(wl::Archive::kSDSC)});
-  const auto norm = normalized_energy(results[0].sim, results[1].sim);
+  const auto norm = normalized_energy(results[0].sim(), results[1].sim());
   EXPECT_GT(norm.computational, 0.97);
 }
 
@@ -65,7 +65,7 @@ TEST(ReproductionTest, Fig3LightWorkloadsSaveEnergy) {
   const auto results =
       run_all({dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, std::nullopt),
                baseline_spec(wl::Archive::kLLNLAtlas)});
-  const auto norm = normalized_energy(results[0].sim, results[1].sim);
+  const auto norm = normalized_energy(results[0].sim(), results[1].sim());
   EXPECT_LT(norm.computational, 0.85);  // strong savings on light load
   EXPECT_LT(norm.total, 0.90);
 }
@@ -74,8 +74,8 @@ TEST(ReproductionTest, Fig3RelaxingWqIncreasesSavings) {
   const auto results = run_all({dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, 0),
                                 dvfs_spec(wl::Archive::kLLNLAtlas, 2.0, 16),
                                 baseline_spec(wl::Archive::kLLNLAtlas)});
-  const auto wq0 = normalized_energy(results[0].sim, results[2].sim);
-  const auto wq16 = normalized_energy(results[1].sim, results[2].sim);
+  const auto wq0 = normalized_energy(results[0].sim(), results[2].sim());
+  const auto wq16 = normalized_energy(results[1].sim(), results[2].sim());
   EXPECT_LE(wq16.computational, wq0.computational + 0.01);
 }
 
@@ -83,8 +83,8 @@ TEST(ReproductionTest, Fig5DvfsCostsPerformance) {
   const auto results =
       run_all({dvfs_spec(wl::Archive::kSDSCBlue, 2.0, std::nullopt),
                baseline_spec(wl::Archive::kSDSCBlue)});
-  EXPECT_GT(results[0].sim.avg_bsld, results[1].sim.avg_bsld);
-  EXPECT_GT(results[0].sim.avg_wait, results[1].sim.avg_wait);
+  EXPECT_GT(results[0].sim().avg_bsld, results[1].sim().avg_bsld);
+  EXPECT_GT(results[0].sim().avg_wait, results[1].sim().avg_wait);
 }
 
 TEST(ReproductionTest, Fig7ComputationalEnergyFallsWithSystemSize) {
@@ -93,8 +93,8 @@ TEST(ReproductionTest, Fig7ComputationalEnergyFallsWithSystemSize) {
   grown.size_scale = 1.5;
   const auto results =
       run_all({small, grown, baseline_spec(wl::Archive::kSDSCBlue)});
-  const auto at_1x = normalized_energy(results[0].sim, results[2].sim);
-  const auto at_15x = normalized_energy(results[1].sim, results[2].sim);
+  const auto at_1x = normalized_energy(results[0].sim(), results[2].sim());
+  const auto at_15x = normalized_energy(results[1].sim(), results[2].sim());
   EXPECT_LT(at_15x.computational, at_1x.computational);
 }
 
@@ -103,7 +103,7 @@ TEST(ReproductionTest, Fig9EnlargingImprovesBsld) {
   RunSpec grown = small;
   grown.size_scale = 1.5;
   const auto results = run_all({small, grown});
-  EXPECT_LT(results[1].sim.avg_bsld, results[0].sim.avg_bsld);
+  EXPECT_LT(results[1].sim().avg_bsld, results[0].sim().avg_bsld);
 }
 
 TEST(ReproductionTest, Table3EnlargedSystemBeatsOriginalWaits) {
@@ -111,7 +111,7 @@ TEST(ReproductionTest, Table3EnlargedSystemBeatsOriginalWaits) {
   grown.size_scale = 1.5;
   const auto results =
       run_all({grown, baseline_spec(wl::Archive::kSDSCBlue)});
-  EXPECT_LT(results[0].sim.avg_wait, results[1].sim.avg_wait);
+  EXPECT_LT(results[0].sim().avg_wait, results[1].sim().avg_wait);
 }
 
 TEST(ReproductionTest, ReducedJobsGrowWithWqRelaxation) {
@@ -119,8 +119,8 @@ TEST(ReproductionTest, ReducedJobsGrowWithWqRelaxation) {
                                 dvfs_spec(wl::Archive::kSDSCBlue, 2.0, 16),
                                 dvfs_spec(wl::Archive::kSDSCBlue, 2.0,
                                           std::nullopt)});
-  EXPECT_LE(results[0].sim.reduced_jobs, results[1].sim.reduced_jobs);
-  EXPECT_LE(results[1].sim.reduced_jobs, results[2].sim.reduced_jobs);
+  EXPECT_LE(results[0].sim().reduced_jobs, results[1].sim().reduced_jobs);
+  EXPECT_LE(results[1].sim().reduced_jobs, results[2].sim().reduced_jobs);
 }
 
 }  // namespace

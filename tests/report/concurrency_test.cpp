@@ -112,7 +112,7 @@ TEST(ConcurrencyTest, ConcurrentSubmittersShareOnePool) {
       const auto results = handle.wait();
       EXPECT_EQ(results.size(), specs.size());
       for (const RunResult& result : results) {
-        EXPECT_GT(result.sim.avg_bsld, 0.0);
+        EXPECT_GT(result.sim().avg_bsld, 0.0);
       }
     });
   }

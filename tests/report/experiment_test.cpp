@@ -40,8 +40,8 @@ TEST(RunOneTest, DeterministicForEqualSpecs) {
   spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 400);
   const RunResult a = run_one(spec);
   const RunResult b = run_one(spec);
-  EXPECT_DOUBLE_EQ(a.sim.avg_bsld, b.sim.avg_bsld);
-  EXPECT_DOUBLE_EQ(a.sim.energy.total_joules, b.sim.energy.total_joules);
+  EXPECT_DOUBLE_EQ(a.sim().avg_bsld, b.sim().avg_bsld);
+  EXPECT_DOUBLE_EQ(a.sim().energy.total_joules, b.sim().energy.total_joules);
 }
 
 TEST(RunOneTest, SizeScaleChangesMachine) {
@@ -49,7 +49,7 @@ TEST(RunOneTest, SizeScaleChangesMachine) {
   spec.workload =
       wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 300);  // 128 CPUs
   spec.size_scale = 1.5;
-  EXPECT_EQ(run_one(spec).sim.cpus, 192);
+  EXPECT_EQ(run_one(spec).sim().cpus, 192);
 }
 
 TEST(RunOneTest, ShrunkenMachineClampsJobSizes) {
@@ -57,8 +57,8 @@ TEST(RunOneTest, ShrunkenMachineClampsJobSizes) {
   spec.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 300);
   spec.size_scale = 0.25;  // 32 CPUs; the trace has larger jobs
   const RunResult result = run_one(spec);
-  EXPECT_EQ(result.sim.cpus, 32);
-  for (const sim::JobOutcome& job : result.sim.jobs) {
+  EXPECT_EQ(result.sim().cpus, 32);
+  for (const sim::JobOutcome& job : result.sim().jobs) {
     EXPECT_LE(job.size, 32);
   }
 }
@@ -73,12 +73,12 @@ TEST(RunOneTest, BetaZeroMeansNoDilation) {
   dvfs.wq_threshold = std::nullopt;
   spec.policy.dvfs = dvfs;
   const RunResult result = run_one(spec);
-  for (const sim::JobOutcome& job : result.sim.jobs) {
+  for (const sim::JobOutcome& job : result.sim().jobs) {
     EXPECT_EQ(job.scaled_runtime, job.run_time_top);
   }
   // With beta = 0 reduction is free: everything runs at the lowest gear.
-  EXPECT_EQ(result.sim.reduced_jobs,
-            static_cast<std::int64_t>(result.sim.jobs.size()));
+  EXPECT_EQ(result.sim().reduced_jobs,
+            static_cast<std::int64_t>(result.sim().jobs.size()));
 }
 
 TEST(RunOneTest, AcceptsAllThreeWorkloadSources) {
@@ -86,7 +86,7 @@ TEST(RunOneTest, AcceptsAllThreeWorkloadSources) {
   RunSpec archive;
   archive.workload = wl::WorkloadSource::from_archive(wl::Archive::kSDSC, 200);
   const RunResult from_archive = run_one(archive);
-  EXPECT_EQ(from_archive.sim.jobs.size(), 200u);
+  EXPECT_EQ(from_archive.sim().jobs.size(), 200u);
 
   // SWF file: write the same trace to disk and replay it.
   const std::string path = ::testing::TempDir() + "experiment_test_sdsc.swf";
@@ -95,8 +95,8 @@ TEST(RunOneTest, AcceptsAllThreeWorkloadSources) {
   swf.workload = wl::WorkloadSource::from_swf(path);
   const RunResult from_swf = run_one(swf);
   std::remove(path.c_str());
-  EXPECT_EQ(from_swf.sim.jobs.size(), from_archive.sim.jobs.size());
-  EXPECT_DOUBLE_EQ(from_swf.sim.avg_bsld, from_archive.sim.avg_bsld);
+  EXPECT_EQ(from_swf.sim().jobs.size(), from_archive.sim().jobs.size());
+  EXPECT_DOUBLE_EQ(from_swf.sim().avg_bsld, from_archive.sim().avg_bsld);
 
   // Inline generator spec.
   wl::WorkloadSpec profile;
@@ -105,8 +105,8 @@ TEST(RunOneTest, AcceptsAllThreeWorkloadSources) {
   RunSpec inline_spec;
   inline_spec.workload = wl::WorkloadSource::from_spec(profile, 5);
   const RunResult from_inline = run_one(inline_spec);
-  EXPECT_EQ(from_inline.sim.jobs.size(), 100u);
-  EXPECT_EQ(from_inline.sim.cpus, 32);
+  EXPECT_EQ(from_inline.sim().jobs.size(), 100u);
+  EXPECT_EQ(from_inline.sim().cpus, 32);
 }
 
 TEST(RunWorkloadTest, HandBuiltWorkloadSharesTheMachinery) {
@@ -115,9 +115,9 @@ TEST(RunWorkloadTest, HandBuiltWorkloadSharesTheMachinery) {
   load.cpus = 4;
   load.jobs = {{1, 0, 100, 120, 2, 0, -1.0}, {2, 0, 100, 120, 2, 0, -1.0}};
   const RunResult result = run_workload(load, RunSpec{});
-  EXPECT_EQ(result.sim.cpus, 4);
-  EXPECT_EQ(result.sim.jobs.size(), 2u);
-  EXPECT_GT(result.sim.energy.total_joules, 0.0);
+  EXPECT_EQ(result.sim().cpus, 4);
+  EXPECT_EQ(result.sim().jobs.size(), 2u);
+  EXPECT_GT(result.sim().energy.total_joules, 0.0);
 }
 
 TEST(RunWorkloadTest, SizeScaleAppliesToHandBuiltWorkloads) {
@@ -128,8 +128,8 @@ TEST(RunWorkloadTest, SizeScaleAppliesToHandBuiltWorkloads) {
   RunSpec spec;
   spec.size_scale = 0.5;  // 4 CPUs; the job must be clamped
   const RunResult result = run_workload(load, spec);
-  EXPECT_EQ(result.sim.cpus, 4);
-  EXPECT_EQ(result.sim.jobs[0].size, 4);
+  EXPECT_EQ(result.sim().cpus, 4);
+  EXPECT_EQ(result.sim().jobs[0].size, 4);
 }
 
 TEST(RunOneTest, InvalidScaleRejected) {

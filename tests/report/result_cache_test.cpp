@@ -103,7 +103,7 @@ TEST_F(ResultCacheTest, StoreLookupRoundTripsEverything) {
   const auto cached = cache.lookup(spec);
   ASSERT_TRUE(cached.has_value());
   EXPECT_EQ(cached->spec, spec);
-  expect_same_sim(fresh.sim, cached->sim);
+  expect_same_sim(fresh.sim(), cached->sim());
 
   // Instruments replay byte-identically (name, rows, rendered CSV)...
   ASSERT_EQ(cached->instruments.size(), fresh.instruments.size());
@@ -129,14 +129,14 @@ TEST_F(ResultCacheTest, RetainJobsOffRoundTripsWithoutJobs) {
   RunSpec spec = small_spec();
   spec.retain_jobs = false;
   const RunResult fresh = run_one(spec);
-  ASSERT_TRUE(fresh.sim.jobs.empty());
+  ASSERT_TRUE(fresh.sim().jobs.empty());
 
   ResultCache cache(root_);
   cache.store(fresh);
   const auto cached = cache.lookup(spec);
   ASSERT_TRUE(cached.has_value());
-  EXPECT_TRUE(cached->sim.jobs.empty());
-  expect_same_sim(fresh.sim, cached->sim);
+  EXPECT_TRUE(cached->sim().jobs.empty());
+  expect_same_sim(fresh.sim(), cached->sim());
 
   // The retained variant is a different run identity: no false sharing.
   RunSpec retained = small_spec();
@@ -150,13 +150,13 @@ TEST_F(ResultCacheTest, PowerManagedRunsRoundTripWithTheirSleepEnergy) {
   RunSpec spec = small_spec();
   spec.pm.name = "sleep";
   const RunResult fresh = run_one(spec);
-  EXPECT_GT(fresh.sim.energy.sleep_core_seconds, 0.0);
+  EXPECT_GT(fresh.sim().energy.sleep_core_seconds, 0.0);
 
   ResultCache cache(root_);
   cache.store(fresh);
   const auto cached = cache.lookup(spec);
   ASSERT_TRUE(cached.has_value());
-  expect_same_sim(fresh.sim, cached->sim);
+  expect_same_sim(fresh.sim(), cached->sim());
   EXPECT_NE(spec.key(), small_spec().key());
   EXPECT_FALSE(cache.lookup(small_spec()).has_value());
 }
@@ -253,7 +253,7 @@ TEST_F(ResultCacheTest, ConcurrentWritersLeaveAReadableEntry) {
 
   const auto cached = cache.lookup(spec);
   ASSERT_TRUE(cached.has_value());
-  expect_same_sim(result.sim, cached->sim);
+  expect_same_sim(result.sim(), cached->sim());
   EXPECT_EQ(cache.disk_stats().entries, 1u);
 }
 
@@ -378,7 +378,7 @@ TEST_F(ResultCacheTest, TwoProcessTrimVsStoreStress) {
   cache.store(result);
   const auto final_lookup = cache.lookup(spec);
   ASSERT_TRUE(final_lookup.has_value());
-  expect_same_sim(result.sim, final_lookup->sim);
+  expect_same_sim(result.sim(), final_lookup->sim());
 }
 
 TEST_F(ResultCacheTest, AbsorbCopiesMissingEntries) {
@@ -492,7 +492,7 @@ TEST_F(ResultCacheTest, SweepRunnerStoresThroughCacheAndDedups) {
   ASSERT_EQ(warm_results.size(), cold_results.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(warm_results[i].spec, specs[i]);
-    expect_same_sim(cold_results[i].sim, warm_results[i].sim);
+    expect_same_sim(cold_results[i].sim(), warm_results[i].sim());
   }
 }
 

@@ -122,11 +122,11 @@ TEST(SpecIoTest, ReplayedSpecReproducesResults) {
       RunSpec::parse(util::Config::parse(spec.to_config().to_string()));
   const RunResult original = run_one(spec);
   const RunResult replay = run_one(replayed);
-  EXPECT_DOUBLE_EQ(original.sim.avg_bsld, replay.sim.avg_bsld);
-  EXPECT_DOUBLE_EQ(original.sim.energy.total_joules,
-                   replay.sim.energy.total_joules);
-  EXPECT_EQ(original.sim.makespan, replay.sim.makespan);
-  EXPECT_EQ(original.sim.reduced_jobs, replay.sim.reduced_jobs);
+  EXPECT_DOUBLE_EQ(original.sim().avg_bsld, replay.sim().avg_bsld);
+  EXPECT_DOUBLE_EQ(original.sim().energy.total_joules,
+                   replay.sim().energy.total_joules);
+  EXPECT_EQ(original.sim().makespan, replay.sim().makespan);
+  EXPECT_EQ(original.sim().reduced_jobs, replay.sim().reduced_jobs);
 }
 
 TEST(SpecIoTest, PmKeysParseAndLabelTheRun) {
@@ -160,8 +160,15 @@ TEST(SpecIoTest, EqualSpecsShareTheKey) {
   RunSpec a;
   RunSpec b;
   EXPECT_EQ(a.key(), b.key());
-  b.size_scale = 1.2;
-  EXPECT_NE(a.key(), b.key());
+  // key() is memoized, so a spec is frozen once keyed; tweak a copy
+  // instead (copy construction/assignment resets the copy's cache).
+  RunSpec c = a;
+  c.size_scale = 1.2;
+  EXPECT_NE(a.key(), c.key());
+  RunSpec d;
+  d = c;
+  d.size_scale = 1.4;
+  EXPECT_NE(c.key(), d.key());
 }
 
 TEST(SpecIoTest, MalformedPerJobBetaRejected) {

@@ -43,10 +43,10 @@ TEST(SweepTest, ParallelEqualsSerial) {
   const auto parallel = run_all(specs, 4);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_DOUBLE_EQ(serial[i].sim.avg_bsld, parallel[i].sim.avg_bsld);
-    EXPECT_DOUBLE_EQ(serial[i].sim.energy.total_joules,
-                     parallel[i].sim.energy.total_joules);
-    EXPECT_EQ(serial[i].sim.reduced_jobs, parallel[i].sim.reduced_jobs);
+    EXPECT_DOUBLE_EQ(serial[i].sim().avg_bsld, parallel[i].sim().avg_bsld);
+    EXPECT_DOUBLE_EQ(serial[i].sim().energy.total_joules,
+                     parallel[i].sim().energy.total_joules);
+    EXPECT_EQ(serial[i].sim().reduced_jobs, parallel[i].sim().reduced_jobs);
   }
 }
 
@@ -72,7 +72,7 @@ TEST(SweepTest, MoreThreadsThanWork) {
   specs.push_back(spec);
   const auto results = run_all(specs, 16);
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_GT(results[0].sim.avg_bsld, 0.0);
+  EXPECT_GT(results[0].sim().avg_bsld, 0.0);
 }
 
 // Regression: the thread-count clamp in run_all must hold at both
@@ -97,10 +97,10 @@ TEST(SweepTest, ThreadCountFarAboveSpecCountMatchesSerial) {
   const auto clamped = run_all(specs, 1024);  // clamps to specs.size() == 2
   ASSERT_EQ(serial.size(), clamped.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_DOUBLE_EQ(serial[i].sim.avg_bsld, clamped[i].sim.avg_bsld);
-    EXPECT_DOUBLE_EQ(serial[i].sim.energy.total_joules,
-                     clamped[i].sim.energy.total_joules);
-    EXPECT_EQ(serial[i].sim.makespan, clamped[i].sim.makespan);
+    EXPECT_DOUBLE_EQ(serial[i].sim().avg_bsld, clamped[i].sim().avg_bsld);
+    EXPECT_DOUBLE_EQ(serial[i].sim().energy.total_joules,
+                     clamped[i].sim().energy.total_joules);
+    EXPECT_EQ(serial[i].sim().makespan, clamped[i].sim().makespan);
   }
 }
 
@@ -139,10 +139,10 @@ TEST(SweepRunnerTest, DedupExecutesIdenticalSpecsOnce) {
   ASSERT_EQ(deduped.size(), all.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(deduped[i].spec, all[i].spec);
-    EXPECT_DOUBLE_EQ(deduped[i].sim.avg_bsld, all[i].sim.avg_bsld);
-    EXPECT_DOUBLE_EQ(deduped[i].sim.energy.total_joules,
-                     all[i].sim.energy.total_joules);
-    EXPECT_EQ(deduped[i].sim.makespan, all[i].sim.makespan);
+    EXPECT_DOUBLE_EQ(deduped[i].sim().avg_bsld, all[i].sim().avg_bsld);
+    EXPECT_DOUBLE_EQ(deduped[i].sim().energy.total_joules,
+                     all[i].sim().energy.total_joules);
+    EXPECT_EQ(deduped[i].sim().makespan, all[i].sim().makespan);
   }
 }
 
@@ -177,7 +177,7 @@ TEST(SweepRunnerTest, SinksSeeEverySlotExactlyOnce) {
     void on_result(std::size_t index, const RunResult& result) override {
       ASSERT_LT(index, seen.size());
       ++seen[index];
-      EXPECT_GT(result.sim.avg_bsld, 0.0);
+      EXPECT_GT(result.sim().avg_bsld, 0.0);
     }
     void on_done(std::size_t total) override { done_total = total; }
   };
@@ -232,7 +232,7 @@ TEST(SweepRunnerTest, RunAllIsAThinWrapper) {
   const auto direct = runner.run(specs);
   ASSERT_EQ(wrapped.size(), direct.size());
   for (std::size_t i = 0; i < wrapped.size(); ++i) {
-    EXPECT_DOUBLE_EQ(wrapped[i].sim.avg_bsld, direct[i].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(wrapped[i].sim().avg_bsld, direct[i].sim().avg_bsld);
   }
 }
 
@@ -255,7 +255,7 @@ TEST(ShardTest, TwoShardsPartitionSlotsExactlyOnce) {
     std::vector<std::size_t> indices;
     void on_result(std::size_t index, const RunResult& result) override {
       indices.push_back(index);
-      EXPECT_GT(result.sim.avg_bsld, 0.0);
+      EXPECT_GT(result.sim().avg_bsld, 0.0);
     }
   };
 
@@ -278,7 +278,7 @@ TEST(ShardTest, TwoShardsPartitionSlotsExactlyOnce) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       EXPECT_EQ(results[i].spec, specs[i]);
       if (shard_of(specs[i], 2) != shard) {
-        EXPECT_EQ(results[i].sim.job_count, 0);  // untouched default.
+        EXPECT_EQ(results[i].sim().job_count, 0);  // untouched default.
       }
     }
     EXPECT_EQ(runner.progress().completed + runner.progress().shard_skipped,
@@ -359,7 +359,7 @@ TEST(ShardTest, ShardOwningZeroSpecsYieldsEmptyResultsAndHeaderOnlyCsv) {
   ASSERT_EQ(results.size(), specs.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].spec, specs[i]);  // spec preserved,
-    EXPECT_EQ(results[i].sim.job_count, 0);  // nothing simulated.
+    EXPECT_EQ(results[i].sim().job_count, 0);  // nothing simulated.
   }
   EXPECT_EQ(runner.progress().executed, 0u);
   EXPECT_EQ(runner.progress().shard_skipped, specs.size());
@@ -406,21 +406,21 @@ TEST(SubmitTest, SubmitMatchesRun) {
   SweepRunner::SubmitHandle handle = runner.submit(
       specs, [&](std::size_t index, const RunResult& result) {
         const std::lock_guard<std::mutex> lock(mutex);
-        streamed[index] = result.sim.avg_bsld;
+        streamed[index] = result.sim().avg_bsld;
       });
   const std::vector<RunResult> via_submit = handle.wait();
 
   ASSERT_EQ(via_submit.size(), via_run.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(via_submit[i].spec, specs[i]);
-    EXPECT_DOUBLE_EQ(via_submit[i].sim.avg_bsld, via_run[i].sim.avg_bsld);
-    EXPECT_EQ(via_submit[i].sim.events_processed,
-              via_run[i].sim.events_processed);
+    EXPECT_DOUBLE_EQ(via_submit[i].sim().avg_bsld, via_run[i].sim().avg_bsld);
+    EXPECT_EQ(via_submit[i].sim().events_processed,
+              via_run[i].sim().events_processed);
   }
   // Every slot was delivered exactly once through the callback.
   ASSERT_EQ(streamed.size(), specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    EXPECT_DOUBLE_EQ(streamed[i], via_run[i].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(streamed[i], via_run[i].sim().avg_bsld);
   }
   const SweepRunner::Progress progress = handle.progress();
   EXPECT_EQ(progress.total, specs.size());
@@ -439,7 +439,7 @@ TEST(SubmitTest, WithinBatchDuplicatesSimulateOnce) {
   const std::vector<RunResult> results = handle.wait();
   ASSERT_EQ(results.size(), specs.size());
   for (std::size_t i = 2; i < specs.size(); ++i) {
-    EXPECT_DOUBLE_EQ(results[i].sim.avg_bsld, results[i % 2].sim.avg_bsld);
+    EXPECT_DOUBLE_EQ(results[i].sim().avg_bsld, results[i % 2].sim().avg_bsld);
   }
   EXPECT_EQ(handle.progress().executed, 2u);
   EXPECT_EQ(handle.progress().deduplicated, 4u);
@@ -464,7 +464,7 @@ TEST(SubmitTest, ConcurrentBatchesShareOnePoolAndAgree) {
   for (int c = 0; c < kClients; ++c) {
     ASSERT_EQ(outcomes[c].size(), specs.size()) << "client " << c;
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      EXPECT_DOUBLE_EQ(outcomes[c][i].sim.avg_bsld, expected[i].sim.avg_bsld);
+      EXPECT_DOUBLE_EQ(outcomes[c][i].sim().avg_bsld, expected[i].sim().avg_bsld);
       EXPECT_EQ(outcomes[c][i].spec, specs[i]);
     }
   }
@@ -494,8 +494,8 @@ TEST(SubmitTest, WarmBatchIsAnsweredWithoutTouchingThePool) {
     EXPECT_EQ(handle.progress().cache_hits, specs.size());
     ASSERT_EQ(warm.size(), cold.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      EXPECT_DOUBLE_EQ(warm[i].sim.avg_bsld, cold[i].sim.avg_bsld);
-      EXPECT_EQ(warm[i].sim.events_processed, cold[i].sim.events_processed);
+      EXPECT_DOUBLE_EQ(warm[i].sim().avg_bsld, cold[i].sim().avg_bsld);
+      EXPECT_EQ(warm[i].sim().events_processed, cold[i].sim().events_processed);
     }
   }
   std::filesystem::remove_all(root);
@@ -522,7 +522,7 @@ TEST(SubmitTest, ShardedSubmitSkipsForeignSlotsSilently) {
   EXPECT_EQ(handle.progress().shard_skipped, specs.size());
   EXPECT_EQ(handle.progress().executed, 0u);
   for (const RunResult& result : results) {
-    EXPECT_EQ(result.sim.job_count, 0);
+    EXPECT_EQ(result.sim().job_count, 0);
   }
 }
 

@@ -76,6 +76,60 @@ TEST(EngineTest, ProcessedCounter) {
   EXPECT_EQ(engine.pending(), 0u);
 }
 
+TEST(EngineTest, BucketTableGrowsAndShrinksWithLoad) {
+  Engine engine;
+  const std::size_t initial = engine.bucket_count();
+  // Push far past the grow threshold (load factor kTargetLoad per bucket);
+  // the calendar must widen its table.
+  for (int i = 0; i < 4096; ++i) {
+    engine.schedule({i, EventKind::kJobSubmit, 0, i});
+  }
+  EXPECT_GT(engine.bucket_count(), initial);
+  // Drain back to nearly empty: the table must shrink again (capped at
+  // the minimum size), and every event must come out in order.
+  Time last = 0;
+  std::size_t drained = 0;
+  while (const auto event = engine.pop()) {
+    EXPECT_GE(event->time, last);
+    last = event->time;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 4096u);
+  EXPECT_EQ(engine.bucket_count(), initial);
+}
+
+TEST(EngineTest, FarFutureEventsSurviveRebuckets) {
+  // A sparse horizon (events eons apart) exercises the overflow/rebuild
+  // path: bucket widths are derived from the current span, so a far-future
+  // event must neither be lost nor reordered.
+  Engine engine;
+  engine.schedule({5, EventKind::kJobSubmit, 0, 1});
+  engine.schedule({1'000'000'000'000, EventKind::kJobEnd, 0, 2});
+  engine.schedule({3, EventKind::kJobSubmit, 0, 3});
+  EXPECT_EQ(engine.pop()->job, 3);
+  engine.schedule({7'000'000'000'000, EventKind::kJobEnd, 0, 4});
+  EXPECT_EQ(engine.pop()->job, 1);
+  EXPECT_EQ(engine.pop()->job, 2);
+  EXPECT_EQ(engine.now(), 1'000'000'000'000);
+  EXPECT_EQ(engine.pop()->job, 4);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, DenseTiesBeyondOneSegmentStayFifo) {
+  // More same-(time, kind) events than one bucket segment holds (kSlot)
+  // forces segment spills; FIFO order must survive them.
+  Engine engine;
+  for (JobId id = 0; id < 200; ++id) {
+    engine.schedule({42, EventKind::kJobSubmit, 0, id});
+  }
+  for (JobId id = 0; id < 200; ++id) {
+    const auto event = engine.pop();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->job, id);
+  }
+  EXPECT_TRUE(engine.empty());
+}
+
 TEST(EngineTest, DeterministicUnderHeavyTies) {
   // Two engines fed identically must drain identically.
   Engine a;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/arena.hpp"
 #include "testing/helpers.hpp"
 #include "util/error.hpp"
 
@@ -158,6 +159,27 @@ TEST_F(SimulationTest, EventCountIsTwoPerJob) {
   const auto result = testing::run(
       workload(4, {job(1, 0, 10, 20, 1), job(2, 3, 10, 20, 1)}), models_);
   EXPECT_EQ(result.events_processed, 4u);
+}
+
+TEST_F(SimulationTest, ArenaRecyclesEngineStorageAcrossRuns) {
+  const wl::Workload load =
+      workload(4, {job(1, 0, 100, 200, 2), job(2, 10, 50, 60, 1)});
+  // First run primes the thread-local arena; each later Simulation must
+  // hand its engine slabs back so the next one starts warm instead of
+  // re-allocating, and results must be identical run over run.
+  const auto first = testing::run(load, models_);
+  ASSERT_TRUE(RunArena::local().engine_warm());
+  const std::uint64_t recycles = RunArena::local().engine_recycles();
+  const auto second = testing::run(load, models_);
+  const auto third = testing::run(load, models_);
+  EXPECT_EQ(RunArena::local().engine_recycles(), recycles + 2);
+  ASSERT_EQ(second.jobs.size(), first.jobs.size());
+  for (std::size_t i = 0; i < first.jobs.size(); ++i) {
+    EXPECT_EQ(second.jobs[i].start, first.jobs[i].start);
+    EXPECT_EQ(second.jobs[i].end, first.jobs[i].end);
+    EXPECT_EQ(third.jobs[i].gear, first.jobs[i].gear);
+  }
+  EXPECT_DOUBLE_EQ(third.avg_bsld, first.avg_bsld);
 }
 
 }  // namespace
