@@ -347,13 +347,12 @@ report::RunSpec spec_from_flags(const util::Cli& cli) {
   if (overrides("workload")) {
     spec.workload = wl::resolve_source(
         cli.get("workload"),
-        overrides("jobs") ? static_cast<std::int32_t>(cli.get_int("jobs"))
-                          : spec.workload.jobs,
+        overrides("jobs") ? cli.get_int("jobs") : spec.workload.jobs,
         overrides("seed") ? static_cast<std::uint64_t>(cli.get_int("seed"))
                           : spec.workload.seed);
   } else {
     if (overrides("jobs")) {
-      spec.workload.jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+      spec.workload.jobs = cli.get_int("jobs");
     }
     if (overrides("seed")) {
       spec.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -4,6 +4,7 @@
 /// energy/performance frontier an operator would choose from.
 ///
 /// Run: ./energy_tradeoff [--archive SDSCBlue] [--jobs 5000]
+#include <cstdint>
 #include <iostream>
 
 #include "report/figures.hpp"
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const wl::Archive archive = wl::archive_from_name(cli.get("archive"));
-  const auto jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+  const std::int64_t jobs = cli.get_int("jobs");
 
   std::vector<report::RunSpec> specs;
   report::RunSpec baseline;

@@ -4,6 +4,7 @@
 /// other scheduling simulators.
 ///
 /// Run: ./make_trace --archive CTC --jobs 5000 --out ctc.swf [--seed 0]
+#include <cstdint>
 #include <iostream>
 
 #include "util/cli.hpp"
@@ -24,7 +25,7 @@ int main(int argc, char** argv) try {
   if (!cli.parse(argc, argv)) return 0;
 
   const wl::Archive archive = wl::archive_from_name(cli.get("archive"));
-  const auto jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
+  const std::int64_t jobs = cli.get_int("jobs");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   const wl::Workload workload =

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   const wl::WorkloadSource workload = wl::WorkloadSource::from_archive(
       wl::archive_from_name(cli.get("archive")),
-      static_cast<std::int32_t>(cli.get_int("jobs")));
+      cli.get_int("jobs"));
 
   core::DvfsConfig dvfs;
   dvfs.bsld_threshold = cli.get_double("bsld");

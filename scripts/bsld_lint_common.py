@@ -37,7 +37,7 @@ FIXTURES = "tests/lint_fixtures"
 # its own rules but must accept markers naming the other tool's.
 LINT_RULES = frozenset({
     "raw-parse", "determinism", "new-delete", "catch-all", "pragma-once",
-    "include-hygiene", "tsa-escape", "iostream",
+    "include-hygiene", "tsa-escape", "iostream", "eager-ingest",
 })
 ARCH_RULES = frozenset({
     "layer-violation", "skip-interface", "include-cycle", "orphan-header",

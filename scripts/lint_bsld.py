@@ -34,6 +34,11 @@ can express, over src/, tests/, examples/ and bench/:
                    through the sinks/CSV writers. The CLI/daemon entry
                    points that legitimately own stdout/stderr carry a
                    suppression naming that fact.
+  eager-ingest     src/sim must not call wl::load_source(): the core
+                   pulls jobs through wl::open_stream()/JobStream under a
+                   bounded lookahead window, so a materialized trace
+                   (O(jobs) memory) can never sneak back into the
+                   simulation loop.
 
 The architecture-level rules (include-graph layering, cycles, orphan
 headers, [[nodiscard]]/noexcept API contracts) live in the sibling tool
@@ -106,6 +111,7 @@ CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
 IOSTREAM_RE = re.compile(r'^\s*#\s*include\s*[<"]iostream[>"]')
 TSA_ESCAPE = "BSLD_NO_THREAD_SAFETY_ANALYSIS"
+EAGER_INGEST_RE = re.compile(r"(?<![\w:])(?:wl::|workload::)?load_source\s*\(")
 
 
 def rule_raw_parse(path, raw, code, text):
@@ -228,6 +234,22 @@ def rule_own_header_first(scan_root, path, raw, findings_out):
             return
 
 
+def rule_eager_ingest(path, raw, code, text):
+    # The simulation core pulls jobs through wl::JobStream under a bounded
+    # lookahead window; materializing a whole trace inside src/sim would
+    # silently reintroduce O(jobs) memory on the million-job path.
+    if not path.startswith("src/sim/"):
+        return []
+    findings = []
+    for i, line in enumerate(code, 1):
+        if EAGER_INGEST_RE.search(line):
+            findings.append(
+                (i, "load_source() inside src/sim materializes the whole "
+                    "trace — pull jobs through wl::open_stream()/JobStream "
+                    "(callers that need a vector materialize outside sim)"))
+    return findings
+
+
 def rule_tsa_escape(path, raw, code, text):
     if path == "src/util/thread_annotations.hpp":  # the definition site
         return []
@@ -276,6 +298,9 @@ RULES = {
     "iostream": (rule_iostream,
                  "#include <iostream> in library code under src/ (use "
                  "util::log; entry points suppress with a reason)"),
+    "eager-ingest": (rule_eager_ingest,
+                     "wl::load_source() call sites in src/sim — the core "
+                     "ingests jobs through the streaming JobStream window"),
 }
 
 assert set(RULES) == set(LINT_RULES), (

@@ -5,7 +5,9 @@
 
 #include "pm/registry.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
+#include "workload/stream.hpp"
 
 namespace bsld::report {
 
@@ -30,6 +32,26 @@ RunSpec RunSpec::parse(const util::Config& config) {
     sim::InstrumentRegistry::global().require(name);
   }
   spec.retain_jobs = config.get_bool("retain_jobs", true);
+  spec.stream = config.get_bool("stream", false);
+  const std::int64_t cap = config.get_int("sample.cap", 0);
+  BSLD_REQUIRE(cap >= 0, "RunSpec: sample.cap must be >= 0");
+  spec.sample.cap = static_cast<std::uint64_t>(cap);
+  const std::string mode = config.get_string("sample.mode", "decimate");
+  if (mode == "decimate") {
+    spec.sample.mode = util::SamplePlan::Mode::kDecimate;
+  } else if (mode == "reservoir") {
+    spec.sample.mode = util::SamplePlan::Mode::kReservoir;
+  } else {
+    throw Error("RunSpec: unknown sample.mode `" + mode +
+                "` (expected decimate or reservoir)");
+  }
+  // Seeds use the full uint64 range, which get_int cannot represent;
+  // parse the raw text instead so every saved seed replays.
+  const std::string seed_text = config.get_string("sample.seed", "0");
+  const std::optional<std::uint64_t> seed = util::parse_uint(seed_text);
+  BSLD_REQUIRE(seed.has_value(),
+               "RunSpec: sample.seed is not a 64-bit unsigned integer");
+  spec.sample.seed = *seed;
   return spec;
 }
 
@@ -62,6 +84,12 @@ util::Config RunSpec::to_config() const {
     config.set("instruments", util::config_string_list(instruments));
   }
   if (!retain_jobs) config.set("retain_jobs", "false");
+  if (stream) config.set("stream", "true");
+  if (sample.cap != 0) config.set("sample.cap", std::to_string(sample.cap));
+  if (sample.mode != util::SamplePlan::Mode::kDecimate) {
+    config.set("sample.mode", "reservoir");
+  }
+  if (sample.seed != 0) config.set("sample.seed", std::to_string(sample.seed));
   return config;
 }
 
@@ -78,10 +106,106 @@ std::string RunSpec::label() const {
   return os.str();
 }
 
+namespace {
+
+// The platform models are heap-allocated and co-owned by every instrument
+// handed back on the result: EnergyProbe and UtilizationTrace hold
+// references into them (the models own their GearSet by value), so they
+// must live as long as the last instrument, not just one run_* frame.
+struct Platform {
+  power::PowerModel power;
+  power::BetaTimeModel time;
+  Platform(power::PowerModel p, power::BetaTimeModel t)
+      : power(std::move(p)), time(std::move(t)) {}
+};
+
+/// Everything a run needs besides its job source — shared verbatim by the
+/// materialized and streaming paths so the two cannot drift.
+struct RunAssembly {
+  std::shared_ptr<Platform> platform;
+  std::unique_ptr<core::SchedulingPolicy> policy;
+  std::unique_ptr<pm::PowerManager> manager;
+  sim::SimulationConfig config;
+  std::vector<std::shared_ptr<sim::Instrument>> instruments;
+};
+
+RunAssembly assemble_run(const RunSpec& spec, std::int32_t scaled_cpus) {
+  RunAssembly parts;
+  parts.platform = std::make_shared<Platform>(
+      power::PowerModel(spec.gears, spec.power),
+      power::BetaTimeModel(spec.gears, spec.beta));
+  parts.policy = core::PolicyRegistry::global().make(spec.policy);
+  // nullptr when the spec says pm = none: the simulation takes the exact
+  // pre-pm code paths, keeping the baseline bit-identical.
+  if (spec.pm.enabled()) {
+    parts.manager = pm::PowerManagerRegistry::global().make(
+        spec.pm, parts.platform->power);
+  }
+  parts.config.cpus = scaled_cpus;
+  parts.config.retain_jobs = spec.retain_jobs;
+  parts.config.power_manager = parts.manager.get();
+
+  // Extra views of the run's event stream, by registry name, in spec order.
+  const sim::InstrumentContext context{parts.platform->power,
+                                       parts.platform->time, spec.sample};
+  parts.instruments.reserve(spec.instruments.size());
+  const std::shared_ptr<Platform> platform = parts.platform;
+  for (const std::string& name : spec.instruments) {
+    auto built = sim::InstrumentRegistry::global().make(name, context);
+    // The deleter captures `platform`, extending the models' lifetime to
+    // the last surviving instrument.
+    parts.instruments.emplace_back(built.release(),
+                                   [platform](sim::Instrument* instrument) {
+                                     std::default_delete<sim::Instrument>()(
+                                         instrument);
+                                   });
+  }
+  return parts;
+}
+
+/// Streaming counterpart of run_workload()'s eager per-job transforms:
+/// clamps sizes for a shrunken machine and draws per-job betas, one job at
+/// a time. Bit-identical to the materialized loops because both consume
+/// the rng sequentially in trace order.
+class ShapedStream final : public wl::JobStream {
+ public:
+  ShapedStream(wl::JobStream& inner, std::int32_t clamp_size,
+               std::optional<std::pair<double, double>> beta_range,
+               std::uint64_t beta_seed)
+      : inner_(&inner),
+        clamp_(clamp_size),
+        beta_(beta_range),
+        rng_(beta_seed) {}
+
+  std::optional<wl::Job> next() override {
+    std::optional<wl::Job> job = inner_->next();
+    if (!job.has_value()) return job;
+    if (clamp_ > 0) job->size = std::min(job->size, clamp_);
+    if (beta_) job->beta = rng_.uniform(beta_->first, beta_->second);
+    return job;
+  }
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::int32_t cpus() const override { return inner_->cpus(); }
+  [[nodiscard]] std::int64_t size_hint() const override {
+    return inner_->size_hint();
+  }
+
+ private:
+  wl::JobStream* inner_;
+  std::int32_t clamp_;  ///< 0 = no clamping (machine not shrunken).
+  std::optional<std::pair<double, double>> beta_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
 RunResult run_one(const RunSpec& spec) {
-  // Fail fast: don't materialize the workload for a spec run_workload
-  // would reject anyway.
+  // Fail fast: don't open the workload for a spec the run would reject
+  // anyway.
   BSLD_REQUIRE(spec.size_scale > 0.0, "run_one(): size_scale must be positive");
+  if (spec.stream) return run_stream(spec);
   return run_workload(wl::load_source(spec.workload), spec);
 }
 
@@ -110,52 +234,38 @@ RunResult run_workload(wl::Workload workload, const RunSpec& spec) {
     }
   }
 
-  // The platform models are heap-allocated and co-owned by every
-  // instrument handed back on the result: EnergyProbe and UtilizationTrace
-  // hold references into them (the models own their GearSet by value), so
-  // they must live as long as the last instrument, not just this frame.
-  struct Platform {
-    power::PowerModel power;
-    power::BetaTimeModel time;
-    Platform(power::PowerModel p, power::BetaTimeModel t)
-        : power(std::move(p)), time(std::move(t)) {}
-  };
-  const auto platform = std::make_shared<Platform>(
-      power::PowerModel(spec.gears, spec.power),
-      power::BetaTimeModel(spec.gears, spec.beta));
-  const auto policy = core::PolicyRegistry::global().make(spec.policy);
-  // nullptr when the spec says pm = none: the simulation takes the exact
-  // pre-pm code paths, keeping the baseline bit-identical.
-  std::unique_ptr<pm::PowerManager> manager;
-  if (spec.pm.enabled()) {
-    manager = pm::PowerManagerRegistry::global().make(spec.pm,
-                                                      platform->power);
+  RunAssembly parts = assemble_run(spec, scaled_cpus);
+  sim::Simulation simulation(workload, *parts.policy, parts.platform->power,
+                             parts.platform->time, parts.config);
+  for (const auto& instrument : parts.instruments) {
+    simulation.add_observer(*instrument);
   }
 
-  sim::SimulationConfig config;
-  config.cpus = scaled_cpus;
-  config.retain_jobs = spec.retain_jobs;
-  config.power_manager = manager.get();
-  sim::Simulation simulation(workload, *policy, platform->power,
-                             platform->time, config);
+  RunResult result{spec, simulation.run(), std::move(parts.instruments)};
+  return result;
+}
 
-  // Extra views of the run's event stream, by registry name, in spec order.
-  const sim::InstrumentContext context{platform->power, platform->time};
-  std::vector<std::shared_ptr<sim::Instrument>> instruments;
-  instruments.reserve(spec.instruments.size());
-  for (const std::string& name : spec.instruments) {
-    auto built = sim::InstrumentRegistry::global().make(name, context);
-    // The deleter captures `platform`, extending the models' lifetime to
-    // the last surviving instrument.
-    instruments.emplace_back(built.release(),
-                             [platform](sim::Instrument* instrument) {
-                               std::default_delete<sim::Instrument>()(
-                                   instrument);
-                             });
-    simulation.add_observer(*instruments.back());
+RunResult run_stream(const RunSpec& spec) {
+  BSLD_REQUIRE(spec.size_scale > 0.0,
+               "run_stream(): size_scale must be positive");
+
+  const std::unique_ptr<wl::JobStream> source = wl::open_stream(spec.workload);
+  const auto scaled_cpus = static_cast<std::int32_t>(
+      std::llround(static_cast<double>(source->cpus()) * spec.size_scale));
+  BSLD_REQUIRE(scaled_cpus >= 1, "run_stream(): scaled machine has no CPUs");
+
+  const std::int32_t clamp = scaled_cpus < source->cpus() ? scaled_cpus : 0;
+  ShapedStream shaped(*source, clamp, spec.per_job_beta,
+                      wl::source_seed(spec.workload) ^ 0xbe7abe7aULL);
+
+  RunAssembly parts = assemble_run(spec, scaled_cpus);
+  sim::Simulation simulation(shaped, *parts.policy, parts.platform->power,
+                             parts.platform->time, parts.config);
+  for (const auto& instrument : parts.instruments) {
+    simulation.add_observer(*instrument);
   }
 
-  RunResult result{spec, simulation.run(), std::move(instruments)};
+  RunResult result{spec, simulation.run(), std::move(parts.instruments)};
   return result;
 }
 

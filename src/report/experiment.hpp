@@ -36,6 +36,7 @@
 #include "sim/instrument_registry.hpp"
 #include "sim/simulation.hpp"
 #include "util/config.hpp"
+#include "util/sampler.hpp"
 #include "workload/source.hpp"
 
 namespace bsld::report {
@@ -64,6 +65,18 @@ struct RunSpec {
   /// equivalent). Off = streaming aggregate-only runs with O(1) memory;
   /// serialized as `retain_jobs = false` only when disabled.
   bool retain_jobs = true;
+  /// Execute through the streaming pipeline: wl::open_stream feeds the
+  /// simulation directly under its submit-lookahead window, so the trace
+  /// is never materialized. Results are bit-identical to the eager path;
+  /// combined with retain_jobs = false the run performs no O(jobs)
+  /// allocation end to end. Serialized as `stream = true` only when set.
+  bool stream = false;
+  /// Time-series instrument sampling (wait-trace, utilization): the
+  /// default plan retains every point; a non-zero cap bounds retention at
+  /// O(cap) while staying exact below it. Serialized as `sample.cap`,
+  /// `sample.mode` (decimate | reservoir) and `sample.seed`, each only
+  /// when it differs from the default.
+  util::SamplePlan sample;
 
   /// Reads a spec from its serialized form. Accepts partial configs —
   /// missing keys keep their defaults. Throws bsld::Error on unknown
@@ -153,18 +166,24 @@ const T* instrument_as(const RunResult& result, std::string_view name) {
   return dynamic_cast<const T*>(result.instrument(name));
 }
 
-/// Executes one spec: materializes the workload from its source, builds
-/// the gear set / power / time models and the policy (via the registry),
-/// simulates, returns the result. Deterministic: equal specs yield
-/// identical results.
+/// Executes one spec: builds the gear set / power / time models and the
+/// policy (via the registry), simulates, returns the result. Dispatches on
+/// spec.stream — materialize-then-run (run_workload) or pull straight from
+/// the source (run_stream); both are deterministic and bit-identical for
+/// equal specs.
 RunResult run_one(const RunSpec& spec);
 
 /// Lower-level entry point for callers that already hold a workload (e.g.
 /// hand-written job lists): applies `spec`'s machine scaling, per-job beta
-/// sampling, platform models and policy to `workload`. This is the only
-/// place the library wires a sim::Simulation; run_one() is
-/// wl::load_source + run_workload.
+/// sampling, platform models and policy to `workload`. run_one() with
+/// stream off is wl::load_source + run_workload.
 RunResult run_workload(wl::Workload workload, const RunSpec& spec);
+
+/// Streaming entry point: opens spec.workload as a wl::JobStream and pulls
+/// it through the simulation's lookahead window — the trace is never held
+/// in memory. Machine scaling and per-job beta sampling are applied as
+/// stream decorators that reproduce run_workload()'s transforms exactly.
+RunResult run_stream(const RunSpec& spec);
 
 /// Energy of `run` normalized to `baseline` (paper's Figs. 3/7/8 y-axis).
 struct NormalizedEnergy {

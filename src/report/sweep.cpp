@@ -1,6 +1,5 @@
 #include "report/sweep.hpp"
 
-#include <atomic>
 #include <exception>
 #include <string_view>
 #include <utility>
@@ -65,12 +64,17 @@ struct SweepRunner::SubmitHandle::Batch {
   std::exception_ptr error BSLD_GUARDED_BY(mutex);
   /// Invoked only under `mutex` (delivery is serialized per batch).
   ResultCallback on_result BSLD_GUARDED_BY(mutex);
+  /// run()'s progress-callback channel: invoked once per distinct spec's
+  /// delivery group, after the slots and counters are in. Same locking
+  /// discipline as on_result.
+  ProgressCallback on_group BSLD_GUARDED_BY(mutex);
 
   /// Pre-fills one result slot per spec. Constructors run before the
   /// batch is shared, so the guarded members are safely written bare.
-  Batch(const std::vector<RunSpec>& specs, ResultCallback callback)
+  Batch(const std::vector<RunSpec>& specs, ResultCallback callback,
+        ProgressCallback group)
       : results(specs.size()), unresolved(specs.size()),
-        on_result(std::move(callback)) {
+        on_result(std::move(callback)), on_group(std::move(group)) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       results[i].spec = specs[i];
     }
@@ -109,13 +113,16 @@ struct SweepRunner::SubmitHandle::Batch {
         break;
     }
     unresolved -= slots.size();
-    if (on_result && served != Served::kShardSkipped) {
+    if ((on_result || on_group) && served != Served::kShardSkipped) {
       // A throwing callback must not escape a pool worker (std::terminate
       // would take the whole daemon down); it surfaces at wait() instead.
       try {
-        for (const std::size_t slot : slots) {
-          on_result(slot, results[slot]);
+        if (on_result) {
+          for (const std::size_t slot : slots) {
+            on_result(slot, results[slot]);
+          }
         }
+        if (on_group) on_group(progress, results[slots.front()].spec);
       } catch (...) {
         if (!error) error = std::current_exception();
       }
@@ -251,13 +258,19 @@ void SweepRunner::worker_loop() {
 
 SweepRunner::SubmitHandle SweepRunner::submit(
     const std::vector<RunSpec>& specs, ResultCallback on_result) {
+  return submit_impl(specs, std::move(on_result), {});
+}
+
+SweepRunner::SubmitHandle SweepRunner::submit_impl(
+    const std::vector<RunSpec>& specs, ResultCallback on_result,
+    ProgressCallback on_group) {
   BSLD_REQUIRE(options_.shard_count > 0,
                "SweepRunner: shard_count must be positive");
   BSLD_REQUIRE(options_.shard_index < options_.shard_count,
                "SweepRunner: shard_index must be < shard_count");
 
-  auto batch =
-      std::make_shared<SubmitHandle::Batch>(specs, std::move(on_result));
+  auto batch = std::make_shared<SubmitHandle::Batch>(
+      specs, std::move(on_result), std::move(on_group));
 
   SubmitHandle handle;
   handle.batch_ = batch;
@@ -332,129 +345,33 @@ void SweepRunner::shutdown() {
 // ---------------------------------------------------------------------------
 
 std::vector<RunResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
-  BSLD_REQUIRE(options_.shard_count > 0,
-               "SweepRunner: shard_count must be positive");
-  BSLD_REQUIRE(options_.shard_index < options_.shard_count,
-               "SweepRunner: shard_index must be < shard_count");
-  // All per-run state is local, so concurrent run() calls do not trample
-  // each other; the member counters take a snapshot at the end.
-  Progress progress;
-  progress.total = specs.size();
-
-  std::vector<RunResult> results(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) results[i].spec = specs[i];
-  if (specs.empty()) {
-    {
-      const util::ScopedLock lock(progress_mutex_);
-      progress_ = progress;
-    }
-    for (ResultSink* sink : sinks_) sink->on_done(0);
-    return results;
+  // One batch through the same persistent pool submit() feeds: registered
+  // sinks fan out per slot, the progress callback fires once per distinct
+  // completed spec. Both hooks run inside the batch's delivery lock, so
+  // their view is serialized exactly as before the collapse.
+  ResultCallback deliver;
+  if (!sinks_.empty()) {
+    deliver = [this](std::size_t index, const RunResult& result) {
+      for (ResultSink* sink : sinks_) sink->on_result(index, result);
+    };
   }
+  SubmitHandle handle = submit_impl(specs, std::move(deliver), callback_);
 
-  std::vector<std::size_t> unique;
-  std::vector<std::vector<std::size_t>> fanout;
-  dedup_specs(specs, options_.dedup, unique, fanout);
-
-  // Shard partition: this process only executes the distinct specs the
-  // stable key hash assigns to shard_index; the rest are someone else's.
-  std::vector<std::size_t> owned;
-  owned.reserve(unique.size());
-  for (std::size_t u = 0; u < unique.size(); ++u) {
-    if (options_.shard_count == 1 ||
-        shard_of(specs[unique[u]], options_.shard_count) ==
-            options_.shard_index) {
-      owned.push_back(u);
-    } else {
-      progress.shard_skipped += fanout[u].size();
-    }
+  std::vector<RunResult> results;
+  std::exception_ptr error;
+  try {
+    results = handle.wait();
+  } catch (...) {
+    error = std::current_exception();
   }
-  if (owned.empty()) {
-    {
-      const util::ScopedLock lock(progress_mutex_);
-      progress_ = progress;
-    }
-    for (ResultSink* sink : sinks_) sink->on_done(specs.size());
-    return results;
-  }
-
-  unsigned threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<std::size_t>(owned.size(), 1)));
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  util::Mutex mutex;  // results fan-out, progress, sinks, first_error.
-
   {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t o = next.fetch_add(1);
-          if (o >= owned.size()) return;
-          const std::size_t u = owned[o];
-          const RunSpec& spec = specs[unique[u]];
-          RunResult result;
-          bool from_cache = false;
-          try {
-            if (options_.cache) {
-              if (std::optional<RunResult> cached =
-                      options_.cache->lookup(spec)) {
-                result = std::move(*cached);
-                from_cache = true;
-              }
-            }
-            if (!from_cache) {
-              result = run_one(spec);
-              if (options_.cache) options_.cache->store(result);
-            }
-          } catch (...) {
-            const util::ScopedLock lock(mutex);
-            if (!first_error) first_error = std::current_exception();
-            return;
-          }
-          const util::ScopedLock lock(mutex);
-          // Copy into all fanout slots but move into the last: with a
-          // retained-jobs payload the deep copy is the expensive part of
-          // delivery, and `result` is dead after this loop.
-          const std::size_t last = fanout[u].back();
-          for (const std::size_t slot : fanout[u]) {
-            if (slot != last) results[slot] = result;
-          }
-          results[last] = std::move(result);
-          if (from_cache) {
-            progress.cache_hits += 1;
-          } else {
-            progress.executed += 1;
-          }
-          progress.completed += fanout[u].size();
-          progress.deduplicated += fanout[u].size() - 1;
-          try {
-            for (ResultSink* sink : sinks_) {
-              for (const std::size_t slot : fanout[u]) {
-                sink->on_result(slot, results[slot]);
-              }
-            }
-            if (callback_) callback_(progress, spec);
-          } catch (...) {
-            if (!first_error) first_error = std::current_exception();
-            return;
-          }
-        }
-      });
-    }
-  }  // join
-
-  {
+    // run()'s counters stay pollable on the runner itself — snapshot the
+    // batch's progress even when it drained into an error.
+    const Progress snapshot = handle.progress();
     const util::ScopedLock lock(progress_mutex_);
-    progress_ = progress;
+    progress_ = snapshot;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) std::rethrow_exception(error);
   for (ResultSink* sink : sinks_) sink->on_done(specs.size());
   return results;
 }

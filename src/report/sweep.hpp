@@ -22,7 +22,9 @@
 /// submit(): thread-safe incremental batch submission into one persistent
 /// worker pool shared by every concurrent submitter, with cache hits
 /// answered on the submitting thread and identical in-flight specs
-/// coalesced across batches. run() stays the one-shot batch API.
+/// coalesced across batches. run() is the one-shot wrapper over that same
+/// pool — one execution path, so dedup, caching, sharding and in-flight
+/// coalescing behave identically however a grid is dispatched.
 #pragma once
 
 #include <cstddef>
@@ -64,8 +66,8 @@ class ResultSink {
 class SweepRunner {
  public:
   struct Options {
-    /// Worker threads; 0 = hardware concurrency (clamped to the number of
-    /// distinct simulations).
+    /// Worker threads in the persistent pool (started lazily by the first
+    /// run()/submit()); 0 = hardware concurrency.
     unsigned threads = 0;
     /// Simulate spec-identical grid entries once (keyed on RunSpec::key())
     /// and copy the result to every duplicate slot. Runs are deterministic,
@@ -120,17 +122,20 @@ class SweepRunner {
   /// Registers the progress callback (replacing any previous one).
   void on_progress(ProgressCallback callback);
 
-  /// Runs all specs and returns results in input order. Exceptions from
-  /// any run are rethrown on the calling thread after the pool drains;
-  /// sinks only see results that completed before the failure and their
-  /// on_done() is not called on error. With shard_count > 1, slots owned
-  /// by other shards come back as empty results carrying only their spec.
-  /// Throws bsld::Error when shard_index >= shard_count. Reentrant: safe
-  /// to call concurrently from several threads (each call keeps its own
-  /// state; registered sinks would observe interleaved runs, so callers
-  /// sharing a runner across threads should prefer submit()).
+  /// Runs all specs through the persistent pool (started lazily, shared
+  /// with submit(), kept alive for the next batch) and returns results in
+  /// input order. The first exception — a failed simulation or a throwing
+  /// sink/progress callback — is rethrown on the calling thread after the
+  /// batch drains; sinks only see the results that were delivered and
+  /// their on_done() is not called on error. With shard_count > 1, slots
+  /// owned by other shards come back as empty results carrying only their
+  /// spec. Throws bsld::Error when shard_index >= shard_count (before
+  /// anything is enqueued) and after shutdown(). Reentrant: safe to call
+  /// concurrently from several threads (each call keeps its own batch;
+  /// registered sinks would observe interleaved runs, so callers sharing
+  /// a runner across threads should prefer submit()).
   std::vector<RunResult> run(const std::vector<RunSpec>& specs)
-      BSLD_EXCLUDES(progress_mutex_);
+      BSLD_EXCLUDES(progress_mutex_, pool_mutex_);
 
   /// Counters of the most recently finished run(). Batches submitted via
   /// submit() report through their own SubmitHandle::progress().
@@ -183,6 +188,16 @@ class SweepRunner {
   /// One distinct spec queued for execution; several (batch, slots)
   /// subscribers may be attached while it is in flight.
   struct PendingRun;
+
+  /// The one batch-dispatch path behind run() and submit(): dedups,
+  /// shards, answers cache hits synchronously, coalesces onto in-flight
+  /// specs and enqueues the rest. `on_group` (run()'s progress callback
+  /// channel) fires once per distinct completed spec, inside the batch's
+  /// delivery lock; empty for plain submit().
+  [[nodiscard]] SubmitHandle submit_impl(const std::vector<RunSpec>& specs,
+                                         ResultCallback on_result,
+                                         ProgressCallback on_group)
+      BSLD_EXCLUDES(pool_mutex_);
 
   void start_pool_locked() BSLD_REQUIRES(pool_mutex_);
   void worker_loop() BSLD_EXCLUDES(pool_mutex_);

@@ -31,4 +31,14 @@ void RunArena::recycle_cpu_slab(std::vector<CpuId>&& slab) {
   cpu_slab_ = std::move(slab);
 }
 
+JobWindow::Storage RunArena::acquire_job_window() {
+  JobWindow::Storage out = std::move(job_window_);
+  job_window_ = JobWindow::Storage{};
+  return out;
+}
+
+void RunArena::recycle_job_window(JobWindow::Storage&& storage) {
+  job_window_ = std::move(storage);
+}
+
 }  // namespace bsld::sim

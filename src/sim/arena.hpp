@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/job_window.hpp"
 #include "util/types.hpp"
 
 namespace bsld::sim {
@@ -38,6 +39,12 @@ class RunArena {
   /// Returns a run's CPU slab to the pool.
   void recycle_cpu_slab(std::vector<CpuId>&& slab);
 
+  /// Takes the pooled job-window ring storage (capacity retained; the
+  /// JobWindow constructor discards contents).
+  [[nodiscard]] JobWindow::Storage acquire_job_window();
+  /// Returns a run's job-window storage to the pool.
+  void recycle_job_window(JobWindow::Storage&& storage);
+
   /// True when the pooled engine storage carries warmed-up capacity —
   /// i.e. at least one engine completed a round trip through this arena.
   [[nodiscard]] bool engine_warm() const { return engine_.slab_nodes > 0; }
@@ -49,6 +56,7 @@ class RunArena {
  private:
   Engine::Storage engine_;
   std::vector<CpuId> cpu_slab_;
+  JobWindow::Storage job_window_;
   std::uint64_t engine_recycles_ = 0;
 };
 

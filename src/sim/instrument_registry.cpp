@@ -33,13 +33,14 @@ void register_builtins(InstrumentRegistry& registry) {
                });
   registry.add("wait-trace", "per-job waits plus wait-queue depth over "
                "time (paper Fig. 6)",
-               [](const InstrumentContext&) {
-                 return std::make_unique<WaitQueueTrace>();
+               [](const InstrumentContext& context) {
+                 return std::make_unique<WaitQueueTrace>(context.sample);
                });
   registry.add("utilization", "busy cores, utilization and active power "
                "over time",
                [](const InstrumentContext& context) {
-                 return std::make_unique<UtilizationTrace>(context.power_model);
+                 return std::make_unique<UtilizationTrace>(context.power_model,
+                                                           context.sample);
                });
   registry.add("pm-trace", "every power-management event: cap moves, "
                "throttles, gates, sleep intervals",

@@ -25,15 +25,19 @@
 #include "power/power_model.hpp"
 #include "power/time_model.hpp"
 #include "sim/instruments.hpp"
+#include "util/sampler.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace bsld::sim {
 
 /// Per-run context handed to instrument factories: the platform models of
-/// the run being instrumented (both outlive the instrument).
+/// the run being instrumented (both outlive the instrument), plus the
+/// run's time-series sampling policy (RunSpec `sample.*`; the default
+/// plan retains every point).
 struct InstrumentContext {
   const power::PowerModel& power_model;
   const power::BetaTimeModel& time_model;
+  util::SamplePlan sample{};
 };
 
 /// Name -> factory resolution for instruments.

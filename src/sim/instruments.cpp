@@ -14,11 +14,18 @@ namespace bsld::sim {
 // ---------------------------------------------------------------------------
 
 void JobRecorder::on_run_begin(const RunBeginEvent& event) {
-  jobs_.assign(event.workload.jobs.size(), JobOutcome{});
+  jobs_.clear();
+  if (event.job_count_hint >= 0) {
+    jobs_.assign(static_cast<std::size_t>(event.job_count_hint), JobOutcome{});
+  }
 }
 
 void JobRecorder::on_finish(const FinishEvent& event) {
-  jobs_[event.trace_index] = event.outcome;
+  // Jobs finish out of trace order; grow to cover the index when the run
+  // began without an exact job-count hint.
+  const auto index = static_cast<std::size_t>(event.trace_index);
+  if (index >= jobs_.size()) jobs_.resize(index + 1);
+  jobs_[index] = event.outcome;
 }
 
 void JobRecorder::write_csv(std::ostream& out) const {
@@ -188,33 +195,104 @@ void EnergyProbe::write_csv(std::ostream& out) const {
 // WaitQueueTrace
 // ---------------------------------------------------------------------------
 
+WaitQueueTrace::WaitQueueTrace(util::SamplePlan plan)
+    : plan_(plan), wait_sampler_(plan), depth_sampler_(plan) {}
+
 void WaitQueueTrace::on_run_begin(const RunBeginEvent& event) {
-  waits_.assign(event.workload.jobs.size(), JobWait{});
+  waits_.clear();
+  wait_rows_.clear();
+  if (plan_.cap == 0 && event.job_count_hint >= 0) {
+    waits_.assign(static_cast<std::size_t>(event.job_count_hint), JobWait{});
+  }
   depth_.clear();
   queued_ = 0;
+  pending_.clear();
+  wait_sampler_.reset();
+  depth_sampler_.reset();
+  has_open_ = false;
 }
 
 void WaitQueueTrace::on_submit(const SubmitEvent& event) {
   ++queued_;
   sample(event.time);
-  waits_[event.trace_index].submit = event.job.submit;
-  waits_[event.trace_index].depth_after_submit = queued_;
+  if (plan_.cap == 0) {
+    const auto index = static_cast<std::size_t>(event.trace_index);
+    if (index >= waits_.size()) waits_.resize(index + 1);
+    waits_[index].submit = event.job.submit;
+    waits_[index].depth_after_submit = queued_;
+  } else {
+    JobWait& wait = pending_[event.trace_index];
+    wait.submit = event.job.submit;
+    wait.depth_after_submit = queued_;
+  }
 }
 
 void WaitQueueTrace::on_start(const StartEvent& event) {
   --queued_;
   sample(event.time);
-  JobWait& wait = waits_[event.trace_index];
-  wait.start = event.time;
-  wait.wait = event.time - event.job.submit;
+  if (plan_.cap == 0) {
+    const auto index = static_cast<std::size_t>(event.trace_index);
+    if (index >= waits_.size()) waits_.resize(index + 1);
+    JobWait& wait = waits_[index];
+    wait.start = event.time;
+    wait.wait = event.time - event.job.submit;
+  } else {
+    const auto it = pending_.find(event.trace_index);
+    JobWait wait = it == pending_.end() ? JobWait{} : it->second;
+    if (it != pending_.end()) pending_.erase(it);
+    wait.start = event.time;
+    wait.wait = event.time - event.job.submit;
+    wait_sampler_.push({event.trace_index, wait});
+  }
+}
+
+void WaitQueueTrace::on_run_end(const RunEndEvent& event) {
+  (void)event;
+  if (plan_.cap == 0) return;
+  if (has_open_) {
+    depth_sampler_.push(open_);
+    has_open_ = false;
+  }
+  // Retained waits are sampled in start order; present them in trace order
+  // like the dense path, with the true trace index labelling each row.
+  auto retained = wait_sampler_.sorted();
+  std::sort(retained.begin(), retained.end(),
+            [](const auto& a, const auto& b) {
+              return a.value.first < b.value.first;
+            });
+  waits_.clear();
+  wait_rows_.clear();
+  waits_.reserve(retained.size());
+  wait_rows_.reserve(retained.size());
+  for (const auto& item : retained) {
+    wait_rows_.push_back(item.value.first);
+    waits_.push_back(item.value.second);
+  }
+  depth_.clear();
+  depth_.reserve(depth_sampler_.retained());
+  for (const auto& item : depth_sampler_.sorted()) {
+    depth_.push_back(item.value);
+  }
 }
 
 void WaitQueueTrace::sample(Time time) {
-  if (!depth_.empty() && depth_.back().time == time) {
-    depth_.back().depth = queued_;
-  } else {
-    depth_.push_back(DepthSample{time, queued_});
+  if (plan_.cap == 0) {
+    if (!depth_.empty() && depth_.back().time == time) {
+      depth_.back().depth = queued_;
+    } else {
+      depth_.push_back(DepthSample{time, queued_});
+    }
+    return;
   }
+  // Coalesce same-time changes in the open sample; only closed instants
+  // enter the sampler, so retention below the cap matches the dense path.
+  if (has_open_ && open_.time == time) {
+    open_.depth = queued_;
+    return;
+  }
+  if (has_open_) depth_sampler_.push(open_);
+  open_ = DepthSample{time, queued_};
+  has_open_ = true;
 }
 
 void WaitQueueTrace::write_csv(std::ostream& out) const {
@@ -222,7 +300,8 @@ void WaitQueueTrace::write_csv(std::ostream& out) const {
   csv.write_row({"job_index", "submit_s", "start_s", "wait_s",
                  "queue_depth_after_submit"});
   for (std::size_t i = 0; i < waits_.size(); ++i) {
-    csv.write_row({std::to_string(i), std::to_string(waits_[i].submit),
+    const std::uint64_t label = i < wait_rows_.size() ? wait_rows_[i] : i;
+    csv.write_row({std::to_string(label), std::to_string(waits_[i].submit),
                    std::to_string(waits_[i].start),
                    std::to_string(waits_[i].wait),
                    std::to_string(waits_[i].depth_after_submit)});
@@ -233,14 +312,17 @@ void WaitQueueTrace::write_csv(std::ostream& out) const {
 // UtilizationTrace
 // ---------------------------------------------------------------------------
 
-UtilizationTrace::UtilizationTrace(const power::PowerModel& model)
-    : model_(model) {}
+UtilizationTrace::UtilizationTrace(const power::PowerModel& model,
+                                   util::SamplePlan plan)
+    : model_(model), plan_(plan), sampler_(plan) {}
 
 void UtilizationTrace::on_run_begin(const RunBeginEvent& event) {
   samples_.clear();
   busy_ = 0;
   power_ = 0.0;
   cpus_ = event.cpus;
+  sampler_.reset();
+  has_open_ = false;
 }
 
 void UtilizationTrace::on_start(const StartEvent& event) {
@@ -267,11 +349,33 @@ void UtilizationTrace::sample(Time time) {
   const Sample next{time, busy_,
                     cpus_ > 0 ? static_cast<double>(busy_) / cpus_ : 0.0,
                     power_};
-  if (!samples_.empty() && samples_.back().time == time) {
-    samples_.back() = next;
-  } else {
-    samples_.push_back(next);
+  if (plan_.cap == 0) {
+    if (!samples_.empty() && samples_.back().time == time) {
+      samples_.back() = next;
+    } else {
+      samples_.push_back(next);
+    }
+    return;
   }
+  if (has_open_ && open_.time == time) {
+    open_ = next;
+    return;
+  }
+  if (has_open_) sampler_.push(open_);
+  open_ = next;
+  has_open_ = true;
+}
+
+void UtilizationTrace::on_run_end(const RunEndEvent& event) {
+  (void)event;
+  if (plan_.cap == 0) return;
+  if (has_open_) {
+    sampler_.push(open_);
+    has_open_ = false;
+  }
+  samples_.clear();
+  samples_.reserve(sampler_.retained());
+  for (const auto& item : sampler_.sorted()) samples_.push_back(item.value);
 }
 
 void UtilizationTrace::write_csv(std::ostream& out) const {

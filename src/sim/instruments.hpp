@@ -17,18 +17,27 @@
 /// sim::InstrumentRegistry can construct them by string key and sinks can
 /// stream their output without knowing concrete types; typed accessors
 /// remain available via instrument_as<T>().
+///
+/// The time-series instruments (WaitQueueTrace, UtilizationTrace) accept a
+/// util::SamplePlan so streaming million-job runs retain O(cap) points
+/// instead of O(jobs). The default plan (cap == 0) takes the exact legacy
+/// code path — output is byte-identical to the pre-sampling instruments —
+/// and a non-zero cap is exact whenever the series fits under it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "power/energy_meter.hpp"
 #include "power/power_model.hpp"
 #include "sim/observer.hpp"
+#include "util/sampler.hpp"
 
 namespace bsld::sim {
 
@@ -122,8 +131,8 @@ class AggregateAccumulator final : public Instrument {
   GearIndex top_gear_ = 0;
   Time makespan_ = 0;
   /// Trace-order reorder buffer for the BSLD sum.
-  std::size_t next_index_ = 0;
-  std::map<std::size_t, double> pending_bsld_;
+  std::uint64_t next_index_ = 0;
+  std::map<std::uint64_t, double> pending_bsld_;
   std::map<pm::PmEventKind, std::int64_t> pm_events_;
   double gated_seconds_ = 0.0;
   double sleep_core_seconds_ = 0.0;
@@ -165,6 +174,13 @@ class EnergyProbe final : public Instrument {
 /// Fig. 6's instrument: the per-job wait series in trace order, plus the
 /// wait-queue depth over time (one sample per submit/start timestamp;
 /// same-time changes coalesce into the final depth at that instant).
+///
+/// With a non-default SamplePlan both series are capped: waits are sampled
+/// over start order and re-sorted to trace order at on_run_end (row labels
+/// keep the true trace index), depth samples are committed through an
+/// "open sample" that coalesces same-time changes exactly like the dense
+/// path before entering the sampler. Below the cap both series are
+/// bit-identical to the unsampled instrument.
 class WaitQueueTrace final : public Instrument {
  public:
   struct JobWait {
@@ -178,20 +194,31 @@ class WaitQueueTrace final : public Instrument {
     std::int64_t depth = 0;
   };
 
+  explicit WaitQueueTrace(util::SamplePlan plan = {});
+
   [[nodiscard]] std::string name() const override { return "wait-trace"; }
-  /// One row per job in trace order: job_index, submit_s, start_s, wait_s,
-  /// queue_depth_after_submit. The finer-grained depth() series (sampled
-  /// at starts too) stays a typed accessor.
+  /// One row per retained job in trace order: job_index, submit_s, start_s,
+  /// wait_s, queue_depth_after_submit. The finer-grained depth() series
+  /// (sampled at starts too) stays a typed accessor.
   void write_csv(std::ostream& out) const override;
   [[nodiscard]] std::size_t rows() const override { return waits_.size(); }
 
   void on_run_begin(const RunBeginEvent& event) override;
   void on_submit(const SubmitEvent& event) override;
   void on_start(const StartEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
 
-  /// Per-job waits, indexed by trace position (complete after the run).
+  /// Retained per-job waits in trace order (complete after the run). With
+  /// the default plan this is dense — indexed by trace position; under a
+  /// cap, job_indices() labels each row.
   [[nodiscard]] const std::vector<JobWait>& waits() const { return waits_; }
-  /// Queue depth over time, one sample per distinct event timestamp.
+  /// Trace index of each waits() row under a sampling cap; empty in exact
+  /// mode, where the row position is the trace index.
+  [[nodiscard]] const std::vector<std::uint64_t>& job_indices() const {
+    return wait_rows_;
+  }
+  /// Queue depth over time, one sample per distinct event timestamp
+  /// (complete after the run).
   [[nodiscard]] const std::vector<DepthSample>& depth() const {
     return depth_;
   }
@@ -199,13 +226,24 @@ class WaitQueueTrace final : public Instrument {
  private:
   void sample(Time time);
 
+  util::SamplePlan plan_;
   std::vector<JobWait> waits_;
+  std::vector<std::uint64_t> wait_rows_;
   std::vector<DepthSample> depth_;
   std::int64_t queued_ = 0;
+  // Sampled-path state (untouched when plan_.cap == 0).
+  std::map<std::uint64_t, JobWait> pending_;  ///< Submitted, not started.
+  util::SeriesSampler<std::pair<std::uint64_t, JobWait>> wait_sampler_;
+  util::SeriesSampler<DepthSample> depth_sampler_;
+  DepthSample open_{};
+  bool has_open_ = false;
 };
 
 /// Utilization / active power over time: piecewise-constant between
-/// events, one sample per distinct start/boost/finish timestamp.
+/// events, one sample per distinct start/boost/finish timestamp. Under a
+/// SamplePlan cap the series is thinned through the same open-sample
+/// commit scheme as WaitQueueTrace::depth() — same-time coalescing happens
+/// before the sampler sees a point, so retention below the cap is exact.
 class UtilizationTrace final : public Instrument {
  public:
   struct Sample {
@@ -216,7 +254,8 @@ class UtilizationTrace final : public Instrument {
   };
 
   /// `model` must outlive the trace.
-  explicit UtilizationTrace(const power::PowerModel& model);
+  explicit UtilizationTrace(const power::PowerModel& model,
+                            util::SamplePlan plan = {});
 
   [[nodiscard]] std::string name() const override { return "utilization"; }
   /// One row per sample: time_s, busy_cores, utilization, power_watts.
@@ -227,17 +266,24 @@ class UtilizationTrace final : public Instrument {
   void on_start(const StartEvent& event) override;
   void on_gear_change(const GearChangeEvent& event) override;
   void on_finish(const FinishEvent& event) override;
+  void on_run_end(const RunEndEvent& event) override;
 
+  /// Retained samples in time order (complete after the run).
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
 
  private:
   void sample(Time time);
 
   const power::PowerModel& model_;
+  util::SamplePlan plan_;
   std::vector<Sample> samples_;
   std::int64_t busy_ = 0;
   double power_ = 0.0;
   std::int32_t cpus_ = 0;
+  // Sampled-path state (untouched when plan_.cap == 0).
+  util::SeriesSampler<Sample> sampler_;
+  Sample open_{};
+  bool has_open_ = false;
 };
 
 /// Records every power-management event of the run verbatim — cap moves,

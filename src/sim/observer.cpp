@@ -2,7 +2,7 @@
 
 namespace bsld::sim {
 
-void SimObserver::on_events(const wl::Workload& workload,
+void SimObserver::on_events(const JobResolver& jobs,
                             const BatchedEvent* events, std::size_t count) {
   // Replay in emission order through the per-event virtuals, rebuilding
   // the reference-carrying view payloads from the value records.
@@ -11,13 +11,13 @@ void SimObserver::on_events(const wl::Workload& workload,
     switch (record.index()) {
       case 0: {
         const auto& r = std::get<SubmitRecord>(record);
-        on_submit(SubmitEvent{workload.jobs[r.trace_index], r.trace_index,
+        on_submit(SubmitEvent{jobs.job_at(r.trace_index), r.trace_index,
                               r.time});
         break;
       }
       case 1: {
         const auto& r = std::get<StartRecord>(record);
-        on_start(StartEvent{workload.jobs[r.trace_index], r.trace_index,
+        on_start(StartEvent{jobs.job_at(r.trace_index), r.trace_index,
                             r.time, r.gear, r.scaled_runtime,
                             r.scaled_requested});
         break;

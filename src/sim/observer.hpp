@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <variant>
 
 #include "pm/event.hpp"
@@ -40,6 +41,37 @@
 #include "workload/job.hpp"
 
 namespace bsld::sim {
+
+/// Resolves a global trace index to the job's trace record during batched
+/// delivery. The streaming simulation implements this over its live job
+/// window, so observers can read job fields without the whole workload ever
+/// being materialized. Resolution is only valid for indices carried by the
+/// span currently being delivered — the referenced jobs are guaranteed live
+/// for exactly that long (eviction happens after delivery returns).
+class JobResolver {
+ public:
+  virtual ~JobResolver() = default;
+
+  /// The trace record at 0-based stream position `trace_index`.
+  [[nodiscard]] virtual const wl::Job& job_at(
+      std::uint64_t trace_index) const = 0;
+};
+
+/// JobResolver over a materialized workload — for tests and standalone
+/// replay of recorded spans.
+class WorkloadJobResolver final : public JobResolver {
+ public:
+  explicit WorkloadJobResolver(const wl::Workload& workload)
+      : workload_(&workload) {}
+
+  [[nodiscard]] const wl::Job& job_at(
+      std::uint64_t trace_index) const override {
+    return workload_->jobs[static_cast<std::size_t>(trace_index)];
+  }
+
+ private:
+  const wl::Workload* workload_;
+};
 
 /// Everything recorded about one job's execution. Built by the simulator
 /// when the job finishes and delivered through SimObserver::on_finish; the
@@ -61,29 +93,33 @@ struct JobOutcome {
   [[nodiscard]] Time wait() const { return start - submit; }
 };
 
-/// Payload of SimObserver::on_run_begin.
+/// Payload of SimObserver::on_run_begin. Carries no workload reference —
+/// a streaming run has no materialized trace to hand out. Instruments that
+/// pre-size per-job storage use job_count_hint and grow on demand when the
+/// hint is unknown.
 struct RunBeginEvent {
-  const wl::Workload& workload;  ///< Trace about to be simulated.
-  std::int32_t cpus = 0;         ///< Effective machine size.
-  std::size_t gear_count = 0;    ///< Size of the DVFS gear set.
-  Time bsld_floor = 0;           ///< Th of the BSLD metric in force.
+  std::string_view workload_name;     ///< Display name of the trace.
+  std::int64_t job_count_hint = -1;   ///< Exact job count, or -1 unknown.
+  std::int32_t cpus = 0;              ///< Effective machine size.
+  std::size_t gear_count = 0;         ///< Size of the DVFS gear set.
+  Time bsld_floor = 0;                ///< Th of the BSLD metric in force.
 };
 
 /// Payload of SimObserver::on_submit, fired before the policy reacts.
 struct SubmitEvent {
-  const wl::Job& job;            ///< Trace record of the submitted job.
-  std::size_t trace_index = 0;   ///< Position in workload.jobs.
-  Time time = 0;                 ///< == job.submit.
+  const wl::Job& job;              ///< Trace record of the submitted job.
+  std::uint64_t trace_index = 0;   ///< Position in stream order.
+  Time time = 0;                   ///< == job.submit.
 };
 
 /// Payload of SimObserver::on_start.
 struct StartEvent {
-  const wl::Job& job;            ///< Trace record of the started job.
-  std::size_t trace_index = 0;   ///< Position in workload.jobs.
-  Time time = 0;                 ///< Start time (now).
-  GearIndex gear = 0;            ///< Gear engaged at start.
-  Time scaled_runtime = 0;       ///< Expected runtime at `gear`.
-  Time scaled_requested = 0;     ///< Requested time dilated by `gear`.
+  const wl::Job& job;              ///< Trace record of the started job.
+  std::uint64_t trace_index = 0;   ///< Position in stream order.
+  Time time = 0;                   ///< Start time (now).
+  GearIndex gear = 0;              ///< Gear engaged at start.
+  Time scaled_runtime = 0;         ///< Expected runtime at `gear`.
+  Time scaled_requested = 0;       ///< Requested time dilated by `gear`.
 };
 
 /// Payload of SimObserver::on_gear_change (mid-flight boost). The closed
@@ -91,12 +127,12 @@ struct StartEvent {
 /// continues at `to`.
 struct GearChangeEvent {
   JobId id = kNoJob;
-  std::size_t trace_index = 0;   ///< Position in workload.jobs.
-  std::int32_t size = 0;         ///< CPUs held by the job.
-  Time time = 0;                 ///< When the new gear was engaged.
+  std::uint64_t trace_index = 0;   ///< Position in stream order.
+  std::int32_t size = 0;           ///< CPUs held by the job.
+  Time time = 0;                   ///< When the new gear was engaged.
   GearIndex from = 0;
   GearIndex to = 0;
-  Time segment_seconds = 0;      ///< Wall seconds spent at `from`.
+  Time segment_seconds = 0;        ///< Wall seconds spent at `from`.
 };
 
 /// Payload of SimObserver::on_finish. `outcome` is complete (including the
@@ -104,7 +140,7 @@ struct GearChangeEvent {
 /// final_segment_seconds, outcome.end) ran at outcome.final_gear.
 struct FinishEvent {
   const JobOutcome& outcome;
-  std::size_t trace_index = 0;   ///< Position in workload.jobs.
+  std::uint64_t trace_index = 0;   ///< Position in stream order.
   Time final_segment_seconds = 0;
 };
 
@@ -114,7 +150,7 @@ struct RunEndEvent {
   Time makespan = 0;             ///< Last completion time.
   Time horizon = 0;              ///< max(makespan - first_submit, 1).
   std::int32_t cpus = 0;         ///< Effective machine size.
-  std::size_t jobs = 0;          ///< Jobs simulated.
+  std::int64_t jobs = 0;         ///< Jobs simulated.
   std::uint64_t events_processed = 0;
 };
 
@@ -122,15 +158,15 @@ struct RunEndEvent {
 /// payloads above are views valid only for the duration of one hook call;
 /// these records store indices and values instead, so the simulation can
 /// buffer a span of them and deliver it later (SimObserver::on_events).
-/// The owning workload resolves trace_index back to the wl::Job.
+/// The delivering JobResolver resolves trace_index back to the wl::Job.
 struct SubmitRecord {
-  std::uint32_t trace_index = 0;
+  std::uint64_t trace_index = 0;
   Time time = 0;
 };
 
 /// Value form of StartEvent (see SubmitRecord).
 struct StartRecord {
-  std::uint32_t trace_index = 0;
+  std::uint64_t trace_index = 0;
   Time time = 0;
   GearIndex gear = 0;
   Time scaled_runtime = 0;
@@ -141,7 +177,7 @@ struct StartRecord {
 /// record outlives the simulator's transient per-job state.
 struct FinishRecord {
   JobOutcome outcome;
-  std::uint32_t trace_index = 0;
+  std::uint64_t trace_index = 0;
   Time final_segment_seconds = 0;
 };
 
@@ -182,11 +218,13 @@ class SimObserver {
   virtual void on_pm(const pm::PmEvent& event) { (void)event; }
   virtual void on_run_end(const RunEndEvent& event) { (void)event; }
 
-  /// Batched delivery of `count` records in emission order. `workload`
-  /// resolves the records' trace indices. The default implementation
-  /// replays each record through the matching per-event virtual.
-  virtual void on_events(const wl::Workload& workload,
-                         const BatchedEvent* events, std::size_t count);
+  /// Batched delivery of `count` records in emission order. `jobs`
+  /// resolves the records' trace indices; resolution is valid only during
+  /// this call (a streaming simulation evicts delivered jobs afterwards).
+  /// The default implementation replays each record through the matching
+  /// per-event virtual.
+  virtual void on_events(const JobResolver& jobs, const BatchedEvent* events,
+                         std::size_t count);
 };
 
 }  // namespace bsld::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <unordered_set>
+#include <utility>
 
 #include "sim/arena.hpp"
 #include "sim/instruments.hpp"
@@ -9,45 +12,78 @@
 
 namespace bsld::sim {
 
-// Engine events carry the trace slot, not the JobId: the event loop and
-// completion checks index straight into run_state_ without hashing. The
-// JobId resurfaces from workload_.jobs[slot].id where policies and
+// Engine events carry the global trace index, not the JobId: the event
+// loop and completion checks index straight into the job window without
+// hashing. The JobId resurfaces from the window slot where policies and
 // managers need it. kPmTimer events carry kNoJob.
+//
+// Pop-order equivalence of the lookahead pump (why a bounded window is
+// byte-identical to scheduling every submit up front): submits are
+// scheduled in stream order, and the engine breaks (time, kind) ties by
+// schedule sequence — so same-time submits pop in stream order no matter
+// when each was scheduled. Cross-kind ties are decided by kind alone
+// (kJobEnd pops before a same-time kJobSubmit in both schemes). And since
+// the stream is sorted, a job admitted while the clock sits at a popped
+// submit's time T has submit >= T — never scheduled in the past.
 
 Simulation::Simulation(const wl::Workload& workload,
                        core::SchedulingPolicy& policy,
                        const power::PowerModel& power_model,
                        const power::BetaTimeModel& time_model,
                        SimulationConfig config)
-    : workload_(workload),
-      policy_(policy),
+    : policy_(policy),
       power_model_(power_model),
       time_model_(time_model),
       config_(config),
       pm_(config.power_manager),
+      view_(std::in_place, workload),
+      stream_(&*view_),
+      // Unlimited lookahead: the whole trace is admitted before the first
+      // event pops, exactly like the classic eager simulator — which also
+      // makes unsorted hand-built traces legal through this constructor.
+      lookahead_(std::numeric_limits<std::int64_t>::max()),
       machine_(config.cpus > 0 ? config.cpus : workload.cpus),
       engine_(RunArena::local().acquire_engine()),
+      window_(RunArena::local().acquire_job_window()),
       cpu_slab_(RunArena::local().acquire_cpu_slab()) {
-  BSLD_REQUIRE(!workload_.jobs.empty(), "Simulation: empty workload");
+  BSLD_REQUIRE(!workload.jobs.empty(), "Simulation: empty workload");
   BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
                "Simulation: power and time models must share one gear set");
-  index_.reserve(workload_.jobs.size());
-  std::size_t total_cpus = 0;
-  for (const wl::Job& job : workload_.jobs) {
+  // Eager whole-trace validation, so construction throws exactly where the
+  // pre-streaming simulator did. The pump re-checks per job; that repeat
+  // is cheap and keeps the streaming path self-sufficient.
+  std::unordered_set<JobId> seen;
+  seen.reserve(workload.jobs.size());
+  for (const wl::Job& job : workload.jobs) {
     BSLD_REQUIRE(job.size >= 1 && job.size <= machine_.cpu_count(),
                  "Simulation: job size outside [1, cpus] — clean or clamp "
                  "the workload first");
     BSLD_REQUIRE(job.run_time >= 0 && job.requested_time >= 1,
                  "Simulation: invalid job durations");
-    BSLD_REQUIRE(!index_.contains(job.id), "Simulation: duplicate job id");
-    index_.emplace(job.id, static_cast<std::uint32_t>(index_.size()));
-    total_cpus += static_cast<std::size_t>(job.size);
+    BSLD_REQUIRE(seen.insert(job.id).second,
+                 "Simulation: duplicate job id");
   }
-  started_.assign(workload_.jobs.size(), 0);
-  run_state_.assign(workload_.jobs.size(), RunningRec{});
-  // Allocations are bump-appended and never freed mid-run, so the slab's
-  // final size is exactly the sum of job sizes — reserve it once.
-  cpu_slab_.reserve(total_cpus);
+  index_.reserve(workload.jobs.size());
+  batch_.reserve(kBatchCapacity);
+}
+
+Simulation::Simulation(wl::JobStream& stream, core::SchedulingPolicy& policy,
+                       const power::PowerModel& power_model,
+                       const power::BetaTimeModel& time_model,
+                       SimulationConfig config)
+    : policy_(policy),
+      power_model_(power_model),
+      time_model_(time_model),
+      config_(config),
+      pm_(config.power_manager),
+      stream_(&stream),
+      lookahead_(std::max<std::int64_t>(1, config.submit_lookahead)),
+      machine_(config.cpus > 0 ? config.cpus : stream.cpus()),
+      engine_(RunArena::local().acquire_engine()),
+      window_(RunArena::local().acquire_job_window()),
+      cpu_slab_(RunArena::local().acquire_cpu_slab()) {
+  BSLD_REQUIRE(power_model_.gears() == time_model_.gears(),
+               "Simulation: power and time models must share one gear set");
   batch_.reserve(kBatchCapacity);
 }
 
@@ -57,6 +93,7 @@ Simulation::~Simulation() {
   engine_.release_storage(storage);
   arena.recycle_engine(std::move(storage));
   arena.recycle_cpu_slab(std::move(cpu_slab_));
+  arena.recycle_job_window(window_.release());
 }
 
 void Simulation::add_observer(SimObserver& observer) {
@@ -65,45 +102,89 @@ void Simulation::add_observer(SimObserver& observer) {
 }
 
 const wl::Job& Simulation::job(JobId id) const {
-  return workload_.jobs[trace_index(id)];
+  return window_.at(trace_index(id)).job;
 }
 
-std::uint32_t Simulation::trace_index(JobId id) const {
+const wl::Job& Simulation::job_at(std::uint64_t trace_index) const {
+  return window_.at(trace_index).job;
+}
+
+std::uint64_t Simulation::trace_index(JobId id) const {
   const auto it = index_.find(id);
   BSLD_REQUIRE(it != index_.end(), "Simulation: unknown job id");
   return it->second;
 }
 
-Simulation::RunningRec& Simulation::running(JobId id) {
-  RunningRec& rec = run_state_[trace_index(id)];
+RunningRec& Simulation::running(JobId id) {
+  RunningRec& rec = window_.at(trace_index(id)).state;
   BSLD_REQUIRE(rec.running, "Simulation: job is not running");
   return rec;
 }
 
-const Simulation::RunningRec& Simulation::running(JobId id) const {
-  const RunningRec& rec = run_state_[trace_index(id)];
+const RunningRec& Simulation::running(JobId id) const {
+  const RunningRec& rec = window_.at(trace_index(id)).state;
   BSLD_REQUIRE(rec.running, "Simulation: job is not running");
   return rec;
 }
 
 void Simulation::flush_events() {
-  if (batch_.empty()) return;
-  for (SimObserver* observer : chain_) {
-    observer->on_events(workload_, batch_.data(), batch_.size());
+  if (!batch_.empty()) {
+    for (SimObserver* observer : chain_) {
+      observer->on_events(*this, batch_.data(), batch_.size());
+    }
+    batch_.clear();
   }
-  batch_.clear();
+  // Retire finished front jobs whose records have now all been delivered:
+  // a finish record is pushed before `running` drops (finish_job), so any
+  // flush that can observe running == false has already delivered it.
+  // Unstarted (queued) and gated jobs block eviction behind them — that
+  // residency is part of peak_live().
+  while (window_.live() > 0) {
+    const JobWindow::Slot& front = window_.front();
+    if (!front.started || front.state.running) break;
+    index_.erase(front.job.id);
+    window_.pop_front();
+  }
+}
+
+void Simulation::pump_submits() {
+  while (!stream_done_ && submits_outstanding_ < lookahead_) {
+    std::optional<wl::Job> job = stream_->next();
+    if (!job.has_value()) {
+      stream_done_ = true;
+      break;
+    }
+    BSLD_REQUIRE(job->size >= 1 && job->size <= machine_.cpu_count(),
+                 "Simulation: job size outside [1, cpus] — clean or clamp "
+                 "the workload first");
+    BSLD_REQUIRE(job->run_time >= 0 && job->requested_time >= 1,
+                 "Simulation: invalid job durations");
+    const std::uint64_t global = window_.admitted();
+    BSLD_REQUIRE(index_.emplace(job->id, global).second,
+                 "Simulation: duplicate job id");
+    if (!have_first_submit_) {
+      first_submit_ = job->submit;
+      have_first_submit_ = true;
+    }
+    const Time submit = job->submit;
+    window_.admit(global, std::move(*job));
+    engine_.schedule(Event{submit, EventKind::kJobSubmit, 0,
+                           static_cast<JobId>(global)});
+    ++submits_outstanding_;
+  }
 }
 
 void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
                            GearIndex gear) {
-  const std::uint32_t index = trace_index(id);
-  const wl::Job& trace = workload_.jobs[index];
-  BSLD_REQUIRE(!started_[index], "Simulation: job started twice");
+  const std::uint64_t global = trace_index(id);
+  JobWindow::Slot& slot = window_.at(global);
+  const wl::Job& trace = slot.job;
+  BSLD_REQUIRE(!slot.started, "Simulation: job started twice");
   BSLD_REQUIRE(static_cast<std::int32_t>(cpus.size()) == trace.size,
                "Simulation: allocation size mismatch");
   BSLD_REQUIRE(engine_.now() >= trace.submit,
                "Simulation: job started before submission");
-  started_[index] = 1;
+  slot.started = true;
 
   // The power manager rules on every start: it may lower the gear under a
   // cap, gate the admission entirely, or charge a wake delay for sleeping
@@ -124,10 +205,21 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
   const Time scaled_runtime = time_model_.scale_duration_with_beta(
       trace.run_time, start_gear, trace.beta);
 
-  RunningRec& state = run_state_[index];
-  state.cpu_offset = static_cast<std::uint32_t>(cpu_slab_.size());
-  state.cpu_len = static_cast<std::uint32_t>(cpus.size());
-  cpu_slab_.insert(cpu_slab_.end(), cpus.begin(), cpus.end());
+  RunningRec& state = slot.state;
+  // Reuse an exact-size free run of the CPU slab when one exists (a job of
+  // this size finished earlier); otherwise bump-append. Offsets are never
+  // observable, so reuse cannot perturb results.
+  const auto len = static_cast<std::uint32_t>(cpus.size());
+  const auto free_it = free_cpu_runs_.find(len);
+  if (free_it != free_cpu_runs_.end() && !free_it->second.empty()) {
+    state.cpu_offset = free_it->second.back();
+    free_it->second.pop_back();
+    std::copy(cpus.begin(), cpus.end(), cpu_slab_.begin() + state.cpu_offset);
+  } else {
+    state.cpu_offset = static_cast<std::uint32_t>(cpu_slab_.size());
+    cpu_slab_.insert(cpu_slab_.end(), cpus.begin(), cpus.end());
+  }
+  state.cpu_len = len;
   state.gear = start_gear;
   state.remaining_run_top = static_cast<double>(trace.run_time);
   state.remaining_req_top = static_cast<double>(trace.requested_time);
@@ -157,10 +249,10 @@ void Simulation::start_job(JobId id, const std::vector<CpuId>& cpus,
   machine_.assign(id, cpus, engine_.now() + state.scaled_requested);
   if (!decision.gate) {
     engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
-                           static_cast<JobId>(index)});
+                           static_cast<JobId>(global)});
   }
 
-  push_event(StartRecord{index, engine_.now(), start_gear, scaled_runtime,
+  push_event(StartRecord{global, engine_.now(), start_gear, scaled_runtime,
                          state.scaled_requested});
 }
 
@@ -197,21 +289,21 @@ void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
     return;
   }
 
-  const std::uint32_t index = trace_index(id);
+  const std::uint64_t global = trace_index(id);
   const Time now = engine_.now();
   // During a wake delay the busy segment begins in the future: no work is
   // done yet (elapsed clamps to 0) and the new segment re-bases on the
   // pending wake, not on `now`.
   const Time base = std::max(now, state.segment_start);
   const Time elapsed = std::max<Time>(0, now - state.segment_start);
-  const wl::Job& trace = workload_.jobs[index];
+  const wl::Job& trace = window_.at(global).job;
   const double old_coefficient =
       time_model_.coefficient_with_beta(state.gear, trace.beta);
   const double progress_top = static_cast<double>(elapsed) / old_coefficient;
 
   // Close the old gear segment: observers (the energy probe in particular)
   // account it before the new gear takes over.
-  push_event(GearChangeEvent{id, index, trace.size, now, state.gear, gear,
+  push_event(GearChangeEvent{id, global, trace.size, now, state.gear, gear,
                              elapsed});
   state.remaining_run_top =
       std::max(0.0, state.remaining_run_top - progress_top);
@@ -234,7 +326,7 @@ void Simulation::retime_job(JobId id, GearIndex gear, bool mark_boosted) {
                       cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
   machine_.update_expected_end(id, cpu_scratch_, base + req_left);
   engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
-                         static_cast<JobId>(index)});
+                         static_cast<JobId>(global)});
 }
 
 void Simulation::set_job_gear(JobId id, GearIndex gear) {
@@ -247,9 +339,9 @@ void Simulation::release_job(JobId id, GearIndex gear) {
                "Simulation: release_job() on a job that is not gated");
   BSLD_REQUIRE(gear >= 0 && gear <= time_model_.gears().top_index(),
                "Simulation: gear out of range");
-  const std::uint32_t index = trace_index(id);
+  const std::uint64_t global = trace_index(id);
   const Time now = engine_.now();
-  const wl::Job& trace = workload_.jobs[index];
+  const wl::Job& trace = window_.at(global).job;
   state.gated = false;
   state.gear = gear;
   state.start_gear = gear;  // The gear execution actually begins at.
@@ -267,7 +359,7 @@ void Simulation::release_job(JobId id, GearIndex gear) {
                       cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
   machine_.update_expected_end(id, cpu_scratch_, now + req_left);
   engine_.schedule(Event{state.pending_end, EventKind::kJobEnd, 0,
-                         static_cast<JobId>(index)});
+                         static_cast<JobId>(global)});
 }
 
 void Simulation::schedule_timer(Time at) {
@@ -276,9 +368,10 @@ void Simulation::schedule_timer(Time at) {
 
 void Simulation::emit(const pm::PmEvent& event) { push_event(event); }
 
-void Simulation::finish_job(std::uint32_t slot) {
-  RunningRec& state = run_state_[slot];
-  const wl::Job& trace = workload_.jobs[slot];
+void Simulation::finish_job(std::uint64_t global) {
+  JobWindow::Slot& slot = window_.at(global);
+  RunningRec& state = slot.state;
+  const wl::Job& trace = slot.job;
   const JobId id = trace.id;
 
   JobOutcome outcome;
@@ -298,11 +391,15 @@ void Simulation::finish_job(std::uint32_t slot) {
                                       config_.bsld_floor);
 
   const Time final_segment = engine_.now() - state.segment_start;
-  push_event(FinishRecord{outcome, slot, final_segment});
+  // Pushed while `running` is still set: if this push flushes the batch,
+  // the eviction sweep cannot retire this job yet, so the record is always
+  // delivered before the slot becomes evictable.
+  push_event(FinishRecord{outcome, global, final_segment});
 
   finish_scratch_.assign(cpu_slab_.begin() + state.cpu_offset,
                          cpu_slab_.begin() + state.cpu_offset + state.cpu_len);
   machine_.release(id, finish_scratch_);
+  free_cpu_runs_[state.cpu_len].push_back(state.cpu_offset);
   state.running = false;
   running_ids_.erase(
       std::lower_bound(running_ids_.begin(), running_ids_.end(), id));
@@ -326,34 +423,44 @@ SimulationResult Simulation::run() {
   chain_.push_back(&energy);
   chain_.insert(chain_.end(), observers_.begin(), observers_.end());
 
-  const RunBeginEvent begin{workload_, machine_.cpu_count(),
-                            power_model_.gears().size(), config_.bsld_floor};
+  const RunBeginEvent begin{stream_->name(), stream_->size_hint(),
+                            machine_.cpu_count(), power_model_.gears().size(),
+                            config_.bsld_floor};
   notify([&](SimObserver& observer) { observer.on_run_begin(begin); });
   if (pm_ != nullptr) pm_->on_run_begin(*this);
 
-  for (std::uint32_t slot = 0; slot < workload_.jobs.size(); ++slot) {
-    engine_.schedule(Event{workload_.jobs[slot].submit, EventKind::kJobSubmit,
-                           0, static_cast<JobId>(slot)});
-  }
+  // Fill the lookahead window (the whole trace in the materialized form).
+  pump_submits();
+  BSLD_REQUIRE(window_.admitted() > 0, "Simulation: empty workload");
 
   while (auto event = engine_.pop()) {
     switch (event->kind) {
       case EventKind::kJobSubmit: {
-        const auto slot = static_cast<std::uint32_t>(event->job);
-        const JobId id = workload_.jobs[slot].id;
-        push_event(SubmitRecord{slot, event->time});
+        const auto global = static_cast<std::uint64_t>(event->job);
+        const JobId id = window_.at(global).job.id;
+        push_event(SubmitRecord{global, event->time});
         if (pm_ != nullptr) pm_->on_job_submit(*this, id);
         policy_.on_submit(*this, id);
+        --submits_outstanding_;
+        // Refill the window at the popped submit's time; the sorted-stream
+        // contract guarantees refills are never in the past.
+        pump_submits();
         break;
       }
       case EventKind::kJobEnd: {
+        const auto global = static_cast<std::uint64_t>(event->job);
         // A boost re-schedules the completion; the superseded event stays
-        // in the queue and is skipped here by timestamp mismatch.
-        const auto slot = static_cast<std::uint32_t>(event->job);
-        const RunningRec& state = run_state_[slot];
-        if (!state.running || state.pending_end != event->time) break;
-        finish_job(slot);
-        policy_.on_job_end(*this, workload_.jobs[slot].id);
+        // in the queue and is skipped here — by the eviction range check
+        // when the job has already retired, by timestamp mismatch when it
+        // is still resident.
+        if (global < window_.evicted()) break;
+        const JobWindow::Slot& slot = window_.at(global);
+        if (!slot.state.running || slot.state.pending_end != event->time) {
+          break;
+        }
+        const JobId id = slot.job.id;
+        finish_job(global);
+        policy_.on_job_end(*this, id);
         break;
       }
       case EventKind::kPmTimer: {
@@ -367,7 +474,7 @@ SimulationResult Simulation::run() {
                "Simulation: drained event queue but jobs are still waiting");
   BSLD_REQUIRE(running_ids_.empty(),
                "Simulation: drained event queue but jobs are still running");
-  BSLD_REQUIRE(finished_ == workload_.jobs.size(),
+  BSLD_REQUIRE(finished_ == static_cast<std::int64_t>(window_.admitted()),
                "Simulation: job never ran");
 
   // Final power-manager accounting (e.g. trailing sleep intervals) must
@@ -376,15 +483,14 @@ SimulationResult Simulation::run() {
   if (pm_ != nullptr) pm_->on_run_end(*this);
   flush_events();
 
-  const Time first_submit = workload_.jobs.front().submit;
-  const Time horizon = std::max<Time>(last_end_ - first_submit, 1);
-  const RunEndEvent end{first_submit,          last_end_,
-                        horizon,               machine_.cpu_count(),
-                        workload_.jobs.size(), engine_.processed()};
+  const Time horizon = std::max<Time>(last_end_ - first_submit_, 1);
+  const RunEndEvent end{first_submit_, last_end_,
+                        horizon,       machine_.cpu_count(),
+                        finished_,     engine_.processed()};
   notify([&](SimObserver& observer) { observer.on_run_end(end); });
 
   SimulationResult result;
-  result.workload = workload_.name;
+  result.workload = std::string(stream_->name());
   result.policy = policy_.name();
   result.cpus = machine_.cpu_count();
   result.job_count = aggregates.count();
@@ -397,6 +503,7 @@ SimulationResult Simulation::run() {
   result.energy = energy.report();
   result.utilization = energy.utilization();
   result.events_processed = engine_.processed();
+  result.peak_live_jobs = static_cast<std::int64_t>(window_.peak_live());
   if (config_.retain_jobs) result.jobs = recorder.take();
   chain_.clear();
   return result;
@@ -408,6 +515,15 @@ SimulationResult run_simulation(const wl::Workload& workload,
                                 const power::BetaTimeModel& time_model,
                                 SimulationConfig config) {
   Simulation simulation(workload, policy, power_model, time_model, config);
+  return simulation.run();
+}
+
+SimulationResult run_simulation(wl::JobStream& stream,
+                                core::SchedulingPolicy& policy,
+                                const power::PowerModel& power_model,
+                                const power::BetaTimeModel& time_model,
+                                SimulationConfig config) {
+  Simulation simulation(stream, policy, power_model, time_model, config);
   return simulation.run();
 }
 

@@ -11,14 +11,25 @@
 /// (time-series instruments, downstream custom observers) attach via
 /// add_observer() without touching this class.
 ///
-/// Hot-path layout (docs/simulation-internals.md): job state lives in a
-/// flat vector of RunningRec rows indexed by trace slot — engine events
-/// carry the slot, so the event loop never hashes a JobId — CPU lists are
-/// bump-allocated from one run-wide slab, and observer dispatch is
-/// batched (observer.hpp). The engine slab and CPU slab are recycled
-/// across runs through the thread-local sim::RunArena.
+/// Job ingestion is pull-based (docs/simulation-internals.md, "Job
+/// ingestion & streaming"): the simulation reads a wl::JobStream and keeps
+/// at most `submit_lookahead` un-popped submit events in the calendar
+/// queue, so a million-job trace flows through without ever being
+/// materialized. Job state lives in a sim::JobWindow — a bounded ring of
+/// in-flight jobs addressed by global trace index; engine events carry
+/// that index, so the event loop never hashes a JobId — and finished,
+/// delivered jobs are evicted from the front, bounding per-job memory by
+/// the lookahead window plus the jobs simultaneously queued or running.
+/// The materialized constructor streams the caller's wl::Workload through
+/// the same machinery with an unlimited lookahead, reproducing the classic
+/// schedule-everything-up-front behavior exactly. CPU lists are allocated
+/// from one run-wide slab with exact-size run reuse, and observer dispatch
+/// is batched (observer.hpp). The engine slab, CPU slab, and job-window
+/// ring are recycled across runs through the thread-local sim::RunArena.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,15 +42,17 @@
 #include "power/power_model.hpp"
 #include "power/time_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/job_window.hpp"
 #include "sim/observer.hpp"
 #include "workload/job.hpp"
+#include "workload/stream.hpp"
 
 namespace bsld::sim {
 
 /// Per-run knobs.
 struct SimulationConfig {
-  /// Machine size; 0 means "use workload.cpus". The enlarged-system study
-  /// (paper §5.2) passes scaled values here while keeping job sizes.
+  /// Machine size; 0 means "use the workload's cpus". The enlarged-system
+  /// study (paper §5.2) passes scaled values here while keeping job sizes.
   std::int32_t cpus = 0;
   /// Th of the BSLD metric (Eqs. 1/6).
   Time bsld_floor = core::kDefaultBsldFloor;
@@ -48,6 +61,12 @@ struct SimulationConfig {
   /// synthetic workloads run in O(1) memory per worker; SimulationResult
   /// aggregates are bit-identical either way.
   bool retain_jobs = true;
+  /// Streaming-constructor only: maximum submit events admitted to the
+  /// calendar queue ahead of the clock (clamped to >= 1). Larger values
+  /// trade memory for fewer stream pulls per event; event order — and
+  /// therefore every result — is independent of the value. The
+  /// materialized constructor ignores this and admits the whole trace.
+  std::int64_t submit_lookahead = 4096;
   /// Optional cluster power manager (non-owning; must outlive run()).
   /// nullptr — like the registered `pm=none` manager — leaves every run
   /// bit-identical to the pre-pm simulator.
@@ -72,22 +91,42 @@ struct SimulationResult {
   Time makespan = 0;                    ///< Last completion time.
   double utilization = 0.0;             ///< Busy share of cpus*horizon.
   std::uint64_t events_processed = 0;
+  /// High-water mark of simultaneously resident jobs — the streaming
+  /// memory bound (equals job_count for a materialized run).
+  std::int64_t peak_live_jobs = 0;
 };
 
 /// One simulation run. The Simulation is the policy's SchedulerContext and
 /// the power manager's PmContext; it owns the machine and the clock, while
 /// the policy owns the wait queue and all decisions, the manager owns
-/// power actuation, and observers own every measurement.
+/// power actuation, and observers own every measurement. It is also the
+/// JobResolver its batched observer deliveries resolve trace indices
+/// through — resolution reaches the live job window.
 class Simulation final : public core::SchedulerContext,
-                         public pm::PmContext {
+                         public pm::PmContext,
+                         public JobResolver {
  public:
-  /// All references must outlive run(). Throws bsld::Error on an empty
-  /// workload, non-positive machine size, or jobs larger than the machine.
+  /// Materialized form: streams `workload` (which must outlive run())
+  /// through the windowed core with an unlimited lookahead, so behavior
+  /// and event order match the classic eager simulator exactly — including
+  /// tolerating unsorted hand-built traces. Throws bsld::Error on an empty
+  /// workload, non-positive machine size, jobs larger than the machine,
+  /// invalid durations, or duplicate ids.
   Simulation(const wl::Workload& workload, core::SchedulingPolicy& policy,
              const power::PowerModel& power_model,
              const power::BetaTimeModel& time_model,
              SimulationConfig config = {});
-  /// Recycles the engine and CPU slabs into the thread's RunArena.
+  /// Streaming form: pulls jobs from `stream` on demand under
+  /// SimulationConfig::submit_lookahead. The stream must follow the
+  /// JobStream contract (sorted by (submit, id)); per-job validation
+  /// happens at admission, and an empty stream is diagnosed by run().
+  /// All references must outlive run().
+  Simulation(wl::JobStream& stream, core::SchedulingPolicy& policy,
+             const power::PowerModel& power_model,
+             const power::BetaTimeModel& time_model,
+             SimulationConfig config = {});
+  /// Recycles the engine, CPU slab, and job-window ring into the thread's
+  /// RunArena.
   ~Simulation() override;
 
   /// Registers a non-owning observer of this run's event stream, invoked
@@ -104,6 +143,8 @@ class Simulation final : public core::SchedulerContext,
   [[nodiscard]] const cluster::Machine& machine() const override {
     return machine_;
   }
+  /// Valid for live jobs only — admitted and not yet retired from the
+  /// window (every job a policy or manager can legitimately name is live).
   [[nodiscard]] const wl::Job& job(JobId id) const override;
   [[nodiscard]] const power::BetaTimeModel& time_model() const override {
     return time_model_;
@@ -126,37 +167,20 @@ class Simulation final : public core::SchedulerContext,
   void schedule_timer(Time at) override;
   void emit(const pm::PmEvent& event) override;
 
- private:
-  /// Live state of an executing job: one flat row per trace slot, valid
-  /// while `running` is set. Rows are index-addressed (engine events carry
-  /// the slot), and the CPU list lives in cpu_slab_ at [cpu_offset,
-  /// cpu_offset + cpu_len) — no per-job heap allocation, no pointer
-  /// chasing. Energy is accounted per gear segment so mid-flight gear
-  /// raises stay exact; remaining work is tracked in top-gear seconds
-  /// (running at gear g consumes 1/Coef(g) top-seconds of work per wall
-  /// second).
-  struct RunningRec {
-    std::uint32_t cpu_offset = 0;   ///< Into cpu_slab_.
-    std::uint32_t cpu_len = 0;
-    GearIndex gear = 0;
-    GearIndex start_gear = 0;       ///< Gear engaged at start.
-    Time segment_start = 0;         ///< When the current gear was engaged
-                                    ///< (in the future during a wake delay).
-    double remaining_run_top = 0;   ///< Runtime work left, top-gear seconds.
-    double remaining_req_top = 0;   ///< Requested work left, top-gear seconds.
-    Time pending_end = kNoTime;     ///< Valid completion event time.
-    Time start = kNoTime;           ///< When the job began executing.
-    Time scaled_requested = 0;      ///< Requested time dilated at start.
-    bool boosted = false;           ///< Raised mid-flight.
-    bool gated = false;             ///< Power-gated: holds CPUs, no progress,
-                                    ///< no completion event until released.
-    bool running = false;           ///< Row is live.
-  };
+  // JobResolver interface (batched observer delivery).
+  [[nodiscard]] const wl::Job& job_at(
+      std::uint64_t trace_index) const override;
 
-  [[nodiscard]] std::uint32_t trace_index(JobId id) const;
+ private:
+  [[nodiscard]] std::uint64_t trace_index(JobId id) const;
   [[nodiscard]] RunningRec& running(JobId id);
   [[nodiscard]] const RunningRec& running(JobId id) const;
-  void finish_job(std::uint32_t slot);
+  /// Admits jobs from the stream until the lookahead window is full or the
+  /// stream ends: validates, indexes, places the job in the window, and
+  /// schedules its submit event. Called before the drain and after every
+  /// popped submit, so at most `lookahead_` submits are ever outstanding.
+  void pump_submits();
+  void finish_job(std::uint64_t global);
   /// Shared re-gearing path of boost_job (policy raise) and set_job_gear
   /// (power-manager throttle/raise): closes the current gear segment and
   /// re-times completion. Gated jobs only update their planned gear.
@@ -175,26 +199,35 @@ class Simulation final : public core::SchedulerContext,
     batch_.push_back(std::move(record));
     if (batch_.size() >= kBatchCapacity) flush_events();
   }
-  /// Delivers the buffered span to every observer, in emission order.
+  /// Delivers the buffered span to every observer in emission order, then
+  /// retires finished front jobs from the window — eviction strictly
+  /// follows delivery, so observers never see a dead trace index.
   void flush_events();
 
   /// Batched-dispatch span size: large enough to amortize the per-span
   /// virtual call, small enough to stay cache-resident.
   static constexpr std::size_t kBatchCapacity = 128;
 
-  const wl::Workload& workload_;
   core::SchedulingPolicy& policy_;
   const power::PowerModel& power_model_;
   const power::BetaTimeModel& time_model_;
   SimulationConfig config_;
   pm::PowerManager* pm_ = nullptr;  ///< == config_.power_manager.
 
+  std::optional<wl::WorkloadViewStream> view_;  ///< Materialized form only.
+  wl::JobStream* stream_ = nullptr;  ///< The ingestion source (or &*view_).
+  std::int64_t lookahead_ = 0;       ///< Max outstanding submit events.
+
   cluster::Machine machine_;
   Engine engine_;
-  std::unordered_map<JobId, std::uint32_t> index_;  ///< JobId -> trace slot.
-  std::vector<char> started_;                       ///< By trace slot.
-  std::vector<RunningRec> run_state_;               ///< By trace slot.
-  std::vector<CpuId> cpu_slab_;     ///< Bump arena for RunningRec CPU lists.
+  JobWindow window_;                ///< In-flight jobs by global index.
+  std::unordered_map<JobId, std::uint64_t> index_;  ///< Live JobId -> global.
+  /// Exact-size free runs inside cpu_slab_, by length: finished jobs
+  /// return their CPU-list run here and later starts of the same size
+  /// reuse it, so the slab is bounded by the machine size (times the
+  /// number of distinct allocation sizes), not by the trace length.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> free_cpu_runs_;
+  std::vector<CpuId> cpu_slab_;     ///< Arena for RunningRec CPU lists.
   std::vector<CpuId> cpu_scratch_;  ///< Reused for machine re-timing calls.
   std::vector<CpuId> finish_scratch_;  ///< Reused by finish_job; separate
                                        ///< from cpu_scratch_ because the pm
@@ -205,13 +238,24 @@ class Simulation final : public core::SchedulerContext,
   std::vector<BatchedEvent> batch_; ///< Pending observer records.
   std::vector<SimObserver*> observers_;             ///< add_observer order.
   std::vector<SimObserver*> chain_;                 ///< Full set during run().
-  std::size_t finished_ = 0;
+  std::int64_t submits_outstanding_ = 0;  ///< Scheduled, not yet popped.
+  std::int64_t finished_ = 0;
+  Time first_submit_ = 0;           ///< Submit of the first admitted job.
+  bool have_first_submit_ = false;
+  bool stream_done_ = false;
   Time last_end_ = 0;
   bool ran_ = false;
 };
 
 /// Convenience wrapper: wires the simulation and runs it.
 SimulationResult run_simulation(const wl::Workload& workload,
+                                core::SchedulingPolicy& policy,
+                                const power::PowerModel& power_model,
+                                const power::BetaTimeModel& time_model,
+                                SimulationConfig config = {});
+
+/// Streaming counterpart: drives the simulation straight off a JobStream.
+SimulationResult run_simulation(wl::JobStream& stream,
                                 core::SchedulingPolicy& policy,
                                 const power::PowerModel& power_model,
                                 const power::BetaTimeModel& time_model,

@@ -1,0 +1,126 @@
+/// \file sampler.hpp
+/// \brief Bounded-memory retention of unbounded series: util::SeriesSampler.
+///
+/// Streaming million-job runs emit time series (queue depth, utilization)
+/// whose exact form is O(jobs). A SeriesSampler caps that at a configured
+/// number of retained points while staying *exact below the cap*: a series
+/// that never exceeds `cap` elements is retained in full, bit-identical to
+/// the unsampled path, so every existing golden holds whenever the cap is
+/// generous enough. Above the cap one of two thinning strategies applies:
+///
+///  * kDecimate  — deterministic stride doubling: when the buffer would
+///    exceed the cap, every other retained point is dropped and the keep
+///    stride doubles, so retention converges to an even 1-in-2^k systematic
+///    sample of the whole series. No randomness; same input, same output.
+///  * kReservoir — Vitter's algorithm R over the series, seeded from the
+///    plan, yielding a uniform random sample of exactly `cap` points.
+///
+/// Retained points keep their position (`seq`) in the original series, so
+/// consumers can re-sort and label output rows exactly as the unsampled
+/// instrument would.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bsld::util {
+
+/// Declarative sampling policy for time-series instruments; serialized as
+/// the `sample.*` RunSpec keys.
+struct SamplePlan {
+  enum class Mode { kDecimate, kReservoir };
+
+  Mode mode = Mode::kDecimate;
+  /// Maximum retained points; 0 (the default) disables sampling — the
+  /// series is retained in full, exactly as before sampling existed.
+  std::uint64_t cap = 0;
+  /// Reservoir seed (ignored by kDecimate, which is deterministic).
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const SamplePlan&, const SamplePlan&) = default;
+};
+
+/// Accumulates one series under a SamplePlan. Memory is O(min(n, cap + 1));
+/// with cap == 0 it degenerates to a plain append-only vector.
+template <typename T>
+class SeriesSampler {
+ public:
+  /// One retained point: its 0-based position in the full series plus the
+  /// value itself.
+  struct Item {
+    std::uint64_t seq = 0;
+    T value{};
+  };
+
+  SeriesSampler() : SeriesSampler(SamplePlan{}) {}
+  explicit SeriesSampler(const SamplePlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  /// Offers the next element of the series.
+  void push(const T& value) {
+    const std::uint64_t seq = seen_++;
+    if (plan_.cap == 0) {
+      items_.push_back(Item{seq, value});
+      return;
+    }
+    if (plan_.mode == SamplePlan::Mode::kDecimate) {
+      if (seq % stride_ != 0) return;
+      items_.push_back(Item{seq, value});
+      if (items_.size() > plan_.cap) {
+        stride_ *= 2;
+        std::erase_if(items_, [this](const Item& item) {
+          return item.seq % stride_ != 0;
+        });
+      }
+      return;
+    }
+    // Algorithm R: element `seq` replaces a uniformly chosen slot with
+    // probability cap / (seq + 1).
+    if (items_.size() < plan_.cap) {
+      items_.push_back(Item{seq, value});
+      return;
+    }
+    const auto j = static_cast<std::uint64_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(seq)));
+    if (j < plan_.cap) items_[static_cast<std::size_t>(j)] = Item{seq, value};
+  }
+
+  /// Discards everything and restarts the series (the instrument-reuse
+  /// contract of on_run_begin).
+  void reset() {
+    items_.clear();
+    seen_ = 0;
+    stride_ = 1;
+    rng_ = Rng(plan_.seed);
+  }
+
+  /// Elements offered so far (the full series length).
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  /// Elements currently retained.
+  [[nodiscard]] std::size_t retained() const { return items_.size(); }
+  [[nodiscard]] const SamplePlan& plan() const { return plan_; }
+
+  /// Retained points in series order (reservoir retention is unordered
+  /// internally; this sorts by seq once). Exact below the cap: when
+  /// seen() <= cap every point of the series is present.
+  [[nodiscard]] const std::vector<Item>& sorted() {
+    if (plan_.cap != 0 && plan_.mode == SamplePlan::Mode::kReservoir) {
+      std::sort(items_.begin(), items_.end(),
+                [](const Item& a, const Item& b) { return a.seq < b.seq; });
+    }
+    return items_;
+  }
+
+ private:
+  SamplePlan plan_;
+  Rng rng_;
+  std::vector<Item> items_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t stride_ = 1;  ///< kDecimate keep stride (power of two).
+};
+
+}  // namespace bsld::util

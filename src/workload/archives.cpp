@@ -197,7 +197,7 @@ std::int32_t paper_cpus(Archive archive) {
   throw Error("paper_cpus(): unknown archive");
 }
 
-WorkloadSpec archive_spec(Archive archive, std::int32_t num_jobs) {
+WorkloadSpec archive_spec(Archive archive, std::int64_t num_jobs) {
   BSLD_REQUIRE(num_jobs > 0, "archive_spec(): num_jobs must be positive");
   WorkloadSpec spec;
   switch (archive) {
@@ -222,7 +222,7 @@ std::uint64_t archive_seed(Archive archive) {
   throw Error("archive_seed(): unknown archive");
 }
 
-Workload make_archive_workload(Archive archive, std::int32_t num_jobs) {
+Workload make_archive_workload(Archive archive, std::int64_t num_jobs) {
   return generate(archive_spec(archive, num_jobs), archive_seed(archive));
 }
 

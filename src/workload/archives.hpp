@@ -50,13 +50,13 @@ std::int32_t paper_cpus(Archive archive);
 
 /// The calibrated generator profile for an archive. `num_jobs` defaults to
 /// the paper's 5000-job slices.
-WorkloadSpec archive_spec(Archive archive, std::int32_t num_jobs = 5000);
+WorkloadSpec archive_spec(Archive archive, std::int64_t num_jobs = 5000);
 
 /// Default deterministic seed used by benches/tests for this archive.
 std::uint64_t archive_seed(Archive archive);
 
 /// Generates the canonical trace for the archive: calibrated spec + default
 /// seed. All paper-reproduction benches consume exactly this trace.
-Workload make_archive_workload(Archive archive, std::int32_t num_jobs = 5000);
+Workload make_archive_workload(Archive archive, std::int64_t num_jobs = 5000);
 
 }  // namespace bsld::wl

@@ -8,54 +8,70 @@
 
 namespace bsld::wl {
 
-CleanReport clean(Workload& workload, const CleanOptions& options) {
-  CleanReport report;
-  std::vector<Job> kept;
-  kept.reserve(workload.jobs.size());
-
-  // Sliding submission window per user for flurry detection.
-  std::map<std::int32_t, std::deque<Time>> user_windows;
-
-  for (Job job : workload.jobs) {
-    if (job.size <= 0 || job.run_time < 0 || job.submit < 0) {
-      ++report.dropped_invalid;
-      continue;
-    }
-    if (options.drop_zero_runtime && job.run_time == 0) {
-      ++report.dropped_invalid;
-      continue;
-    }
-    if (options.machine_cpus > 0 && job.size > options.machine_cpus) {
-      job.size = options.machine_cpus;
-      ++report.clamped_size;
-    }
-    if (job.requested_time <= 0) job.requested_time = std::max<Time>(job.run_time, 1);
-    if (options.clamp_runtime_to_requested &&
-        job.run_time > job.requested_time) {
-      job.requested_time = job.run_time;
-      ++report.clamped_runtime;
-    }
-
-    if (options.flurry_max_jobs > 0) {
-      auto& window = user_windows[job.user_id];
-      while (!window.empty() &&
-             job.submit - window.front() > options.flurry_window) {
-        window.pop_front();
-      }
-      if (static_cast<std::int64_t>(window.size()) >=
-          options.flurry_max_jobs) {
-        ++report.dropped_flurry;
-        continue;
-      }
-      window.push_back(job.submit);
-    }
-
-    kept.push_back(job);
+std::optional<Job> JobCleaner::accept(Job job) {
+  if (job.size <= 0 || job.run_time < 0 || job.submit < 0) {
+    ++report_.dropped_invalid;
+    return std::nullopt;
+  }
+  if (options_.drop_zero_runtime && job.run_time == 0) {
+    ++report_.dropped_invalid;
+    return std::nullopt;
+  }
+  if (options_.machine_cpus > 0 && job.size > options_.machine_cpus) {
+    job.size = options_.machine_cpus;
+    ++report_.clamped_size;
+  }
+  if (job.requested_time <= 0) job.requested_time = std::max<Time>(job.run_time, 1);
+  if (options_.clamp_runtime_to_requested &&
+      job.run_time > job.requested_time) {
+    job.requested_time = job.run_time;
+    ++report_.clamped_runtime;
   }
 
-  report.kept = kept.size();
+  if (options_.flurry_max_jobs > 0) {
+    auto& window = user_windows_[job.user_id];
+    while (!window.empty() &&
+           job.submit - window.front() > options_.flurry_window) {
+      window.pop_front();
+    }
+    if (static_cast<std::int64_t>(window.size()) >=
+        options_.flurry_max_jobs) {
+      ++report_.dropped_flurry;
+      return std::nullopt;
+    }
+    window.push_back(job.submit);
+  }
+
+  ++report_.kept;
+  return job;
+}
+
+CleanReport clean(Workload& workload, const CleanOptions& options) {
+  JobCleaner cleaner(options);
+  std::vector<Job> kept;
+  kept.reserve(workload.jobs.size());
+  for (const Job& job : workload.jobs) {
+    if (std::optional<Job> cleaned = cleaner.accept(job)) {
+      kept.push_back(*cleaned);
+    }
+  }
   workload.jobs = std::move(kept);
-  return report;
+  return cleaner.report();
+}
+
+CleaningJobStream::CleaningJobStream(std::unique_ptr<JobStream> inner,
+                                     CleanOptions options)
+    : inner_(std::move(inner)), cleaner_(std::move(options)) {
+  BSLD_REQUIRE(inner_ != nullptr, "CleaningJobStream: null inner stream");
+}
+
+std::optional<Job> CleaningJobStream::next() {
+  while (std::optional<Job> job = inner_->next()) {
+    if (std::optional<Job> cleaned = cleaner_.accept(std::move(*job))) {
+      return cleaned;
+    }
+  }
+  return std::nullopt;
 }
 
 Workload slice(const Workload& workload, std::size_t first_index,

@@ -6,9 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
 
 #include "util/types.hpp"
 #include "workload/job.hpp"
+#include "workload/stream.hpp"
 
 namespace bsld::wl {
 
@@ -39,9 +44,52 @@ struct CleanReport {
   std::size_t clamped_runtime = 0;
 };
 
+/// Incremental form of clean(): records are accepted one at a time in
+/// trace order, so an SWF file can be cleaned while it streams. clean() is
+/// a drain loop over this class — one rule set, two call shapes.
+class JobCleaner {
+ public:
+  explicit JobCleaner(CleanOptions options) : options_(std::move(options)) {}
+
+  /// Applies the cleaning rules to one record. Returns the (possibly
+  /// clamped) job, or std::nullopt when the record is dropped; either way
+  /// the outcome counters accumulate into report().
+  std::optional<Job> accept(Job job);
+
+  /// Counters over every record accepted so far.
+  [[nodiscard]] const CleanReport& report() const { return report_; }
+
+ private:
+  CleanOptions options_;
+  CleanReport report_;
+  /// Sliding submission window per user for flurry detection.
+  std::map<std::int32_t, std::deque<Time>> user_windows_;
+};
+
 /// Cleans `workload` in place; returns what happened. Jobs remain sorted by
 /// (submit, id) and keep their original ids.
 CleanReport clean(Workload& workload, const CleanOptions& options);
+
+/// Streaming adapter over JobCleaner: pulls from `inner` and yields only
+/// the records the cleaning rules keep. report() is complete once the
+/// stream is exhausted.
+class CleaningJobStream final : public JobStream {
+ public:
+  CleaningJobStream(std::unique_ptr<JobStream> inner, CleanOptions options);
+
+  std::optional<Job> next() override;
+  [[nodiscard]] const std::string& name() const override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::int32_t cpus() const override { return inner_->cpus(); }
+
+  /// Counters over every record pulled so far (final after exhaustion).
+  [[nodiscard]] const CleanReport& report() const { return cleaner_.report(); }
+
+ private:
+  std::unique_ptr<JobStream> inner_;
+  JobCleaner cleaner_;
+};
 
 /// Extracts a contiguous `count`-job slice starting at `first_index`
 /// (0-based), re-basing submit times so the slice starts at t = 0. This is

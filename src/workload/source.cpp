@@ -1,5 +1,8 @@
 #include "workload/source.hpp"
 
+#include <algorithm>
+#include <fstream>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/parse.hpp"
@@ -8,6 +11,12 @@
 namespace bsld::wl {
 
 namespace {
+
+/// Reorder window for streaming SWF files. Archives are sorted by submit
+/// time by convention; the window absorbs local jitter (ties resolved by
+/// logging order, clock skews) while keeping memory bounded. A record out
+/// of order by more than this many positions makes SortingJobStream throw.
+constexpr std::size_t kSwfSortWindow = std::size_t{1} << 16;
 
 const char* kind_name(WorkloadSource::Kind kind) {
   switch (kind) {
@@ -62,8 +71,7 @@ WorkloadSpec spec_from_config(const util::Config& config) {
   spec.name = config.get_string("workload.spec.name", defaults.name);
   spec.cpus = static_cast<std::int32_t>(
       config.get_int("workload.spec.cpus", defaults.cpus));
-  spec.num_jobs = static_cast<std::int32_t>(
-      config.get_int("workload.spec.num_jobs", defaults.num_jobs));
+  spec.num_jobs = config.get_int("workload.spec.num_jobs", defaults.num_jobs);
 
   ArrivalModel& a = spec.arrival;
   a.load_target =
@@ -181,9 +189,164 @@ void spec_to_config(const WorkloadSpec& spec, util::Config& config) {
              std::to_string(e.max_requested));
 }
 
+/// JobStream facade over an SwfRecordStream owned by the enclosing
+/// SwfSourceStream (which also owns the file handle). Optionally replays
+/// one record that was pulled ahead to resolve MaxProcs.
+class RecordAdapter final : public JobStream {
+ public:
+  RecordAdapter(SwfRecordStream* records, const std::string* name,
+                std::int32_t cpus, std::optional<Job> pending)
+      : records_(records), name_(name), cpus_(cpus),
+        pending_(std::move(pending)) {}
+
+  std::optional<Job> next() override {
+    if (pending_) {
+      std::optional<Job> job = std::move(pending_);
+      pending_.reset();
+      return job;
+    }
+    return records_->next();
+  }
+  [[nodiscard]] const std::string& name() const override { return *name_; }
+  [[nodiscard]] std::int32_t cpus() const override { return cpus_; }
+
+ private:
+  SwfRecordStream* records_;
+  const std::string* name_;
+  std::int32_t cpus_ = 0;
+  std::optional<Job> pending_;
+};
+
+/// Streaming kSwf pipeline: file → incremental parse → bounded (submit, id)
+/// sort → incremental clean → truncate/rebase. Matches the materialized
+/// parse_swf → stable_sort → clean → slice pipeline byte for byte: the
+/// cleaning rules applied here are per-record (flurry removal is off on
+/// this path), so they commute with the sort, and the truncation/rebase
+/// decision is made from a counting pre-pass over the whole file exactly
+/// when `source.jobs` would have sliced the materialized trace.
+class SwfSourceStream final : public JobStream {
+ public:
+  SwfSourceStream(const WorkloadSource& source, CleanReport* clean_report)
+      : name_(source.path), limit_(source.jobs),
+        report_out_(clean_report) {
+    if (limit_ > 0) {
+      // Counting pre-pass: whole-file clean counters (the report the
+      // materialized path computes before slicing), the full header, and
+      // the kept-record total that decides truncation + rebase. O(1)
+      // memory — nothing is retained but counters.
+      std::ifstream in(name_);
+      BSLD_REQUIRE(in.good(), "SWF: cannot open file `" + name_ + "`");
+      SwfRecordStream records(in);
+      std::optional<Job> first = records.next();
+      cpus_ = source.cpus > 0 ? source.cpus : records.max_procs(1024);
+      JobCleaner counter(clean_options());
+      while (first) {
+        counter.accept(std::move(*first));
+        first = records.next();
+      }
+      warn_skipped(records.skipped_lines());
+      total_kept_ = static_cast<std::int64_t>(counter.report().kept);
+      rebase_ = total_kept_ > limit_;
+      if (report_out_) *report_out_ = counter.report();
+      open_data_pass(source);
+    } else {
+      open_data_pass(source);
+    }
+  }
+
+  std::optional<Job> next() override {
+    if (done_) return std::nullopt;
+    if (limit_ > 0 && emitted_ >= std::min(limit_, total_kept_)) {
+      finish();
+      return std::nullopt;
+    }
+    while (std::optional<Job> raw = sorter_->next()) {
+      std::optional<Job> cleaned = cleaner_->accept(std::move(*raw));
+      if (!cleaned) continue;
+      Job job = *cleaned;
+      if (rebase_) {
+        if (emitted_ == 0) base_ = job.submit;
+        job.submit -= base_;
+      }
+      ++emitted_;
+      return job;
+    }
+    finish();
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::int32_t cpus() const override { return cpus_; }
+  [[nodiscard]] std::int64_t size_hint() const override {
+    // Known exactly after a counting pre-pass; unknown for whole-file
+    // streaming (cleaning drops records as they come).
+    return limit_ > 0 ? std::min(limit_, total_kept_) : -1;
+  }
+
+ private:
+  [[nodiscard]] CleanOptions clean_options() const {
+    CleanOptions options;
+    options.machine_cpus = cpus_;
+    return options;
+  }
+
+  void warn_skipped(std::size_t skipped) const {
+    if (skipped == 0) return;
+    BSLD_LOG_WARN() << "SWF: " << name_ << ": skipped " << skipped
+                    << " malformed/unusable record(s) (parse with "
+                       "SwfOptions{.strict = true} to reject the file)";
+  }
+
+  /// Opens the emitting pass: parse in file order, pull one record ahead
+  /// when MaxProcs is still unresolved, then sort within the bounded
+  /// window and clean incrementally.
+  void open_data_pass(const WorkloadSource& source) {
+    file_.open(name_);
+    BSLD_REQUIRE(file_.good(), "SWF: cannot open file `" + name_ + "`");
+    records_.emplace(file_);
+    std::optional<Job> pending;
+    if (limit_ <= 0) {
+      // No pre-pass ran: resolve MaxProcs from the header block before the
+      // first data record (the SWF convention).
+      pending = records_->next();
+      cpus_ = source.cpus > 0 ? source.cpus : records_->max_procs(1024);
+    }
+    sorter_.emplace(
+        std::make_unique<RecordAdapter>(&*records_, &name_, cpus_,
+                                        std::move(pending)),
+        kSwfSortWindow);
+    cleaner_.emplace(clean_options());
+  }
+
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    if (limit_ <= 0) {
+      // Whole-file streaming: counters and skip totals only complete now.
+      warn_skipped(records_->skipped_lines());
+      if (report_out_) *report_out_ = cleaner_->report();
+    }
+  }
+
+  std::string name_;
+  std::int64_t limit_ = 0;
+  CleanReport* report_out_ = nullptr;
+  std::int32_t cpus_ = 0;
+  std::int64_t total_kept_ = 0;
+  bool rebase_ = false;
+
+  std::ifstream file_;
+  std::optional<SwfRecordStream> records_;
+  std::optional<SortingJobStream> sorter_;
+  std::optional<JobCleaner> cleaner_;
+  std::int64_t emitted_ = 0;
+  Time base_ = 0;
+  bool done_ = false;
+};
+
 }  // namespace
 
-WorkloadSource WorkloadSource::from_archive(Archive archive, std::int32_t jobs,
+WorkloadSource WorkloadSource::from_archive(Archive archive, std::int64_t jobs,
                                             std::uint64_t seed) {
   WorkloadSource source;
   source.kind = Kind::kArchive;
@@ -193,7 +356,7 @@ WorkloadSource WorkloadSource::from_archive(Archive archive, std::int32_t jobs,
   return source;
 }
 
-WorkloadSource WorkloadSource::from_swf(std::string path, std::int32_t jobs,
+WorkloadSource WorkloadSource::from_swf(std::string path, std::int64_t jobs,
                                         std::int32_t cpus) {
   WorkloadSource source;
   source.kind = Kind::kSwf;
@@ -213,56 +376,41 @@ WorkloadSource WorkloadSource::from_spec(WorkloadSpec spec,
   return source;
 }
 
-Workload load_source(const WorkloadSource& source, CleanReport* clean_report) {
-  Workload workload;
+std::unique_ptr<JobStream> open_stream(const WorkloadSource& source,
+                                       CleanReport* clean_report) {
+  auto generated = [&](WorkloadSpec spec,
+                       std::uint64_t seed) -> std::unique_ptr<JobStream> {
+    auto stream = std::make_unique<SyntheticJobStream>(std::move(spec), seed);
+    if (clean_report) {
+      // Generated traces need no cleaning; every job the stream will yield
+      // counts as kept (spec validation already ran in the constructor).
+      *clean_report = CleanReport{};
+      clean_report->kept = static_cast<std::size_t>(stream->size_hint());
+    }
+    return stream;
+  };
   switch (source.kind) {
     case WorkloadSource::Kind::kArchive: {
       BSLD_REQUIRE(source.jobs > 0,
                    "load_source(): archive sources need jobs > 0");
-      workload = source.seed == 0
-                     ? make_archive_workload(source.archive, source.jobs)
-                     : generate(archive_spec(source.archive, source.jobs),
-                                source.seed);
-      if (clean_report) {
-        *clean_report = CleanReport{};
-        clean_report->kept = workload.jobs.size();
-      }
-      return workload;
+      const std::uint64_t seed =
+          source.seed == 0 ? archive_seed(source.archive) : source.seed;
+      return generated(archive_spec(source.archive, source.jobs), seed);
     }
-    case WorkloadSource::Kind::kSwf: {
-      const SwfTrace trace = load_swf_file(source.path);
-      if (trace.skipped_lines != 0) {
-        BSLD_LOG_WARN() << "SWF: " << source.path << ": skipped "
-                        << trace.skipped_lines
-                        << " malformed/unusable record(s) (parse with "
-                           "SwfOptions{.strict = true} to reject the file)";
-      }
-      workload.name = source.path;
-      workload.cpus = source.cpus > 0 ? source.cpus
-                                      : trace.max_procs(/*fallback=*/1024);
-      workload.jobs = trace.jobs;
-      CleanOptions options;
-      options.machine_cpus = workload.cpus;
-      const CleanReport report = clean(workload, options);
-      if (clean_report) *clean_report = report;
-      if (source.jobs > 0 &&
-          static_cast<std::size_t>(source.jobs) < workload.jobs.size()) {
-        workload = slice(workload, 0, static_cast<std::size_t>(source.jobs));
-      }
-      return workload;
-    }
+    case WorkloadSource::Kind::kSwf:
+      return std::make_unique<SwfSourceStream>(source, clean_report);
     case WorkloadSource::Kind::kInline: {
       WorkloadSpec spec = source.spec;
       if (source.jobs > 0) spec.num_jobs = source.jobs;
-      workload = generate(spec, source.seed);
-      if (clean_report) {
-        *clean_report = CleanReport{};
-        clean_report->kept = workload.jobs.size();
-      }
-      return workload;
+      return generated(std::move(spec), source.seed);
     }
   }
   throw Error("load_source(): invalid source kind");
+}
+
+Workload load_source(const WorkloadSource& source, CleanReport* clean_report) {
+  const std::unique_ptr<JobStream> stream = open_stream(source, clean_report);
+  return materialize(*stream);
 }
 
 std::string source_label(const WorkloadSource& source) {
@@ -287,7 +435,7 @@ std::uint64_t source_seed(const WorkloadSource& source) {
 }
 
 WorkloadSource resolve_source(const std::string& name_or_path,
-                              std::int32_t jobs, std::uint64_t seed) {
+                              std::int64_t jobs, std::uint64_t seed) {
   for (const Archive archive : all_archives()) {
     if (archive_name(archive) == name_or_path) {
       // jobs <= 0 means "whole file" for SWF sources but is meaningless for
@@ -309,8 +457,7 @@ WorkloadSource source_from_config(const util::Config& config) {
   // archives default to the paper's 5000-job slices, SWF files to "whole
   // file" and inline specs to their own num_jobs (both jobs = 0).
   source.jobs = source.kind == WorkloadSource::Kind::kArchive ? 5000 : 0;
-  source.jobs = static_cast<std::int32_t>(
-      config.get_int("workload.jobs", source.jobs));
+  source.jobs = config.get_int("workload.jobs", source.jobs);
   source.seed = get_seed(config);
   switch (source.kind) {
     case WorkloadSource::Kind::kArchive:

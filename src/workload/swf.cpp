@@ -94,15 +94,23 @@ std::int32_t SwfTrace::max_procs(std::int32_t fallback) const {
   return static_cast<std::int32_t>(value);
 }
 
-SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
-  SwfTrace trace;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
+SwfRecordStream::SwfRecordStream(std::istream& in, const SwfOptions& options)
+    : in_(&in), options_(options) {}
+
+std::int32_t SwfRecordStream::max_procs(std::int32_t fallback) const {
+  const auto it = header_.find("MaxProcs");
+  if (it == header_.end()) return fallback;
+  std::int64_t value = 0;
+  if (!parse_int(it->second, value) || value <= 0) return fallback;
+  return static_cast<std::int32_t>(value);
+}
+
+std::optional<Job> SwfRecordStream::next() {
+  while (std::getline(*in_, line_)) {
+    ++line_no_;
     // Strip trailing CR from CRLF files.
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::string_view view(line);
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    std::string_view view(line_);
     std::size_t first = 0;
     while (first < view.size() &&
            std::isspace(static_cast<unsigned char>(view[first]))) {
@@ -110,7 +118,7 @@ SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
     }
     if (first == view.size()) continue;  // blank
     if (view[first] == ';') {
-      parse_header_line(view.substr(first), trace.header);
+      parse_header_line(view.substr(first), header_);
       continue;
     }
 
@@ -118,10 +126,10 @@ SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
     if (fields.size() < 18) {
       // A malformed record must not abort the whole archive mid-sweep:
       // skip and count it, unless the caller asked for strict validation.
-      BSLD_REQUIRE(!options.strict,
-                   "SWF: line " + std::to_string(line_no) + " has only " +
+      BSLD_REQUIRE(!options_.strict,
+                   "SWF: line " + std::to_string(line_no_) + " has only " +
                        std::to_string(fields.size()) + " fields (expected 18)");
-      ++trace.skipped_lines;
+      ++skipped_;
       continue;
     }
 
@@ -136,10 +144,10 @@ SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
                     parse_time_like(fields[8], req_time) &&
                     parse_int(fields[11], user);
     if (!ok) {
-      BSLD_REQUIRE(!options.strict,
-                   "SWF: line " + std::to_string(line_no) +
+      BSLD_REQUIRE(!options_.strict,
+                   "SWF: line " + std::to_string(line_no_) +
                        " has an unparsable mandatory field");
-      ++trace.skipped_lines;
+      ++skipped_;
       continue;
     }
 
@@ -152,11 +160,22 @@ SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
     job.user_id = static_cast<std::int32_t>(user);
 
     if (job.id <= 0 || job.size <= 0 || job.run_time < 0) {
-      ++trace.skipped_lines;
+      ++skipped_;
       continue;
     }
-    trace.jobs.push_back(job);
+    return job;
   }
+  return std::nullopt;
+}
+
+SwfTrace parse_swf(std::istream& in, const SwfOptions& options) {
+  SwfTrace trace;
+  SwfRecordStream records(in, options);
+  while (std::optional<Job> job = records.next()) {
+    trace.jobs.push_back(*job);
+  }
+  trace.header = records.header();
+  trace.skipped_lines = records.skipped_lines();
   std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
                    [](const Job& a, const Job& b) {
                      return std::tie(a.submit, a.id) < std::tie(b.submit, b.id);

@@ -11,8 +11,10 @@
 /// `*.swf` can be replayed through the identical pipeline.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,44 @@ struct SwfOptions {
   /// the archives' own convention for cancelled jobs) are skipped and
   /// counted in both modes.
   bool strict = false;
+};
+
+/// Incremental SWF record cursor: yields jobs one line at a time, in *file
+/// order* (SWF archives are sorted by submit time by convention, but this
+/// cursor does not enforce or restore that — wrap it in a
+/// wl::SortingJobStream for strict (submit, id) order). Header directives
+/// and skip counts accumulate as lines are consumed; both are complete once
+/// next() has returned std::nullopt. This is the O(1)-memory primitive
+/// under parse_swf() and the streaming half of wl::open_stream().
+///
+/// The referenced istream must outlive the cursor.
+class SwfRecordStream {
+ public:
+  explicit SwfRecordStream(std::istream& in, const SwfOptions& options = {});
+
+  /// The next usable record, or std::nullopt at end of input. Applies the
+  /// same per-record fallbacks and skip/strict rules as parse_swf().
+  std::optional<Job> next();
+
+  /// Header directives seen so far (complete after exhaustion; by SWF
+  /// convention all of them precede the first data record).
+  [[nodiscard]] const std::map<std::string, std::string>& header() const {
+    return header_;
+  }
+
+  /// Skipped-record count so far (complete after exhaustion).
+  [[nodiscard]] std::size_t skipped_lines() const { return skipped_; }
+
+  /// MaxProcs directive seen so far as an integer, or `fallback`.
+  [[nodiscard]] std::int32_t max_procs(std::int32_t fallback) const;
+
+ private:
+  std::istream* in_;
+  SwfOptions options_;
+  std::map<std::string, std::string> header_;
+  std::size_t skipped_ = 0;
+  std::size_t line_no_ = 0;
+  std::string line_;
 };
 
 /// Parses SWF text. Tolerates missing optional fields (-1): processor count

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <tuple>
 
 #include "util/error.hpp"
 
@@ -12,6 +11,10 @@ namespace bsld::wl {
 namespace {
 
 constexpr double kSecondsPerDay = 86400.0;
+
+/// A small population of users, Zipf-ish activity (only used by the flurry
+/// cleaner and for realism of per-user patterns).
+constexpr std::int32_t kUsers = 64;
 
 /// Relative arrival rate at absolute time t (daily cycle).
 double daily_rate(double t, const ArrivalModel& arrival) {
@@ -72,96 +75,91 @@ Time round_to_nice_request(Time seconds) {
   return round_up(seconds, 3600);
 }
 
-Workload generate(const WorkloadSpec& spec, std::uint64_t seed) {
-  BSLD_REQUIRE(spec.cpus > 0, "generate(): cpus must be positive");
-  BSLD_REQUIRE(spec.num_jobs > 0, "generate(): num_jobs must be positive");
-  BSLD_REQUIRE(spec.arrival.load_target > 0.0,
+SyntheticJobStream::SyntheticJobStream(WorkloadSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)) {
+  BSLD_REQUIRE(spec_.cpus > 0, "generate(): cpus must be positive");
+  BSLD_REQUIRE(spec_.num_jobs > 0, "generate(): num_jobs must be positive");
+  BSLD_REQUIRE(spec_.arrival.load_target > 0.0,
                "generate(): load_target must be positive");
-  BSLD_REQUIRE(!spec.runtime.classes.empty(),
+  BSLD_REQUIRE(!spec_.runtime.classes.empty(),
                "generate(): runtime mixture needs at least one class");
-  BSLD_REQUIRE(spec.arrival.daily_amplitude >= 0.0 &&
-                   spec.arrival.daily_amplitude < 1.0,
+  BSLD_REQUIRE(spec_.arrival.daily_amplitude >= 0.0 &&
+                   spec_.arrival.daily_amplitude < 1.0,
                "generate(): daily_amplitude must be in [0, 1)");
 
-  util::Rng root(seed ^ util::hash_label(spec.name));
-  util::Rng size_rng = root.split("size");
-  util::Rng runtime_rng = root.split("runtime");
-  util::Rng estimate_rng = root.split("estimate");
-  util::Rng arrival_rng = root.split("arrival");
-  util::Rng user_rng = root.split("user");
+  util::Rng root(seed ^ util::hash_label(spec_.name));
+  size_rng_ = root.split("size");
+  runtime_rng_ = root.split("runtime");
+  estimate_rng_ = root.split("estimate");
+  arrival_rng_ = root.split("arrival");
+  user_rng_ = root.split("user");
 
-  const auto n = static_cast<std::size_t>(spec.num_jobs);
-
-  // Draw the work content first so the arrival process can be scaled to the
-  // target offered load.
-  std::vector<std::int32_t> sizes(n);
-  std::vector<Time> runtimes(n);
-  std::vector<Time> requested(n);
+  // Sizing pass: the arrival process is scaled to the target offered load,
+  // which needs the trace's total work content before the first job can be
+  // emitted. Replay *clones* of the work-content streams (split streams are
+  // concern-independent, so the estimate/arrival/user streams are not
+  // consumed) and keep only the running sum — draws, not storage, so the
+  // stream stays O(1) in memory at any num_jobs.
+  util::Rng size_probe = size_rng_;
+  util::Rng runtime_probe = runtime_rng_;
   double total_core_seconds = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sizes[i] = sample_size(spec.size, spec.cpus, size_rng);
-    runtimes[i] = sample_runtime(spec.runtime, runtime_rng);
-    requested[i] = sample_requested(spec.estimate, runtimes[i], estimate_rng);
+  for (std::int64_t i = 0; i < spec_.num_jobs; ++i) {
+    const std::int32_t size = sample_size(spec_.size, spec_.cpus, size_probe);
+    const Time runtime = sample_runtime(spec_.runtime, runtime_probe);
     total_core_seconds +=
-        static_cast<double>(sizes[i]) * static_cast<double>(runtimes[i]);
+        static_cast<double>(size) * static_cast<double>(runtime);
   }
 
   // Trace span implied by the load target, and the resulting mean gap.
   const double span =
       total_core_seconds /
-      (static_cast<double>(spec.cpus) * spec.arrival.load_target);
-  const double mean_gap = span / static_cast<double>(n);
+      (static_cast<double>(spec_.cpus) * spec_.arrival.load_target);
+  mean_gap_ = span / static_cast<double>(spec_.num_jobs);
 
-  std::vector<Time> submits(n);
-  double t = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    submits[i] = static_cast<Time>(std::llround(t));
-    double gap;
-    if (arrival_rng.bernoulli(spec.arrival.burst_probability)) {
-      gap = arrival_rng.exponential(spec.arrival.burst_gap_mean);
-    } else {
-      // Thin the base rate by the daily cycle at the current time. The
-      // burst jobs contribute little to the span, so re-scale the base gap
-      // to keep the overall mean near `mean_gap`.
-      const double base =
-          (mean_gap - spec.arrival.burst_probability *
-                          spec.arrival.burst_gap_mean) /
-          std::max(1e-9, 1.0 - spec.arrival.burst_probability);
-      gap = arrival_rng.exponential(std::max(1.0, base)) /
-            daily_rate(t, spec.arrival);
-    }
-    t += gap;
-  }
-
-  // A small population of users, Zipf-ish activity (only used by the flurry
-  // cleaner and for realism of per-user patterns).
-  constexpr std::int32_t kUsers = 64;
-  std::vector<double> user_weights(kUsers);
+  user_weights_.resize(kUsers);
   for (std::int32_t u = 0; u < kUsers; ++u) {
-    user_weights[static_cast<std::size_t>(u)] = 1.0 / static_cast<double>(u + 1);
+    user_weights_[static_cast<std::size_t>(u)] =
+        1.0 / static_cast<double>(u + 1);
   }
+}
 
-  Workload workload;
-  workload.name = spec.name;
-  workload.cpus = spec.cpus;
-  workload.jobs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Job job;
-    job.id = static_cast<JobId>(i + 1);
-    job.submit = submits[i];
-    job.size = sizes[i];
-    job.run_time = runtimes[i];
-    job.requested_time = requested[i];
-    job.user_id = static_cast<std::int32_t>(user_rng.discrete(user_weights));
-    workload.jobs.push_back(job);
+std::optional<Job> SyntheticJobStream::next() {
+  if (emitted_ >= spec_.num_jobs) return std::nullopt;
+
+  Job job;
+  job.id = static_cast<JobId>(emitted_ + 1);
+  job.size = sample_size(spec_.size, spec_.cpus, size_rng_);
+  job.run_time = sample_runtime(spec_.runtime, runtime_rng_);
+  job.requested_time =
+      sample_requested(spec_.estimate, job.run_time, estimate_rng_);
+
+  job.submit = static_cast<Time>(std::llround(clock_));
+  double gap;
+  if (arrival_rng_.bernoulli(spec_.arrival.burst_probability)) {
+    gap = arrival_rng_.exponential(spec_.arrival.burst_gap_mean);
+  } else {
+    // Thin the base rate by the daily cycle at the current time. The
+    // burst jobs contribute little to the span, so re-scale the base gap
+    // to keep the overall mean near `mean_gap_`.
+    const double base =
+        (mean_gap_ - spec_.arrival.burst_probability *
+                         spec_.arrival.burst_gap_mean) /
+        std::max(1e-9, 1.0 - spec_.arrival.burst_probability);
+    gap = arrival_rng_.exponential(std::max(1.0, base)) /
+          daily_rate(clock_, spec_.arrival);
   }
-  // Submits are already non-decreasing by construction; keep the invariant
-  // explicit for downstream consumers.
-  std::stable_sort(workload.jobs.begin(), workload.jobs.end(),
-                   [](const Job& a, const Job& b) {
-                     return std::tie(a.submit, a.id) < std::tie(b.submit, b.id);
-                   });
-  return workload;
+  clock_ += gap;
+
+  job.user_id = static_cast<std::int32_t>(user_rng_.discrete(user_weights_));
+  ++emitted_;
+  // Gaps are non-negative and ids ascend, so emission order is already the
+  // (submit, id) order generate() pins with its final sort.
+  return job;
+}
+
+Workload generate(const WorkloadSpec& spec, std::uint64_t seed) {
+  SyntheticJobStream stream(spec, seed);
+  return materialize(stream);
 }
 
 }  // namespace bsld::wl

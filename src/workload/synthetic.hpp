@@ -23,12 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
+#include "workload/stream.hpp"
 
 namespace bsld::wl {
 
@@ -95,7 +97,7 @@ struct EstimateModel {
 struct WorkloadSpec {
   std::string name = "synthetic";
   std::int32_t cpus = 128;
-  std::int32_t num_jobs = 5000;
+  std::int64_t num_jobs = 5000;
   ArrivalModel arrival;
   SizeModel size;
   RuntimeModel runtime;
@@ -104,10 +106,47 @@ struct WorkloadSpec {
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 };
 
+/// Lazy form of generate(): jobs are drawn on demand, already in
+/// (submit, id) order, with O(1) memory regardless of num_jobs — the
+/// arrival process emits non-decreasing submit times and ids ascend, so no
+/// sort is needed. The constructor validates the spec (same errors as
+/// generate()) and runs one sizing pass over clones of the work-content
+/// RNG streams to calibrate the arrival rate to the offered-load target;
+/// that pass stores nothing, so a 10^7-job trace costs draws, not gigabytes.
+///
+/// Bit-compatibility contract: materialize(SyntheticJobStream(spec, seed))
+/// equals generate(spec, seed) exactly, job for job. generate() is
+/// implemented as precisely that drain, so the contract cannot drift.
+class SyntheticJobStream final : public JobStream {
+ public:
+  SyntheticJobStream(WorkloadSpec spec, std::uint64_t seed);
+
+  std::optional<Job> next() override;
+  [[nodiscard]] const std::string& name() const override { return spec_.name; }
+  [[nodiscard]] std::int32_t cpus() const override { return spec_.cpus; }
+  [[nodiscard]] std::int64_t size_hint() const override {
+    return spec_.num_jobs;
+  }
+
+ private:
+  WorkloadSpec spec_;
+  util::Rng size_rng_;
+  util::Rng runtime_rng_;
+  util::Rng estimate_rng_;
+  util::Rng arrival_rng_;
+  util::Rng user_rng_;
+  std::vector<double> user_weights_;
+  double mean_gap_ = 0.0;  ///< From the sizing pass (offered-load target).
+  double clock_ = 0.0;     ///< Arrival-process time; next submit = round().
+  std::int64_t emitted_ = 0;
+};
+
 /// Generates a workload from `spec` with deterministic randomness derived
 /// from `seed`. Jobs are sorted by submit time, ids 1..num_jobs, and always
 /// satisfy: 1 <= size <= cpus, run_time >= 1, requested_time >= run_time.
-/// Throws bsld::Error on invalid specs.
+/// Throws bsld::Error on invalid specs. Equivalent to draining a
+/// SyntheticJobStream — materialize when you need random access, stream
+/// when you do not.
 Workload generate(const WorkloadSpec& spec, std::uint64_t seed);
 
 /// Rounds a requested time up to a "nice" human value: multiples of 5 min

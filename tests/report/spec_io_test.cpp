@@ -87,7 +87,37 @@ std::vector<RunSpec> representative_specs() {
     spec.workload = wl::WorkloadSource::from_spec(workload, 3);
     specs.push_back(spec);
   }
+  {
+    RunSpec spec;  // streaming run with sampled traces, every new key set
+    spec.stream = true;
+    spec.retain_jobs = false;
+    spec.instruments = {"wait-trace", "utilization"};
+    spec.sample.cap = 4096;
+    spec.sample.mode = util::SamplePlan::Mode::kReservoir;
+    spec.sample.seed = 12345;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;  // trace length beyond the int32 boundary
+    spec.workload =
+        wl::WorkloadSource::from_archive(wl::Archive::kCTC,
+                                         std::int64_t{3'000'000'000});
+    spec.stream = true;
+    specs.push_back(spec);
+  }
   return specs;
+}
+
+TEST(SpecIoTest, JobCountSurvivesTheInt32Boundary) {
+  // WorkloadSource::jobs is int64 end to end: a trace length one past
+  // INT32_MAX must round-trip through the config text unclamped.
+  RunSpec spec;
+  spec.workload = wl::WorkloadSource::from_archive(
+      wl::Archive::kSDSC, std::int64_t{2147483648});  // 2^31
+  const RunSpec parsed =
+      RunSpec::parse(util::Config::parse(spec.to_config().to_string()));
+  EXPECT_EQ(parsed.workload.jobs, std::int64_t{2147483648});
+  EXPECT_EQ(parsed, spec);
 }
 
 TEST(SpecIoTest, ParseFormatRoundTripIsByteIdentical) {

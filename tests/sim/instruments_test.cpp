@@ -28,7 +28,9 @@ struct EventFeeder {
 
   void begin(SimObserver& observer, std::int32_t cpus,
              std::size_t gear_count) {
-    observer.on_run_begin(RunBeginEvent{load_, cpus, gear_count, 600});
+    observer.on_run_begin(RunBeginEvent{
+        load_.name, static_cast<std::int64_t>(load_.jobs.size()), cpus,
+        gear_count, 600});
   }
 
   void finish(SimObserver& observer, std::size_t trace_index,

@@ -182,5 +182,74 @@ TEST_F(SimulationTest, ArenaRecyclesEngineStorageAcrossRuns) {
   EXPECT_DOUBLE_EQ(third.avg_bsld, first.avg_bsld);
 }
 
+TEST_F(SimulationTest, StreamingRunMatchesMaterializedAtEveryLookahead) {
+  // A sorted trace driven through the bounded-lookahead streaming ctor
+  // must pop the exact event sequence of the materialized run, down to a
+  // window of a single outstanding submit.
+  const wl::Workload load = workload(
+      4, {job(1, 0, 1000, 1200, 4), job(2, 10, 500, 600, 4),
+          job(3, 20, 100, 150, 1), job(4, 1200, 50, 80, 2)});
+  const auto materialized = testing::run(load, models_);
+
+  for (const std::int64_t lookahead : {1, 2, 3, 100}) {
+    const auto policy =
+        core::make_policy(core::BasePolicy::kEasy, std::nullopt, "FirstFit");
+    wl::WorkloadViewStream stream(load);
+    SimulationConfig config;
+    config.submit_lookahead = lookahead;
+    const auto streamed = run_simulation(stream, *policy, models_.power,
+                                         models_.time, config);
+    EXPECT_EQ(streamed.events_processed, materialized.events_processed);
+    EXPECT_EQ(streamed.avg_bsld, materialized.avg_bsld) << lookahead;
+    EXPECT_EQ(streamed.makespan, materialized.makespan);
+    ASSERT_EQ(streamed.jobs.size(), materialized.jobs.size());
+    for (std::size_t i = 0; i < materialized.jobs.size(); ++i) {
+      EXPECT_EQ(streamed.jobs[i].start, materialized.jobs[i].start);
+      EXPECT_EQ(streamed.jobs[i].end, materialized.jobs[i].end);
+      EXPECT_EQ(streamed.jobs[i].gear, materialized.jobs[i].gear);
+    }
+  }
+}
+
+TEST_F(SimulationTest, StreamingRunReportsWindowBoundedPeak) {
+  // 300 one-at-a-time jobs: the materialized path admits the whole trace
+  // up front (peak == job count); the streaming window holds at most the
+  // lookahead plus the finished jobs awaiting the next batched-delivery
+  // flush (eviction runs after each 128-record flush), far below 300.
+  std::vector<wl::Job> jobs;
+  for (int i = 0; i < 300; ++i) {
+    jobs.push_back(job(i + 1, i * 100, 50, 60, 4));
+  }
+  const wl::Workload load = workload(4, std::move(jobs));
+  const auto materialized = testing::run(load, models_);
+  EXPECT_EQ(materialized.peak_live_jobs, 300);
+
+  const auto policy =
+      core::make_policy(core::BasePolicy::kEasy, std::nullopt, "FirstFit");
+  wl::WorkloadViewStream stream(load);
+  SimulationConfig config;
+  config.submit_lookahead = 2;
+  const auto streamed =
+      run_simulation(stream, *policy, models_.power, models_.time, config);
+  EXPECT_EQ(streamed.avg_bsld, materialized.avg_bsld);
+  EXPECT_GT(streamed.peak_live_jobs, 0);
+  EXPECT_LE(streamed.peak_live_jobs, 64);  // flush-cadence bound, not 300.
+}
+
+TEST_F(SimulationTest, StreamingRejectsUnsortedStreams) {
+  // The bounded window cannot rewind time: an out-of-order submit in a
+  // stream must be rejected, not silently mis-simulated.
+  const wl::Workload unsorted =
+      workload(4, {job(2, 100, 10, 20, 1), job(1, 0, 10, 20, 1)});
+  const auto policy =
+      core::make_policy(core::BasePolicy::kEasy, std::nullopt, "FirstFit");
+  wl::WorkloadViewStream stream(unsorted);
+  SimulationConfig config;
+  config.submit_lookahead = 1;
+  EXPECT_THROW((void)run_simulation(stream, *policy, models_.power,
+                                    models_.time, config),
+               Error);
+}
+
 }  // namespace
 }  // namespace bsld::sim

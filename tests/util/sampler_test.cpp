@@ -1,0 +1,146 @@
+/// \file sampler_test.cpp
+/// \brief Unit tests of util::SeriesSampler: exactness below the cap,
+/// deterministic stride decimation, uniform reservoir retention, and the
+/// instrument-reuse reset contract.
+#include "util/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bsld::util {
+namespace {
+
+std::vector<double> values(const std::vector<SeriesSampler<double>::Item>& items) {
+  std::vector<double> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(item.value);
+  return out;
+}
+
+TEST(SeriesSamplerTest, CapZeroRetainsEverything) {
+  SeriesSampler<double> sampler;  // default plan: cap == 0.
+  for (int i = 0; i < 1000; ++i) sampler.push(i * 0.5);
+  EXPECT_EQ(sampler.seen(), 1000u);
+  EXPECT_EQ(sampler.retained(), 1000u);
+  const auto& items = sampler.sorted();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].seq, i);
+    EXPECT_EQ(items[i].value, i * 0.5);
+  }
+}
+
+TEST(SeriesSamplerTest, ExactBelowTheCap) {
+  // The load-bearing property behind every golden: a series that never
+  // exceeds the cap is retained in full, bit-identical to cap == 0.
+  for (const SamplePlan::Mode mode :
+       {SamplePlan::Mode::kDecimate, SamplePlan::Mode::kReservoir}) {
+    SamplePlan plan;
+    plan.mode = mode;
+    plan.cap = 64;
+    plan.seed = 7;
+    SeriesSampler<double> sampler(plan);
+    for (int i = 0; i < 64; ++i) sampler.push(i + 0.25);
+    EXPECT_EQ(sampler.retained(), 64u);
+    const auto& items = sampler.sorted();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(items[i].seq, i);
+      EXPECT_EQ(items[i].value, i + 0.25);
+    }
+  }
+}
+
+TEST(SeriesSamplerTest, DecimateDoublesStrideAndStaysBounded) {
+  SamplePlan plan;
+  plan.cap = 8;
+  SeriesSampler<double> sampler(plan);
+  for (int i = 0; i < 10000; ++i) sampler.push(static_cast<double>(i));
+  EXPECT_LE(sampler.retained(), 8u);
+  EXPECT_GE(sampler.retained(), 4u);  // at least cap/2 after a halving.
+
+  // Retention is a systematic 1-in-2^k sample: seqs are multiples of one
+  // power-of-two stride, and the value still matches its seq.
+  const auto& items = sampler.sorted();
+  ASSERT_FALSE(items.empty());
+  ASSERT_GE(items.size(), 2u);
+  const std::uint64_t stride = items[1].seq - items[0].seq;
+  EXPECT_EQ(stride & (stride - 1), 0u);  // power of two.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].seq, i * stride);
+    EXPECT_EQ(items[i].value, static_cast<double>(items[i].seq));
+  }
+}
+
+TEST(SeriesSamplerTest, DecimateIsDeterministic) {
+  SamplePlan plan;
+  plan.cap = 16;
+  SeriesSampler<double> a(plan);
+  SeriesSampler<double> b(plan);
+  for (int i = 0; i < 5000; ++i) {
+    a.push(i * 1.5);
+    b.push(i * 1.5);
+  }
+  ASSERT_EQ(a.retained(), b.retained());
+  EXPECT_EQ(values(a.sorted()), values(b.sorted()));
+}
+
+TEST(SeriesSamplerTest, ReservoirHoldsExactlyCapSortedBySeq) {
+  SamplePlan plan;
+  plan.mode = SamplePlan::Mode::kReservoir;
+  plan.cap = 32;
+  plan.seed = 42;
+  SeriesSampler<double> sampler(plan);
+  for (int i = 0; i < 20000; ++i) sampler.push(static_cast<double>(i));
+  EXPECT_EQ(sampler.seen(), 20000u);
+  EXPECT_EQ(sampler.retained(), 32u);
+
+  const auto& items = sampler.sorted();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].seq, items[i].seq);  // strictly ascending.
+  }
+  for (const auto& item : items) {
+    EXPECT_LT(item.seq, 20000u);
+    EXPECT_EQ(item.value, static_cast<double>(item.seq));
+  }
+}
+
+TEST(SeriesSamplerTest, ReservoirSeedSelectsTheSample) {
+  SamplePlan base;
+  base.mode = SamplePlan::Mode::kReservoir;
+  base.cap = 16;
+  base.seed = 1;
+  SamplePlan other = base;
+  other.seed = 2;
+
+  SeriesSampler<double> a(base);
+  SeriesSampler<double> a2(base);
+  SeriesSampler<double> b(other);
+  for (int i = 0; i < 4000; ++i) {
+    a.push(static_cast<double>(i));
+    a2.push(static_cast<double>(i));
+    b.push(static_cast<double>(i));
+  }
+  EXPECT_EQ(values(a.sorted()), values(a2.sorted()));  // same seed, same sample.
+  EXPECT_NE(values(a.sorted()), values(b.sorted()));   // seed matters.
+}
+
+TEST(SeriesSamplerTest, ResetRestartsTheSeries) {
+  SamplePlan plan;
+  plan.mode = SamplePlan::Mode::kReservoir;
+  plan.cap = 8;
+  plan.seed = 9;
+  SeriesSampler<double> sampler(plan);
+  for (int i = 0; i < 1000; ++i) sampler.push(static_cast<double>(i));
+  const std::vector<double> first = values(sampler.sorted());
+
+  sampler.reset();
+  EXPECT_EQ(sampler.seen(), 0u);
+  EXPECT_EQ(sampler.retained(), 0u);
+  for (int i = 0; i < 1000; ++i) sampler.push(static_cast<double>(i));
+  // Reset restores the RNG too: the replay is bit-identical.
+  EXPECT_EQ(values(sampler.sorted()), first);
+}
+
+}  // namespace
+}  // namespace bsld::util
